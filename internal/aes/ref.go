@@ -1,0 +1,165 @@
+// Package aes provides the AES-128 case study of the paper's §5: a pure
+// Go reference implementation (FIPS-197) used as the functional oracle,
+// and a code generator that emits the byte-oriented assembly
+// implementation the paper attacks — table-lookup SubBytes with a load
+// and a subsequent store per byte, register-rotate ShiftRows, and a
+// MixColumns built on a non-inlined shift-reduce xtime function with
+// stack spills and fills.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// Rounds is the number of AES-128 rounds.
+const Rounds = 10
+
+// Sbox is the AES substitution table.
+var Sbox = [256]byte{
+	0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+	0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+	0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+	0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+	0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+	0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+	0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+	0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+	0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+	0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+	0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+	0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+	0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+	0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+	0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+	0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+}
+
+// Xtime multiplies b by x (i.e. 2) in GF(2^8) with the AES reduction
+// polynomial, the shift-reduce primitive of the paper's MixColumns.
+func Xtime(b byte) byte {
+	v := uint16(b) << 1
+	if b&0x80 != 0 {
+		v ^= 0x1B
+	}
+	return byte(v)
+}
+
+// The state layout follows FIPS-197: state[r+4c] is row r, column c, so a
+// column occupies four consecutive bytes and ShiftRows rotates the bytes
+// at indices r, r+4, r+8, r+12 left by r positions.
+
+// SubBytes applies the S-box to every state byte.
+func SubBytes(s *[BlockSize]byte) {
+	for i := range s {
+		s[i] = Sbox[s[i]]
+	}
+}
+
+// ShiftRows rotates row r of the state left by r positions.
+func ShiftRows(s *[BlockSize]byte) {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[r+4*((c+r)%4)]
+		}
+		for c := 0; c < 4; c++ {
+			s[r+4*c] = row[c]
+		}
+	}
+}
+
+// MixColumns multiplies each state column by the AES MDS matrix.
+func MixColumns(s *[BlockSize]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		t := a0 ^ a1 ^ a2 ^ a3
+		s[4*c+0] = a0 ^ t ^ Xtime(a0^a1)
+		s[4*c+1] = a1 ^ t ^ Xtime(a1^a2)
+		s[4*c+2] = a2 ^ t ^ Xtime(a2^a3)
+		s[4*c+3] = a3 ^ t ^ Xtime(a3^a0)
+	}
+}
+
+// AddRoundKey XORs a 16-byte round key into the state.
+func AddRoundKey(s *[BlockSize]byte, rk []byte) {
+	for i := range s {
+		s[i] ^= rk[i]
+	}
+}
+
+// ExpandKey computes the AES-128 key schedule: 11 round keys, 176 bytes.
+func ExpandKey(key [KeySize]byte) [176]byte {
+	var rk [176]byte
+	copy(rk[:16], key[:])
+	rcon := byte(1)
+	for i := 16; i < 176; i += 4 {
+		var w [4]byte
+		copy(w[:], rk[i-4:i])
+		if i%16 == 0 {
+			w[0], w[1], w[2], w[3] = Sbox[w[1]]^rcon, Sbox[w[2]], Sbox[w[3]], Sbox[w[0]]
+			rcon = Xtime(rcon)
+		}
+		for j := 0; j < 4; j++ {
+			rk[i+j] = rk[i-16+j] ^ w[j]
+		}
+	}
+	return rk
+}
+
+// Ref is the functional AES-128 oracle with a precomputed key schedule.
+type Ref struct {
+	rk [176]byte
+}
+
+// NewRef returns an oracle for the given key.
+func NewRef(key [KeySize]byte) *Ref {
+	r := &Ref{rk: ExpandKey(key)}
+	return r
+}
+
+// RoundKeys returns the full expanded key schedule.
+func (r *Ref) RoundKeys() [176]byte { return r.rk }
+
+// Encrypt returns the AES-128 encryption of one block.
+func (r *Ref) Encrypt(pt [BlockSize]byte) [BlockSize]byte {
+	s := pt
+	AddRoundKey(&s, r.rk[0:16])
+	for round := 1; round < Rounds; round++ {
+		SubBytes(&s)
+		ShiftRows(&s)
+		MixColumns(&s)
+		AddRoundKey(&s, r.rk[16*round:16*round+16])
+	}
+	SubBytes(&s)
+	ShiftRows(&s)
+	AddRoundKey(&s, r.rk[160:176])
+	return s
+}
+
+// EncryptPartial runs AddRoundKey(0) plus the first n full rounds
+// (SubBytes, ShiftRows, MixColumns, AddRoundKey) and returns the
+// intermediate state. It is the oracle for truncated simulator programs.
+func (r *Ref) EncryptPartial(pt [BlockSize]byte, n int) ([BlockSize]byte, error) {
+	if n < 0 || n >= Rounds {
+		return pt, fmt.Errorf("aes: partial rounds must be in [0,%d), got %d", Rounds, n)
+	}
+	s := pt
+	AddRoundKey(&s, r.rk[0:16])
+	for round := 1; round <= n; round++ {
+		SubBytes(&s)
+		ShiftRows(&s)
+		MixColumns(&s)
+		AddRoundKey(&s, r.rk[16*round:16*round+16])
+	}
+	return s, nil
+}
+
+// SubBytesOut returns S[pt[i] ^ k0[i]], the first-round SubBytes output
+// byte — the intermediate value targeted by the paper's Figure 3 model.
+func SubBytesOut(ptByte, keyByte byte) byte {
+	return Sbox[ptByte^keyByte]
+}

@@ -1,0 +1,109 @@
+package aes
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+)
+
+// Target couples the generated AES program with a core configuration and
+// a key, and runs encryptions while checking functional correctness
+// against the Go reference. It is the device-under-attack of §5.
+type Target struct {
+	cfg    pipeline.Config
+	prog   *isa.Program
+	layout *Layout
+	ref    *Ref
+	rk     [176]byte
+	rounds int
+	// Verify cross-checks every run against the reference (default on).
+	Verify bool
+}
+
+// NewTarget builds the simulated AES device for the given key.
+func NewTarget(cfg pipeline.Config, key [KeySize]byte, opts ProgramOptions) (*Target, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prog, layout, err := BuildProgram(opts)
+	if err != nil {
+		return nil, err
+	}
+	ref := NewRef(key)
+	return &Target{
+		cfg:    cfg,
+		prog:   prog,
+		layout: layout,
+		ref:    ref,
+		rk:     ref.RoundKeys(),
+		rounds: opts.Rounds,
+		Verify: true,
+	}, nil
+}
+
+// Program returns the generated program.
+func (t *Target) Program() *isa.Program { return t.prog }
+
+// Layout returns the program's memory layout and primitive regions.
+func (t *Target) Layout() *Layout { return t.layout }
+
+// Ref returns the functional oracle.
+func (t *Target) Ref() *Ref { return t.ref }
+
+// Run encrypts one block on the simulated core and returns the pipeline
+// result (with its leakage timeline) and the output state.
+func (t *Target) Run(pt [BlockSize]byte) (*pipeline.Result, [BlockSize]byte, error) {
+	m := mem.NewMemory()
+	m.WriteBytes(t.layout.SboxAddr, Sbox[:])
+	m.WriteBytes(t.layout.KeyAddr, t.rk[:])
+	m.WriteBytes(t.layout.StateAddr, pt[:])
+
+	core := pipeline.MustNew(t.cfg, m)
+	core.SetReg(regState, t.layout.StateAddr)
+	core.SetReg(regKeys, t.layout.KeyAddr)
+	core.SetReg(regSbox, t.layout.SboxAddr)
+	core.SetReg(isa.SP, t.layout.StackAddr)
+
+	res, err := core.Run(t.prog)
+	if err != nil {
+		return nil, [BlockSize]byte{}, err
+	}
+	var out [BlockSize]byte
+	copy(out[:], m.ReadBytes(t.layout.StateAddr, BlockSize))
+
+	if t.Verify {
+		var want [BlockSize]byte
+		if t.rounds == Rounds {
+			want = t.ref.Encrypt(pt)
+		} else {
+			want, err = t.ref.EncryptPartial(pt, t.rounds)
+			if err != nil {
+				return nil, out, err
+			}
+		}
+		if out != want {
+			return nil, out, fmt.Errorf("aes: simulator output %x disagrees with reference %x", out, want)
+		}
+	}
+	return res, out, nil
+}
+
+// IssueCycleRange returns the first and one-past-last issue cycles of the
+// dynamic instructions whose static PC falls inside [start, end) — the
+// time window of one primitive region in a particular run.
+func IssueCycleRange(res *pipeline.Result, start, end int) (first, last int64, ok bool) {
+	first, last = -1, -1
+	for _, is := range res.Issues {
+		if is.PC >= start && is.PC < end {
+			if first < 0 {
+				first = is.Cycle
+			}
+			if is.Cycle+1 > last {
+				last = is.Cycle + 1
+			}
+		}
+	}
+	return first, last, first >= 0
+}

@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aes"
+	"repro/internal/sca"
+)
+
+// FullKeyResult is the outcome of attacking all sixteen first-round key
+// bytes from a single shared trace set.
+type FullKeyResult struct {
+	// Recovered is the recovered key; Key the true one.
+	Recovered [aes.KeySize]byte
+	Key       [aes.KeySize]byte
+	// Ranks holds each byte's true-key rank (0 = recovered).
+	Ranks [aes.KeySize]int
+	// Traces is the number of acquisitions used.
+	Traces int
+}
+
+// Success reports whether the complete key was recovered.
+func (r *FullKeyResult) Success() bool { return r.Recovered == r.Key }
+
+// BytesRecovered counts the correctly recovered bytes.
+func (r *FullKeyResult) BytesRecovered() int {
+	n := 0
+	for _, rk := range r.Ranks {
+		if rk == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// GuessingEntropy returns the log2 average rank over the sixteen bytes.
+func (r *FullKeyResult) GuessingEntropy() float64 {
+	ge, _ := sca.GuessingEntropy(r.Ranks[:])
+	return ge
+}
+
+// RecoverFullKey runs sixteen parallel CPA instances — one per key byte,
+// each with the Figure 3 model — over one shared set of acquisitions,
+// recovering the complete first-round key. This is the practical endgame
+// of the paper's §5 attack.
+func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, error) {
+	if opt.Traces < 8 {
+		return nil, fmt.Errorf("attack: need at least 8 traces, got %d", opt.Traces)
+	}
+	if err := opt.Model.Validate(); err != nil {
+		return nil, err
+	}
+	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
+	if err != nil {
+		return nil, err
+	}
+	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
+
+	engines := make([]*sca.CPA, aes.BlockSize)
+	for b := range engines {
+		if engines[b], err = sca.NewCPA(256, nSamples); err != nil {
+			return nil, err
+		}
+	}
+	hyp := make([]float64, 256)
+	var pt [aes.BlockSize]byte
+	for n := 0; n < opt.Traces; n++ {
+		rng.Read(pt[:])
+		res, _, err := tgt.Run(pt)
+		if err != nil {
+			return nil, err
+		}
+		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+		for b := 0; b < aes.BlockSize; b++ {
+			for k := 0; k < 256; k++ {
+				hyp[k] = float64(sca.HW8(aes.SubBytesOut(pt[b], byte(k))))
+			}
+			if err := engines[b].Add(tr, hyp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &FullKeyResult{Key: key, Traces: opt.Traces}
+	for b := 0; b < aes.BlockSize; b++ {
+		att := engines[b].Result()
+		out.Recovered[b] = byte(att.Ranking[0])
+		out.Ranks[b] = att.RankOf(int(key[b]))
+	}
+	return out, nil
+}
+
+// RankEvolution attacks one key byte repeatedly at increasing trace
+// counts and returns the rank curve — the attack-efficiency plot
+// complementing Figure 3.
+func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.RankCurve, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("attack: no trace counts")
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
+	if err != nil {
+		return nil, err
+	}
+	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
+	cpa, err := sca.NewCPA(256, nSamples)
+	if err != nil {
+		return nil, err
+	}
+
+	curve := &sca.RankCurve{}
+	next := 0
+	hyp := make([]float64, 256)
+	var pt [aes.BlockSize]byte
+	for n := 1; n <= max; n++ {
+		rng.Read(pt[:])
+		res, _, err := tgt.Run(pt)
+		if err != nil {
+			return nil, err
+		}
+		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+		for k := 0; k < 256; k++ {
+			hyp[k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
+		}
+		if err := cpa.Add(tr, hyp); err != nil {
+			return nil, err
+		}
+		if next < len(counts) && n == counts[next] {
+			att := cpa.Result()
+			curve.TraceCounts = append(curve.TraceCounts, n)
+			curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
+			next++
+		}
+	}
+	return curve, nil
+}

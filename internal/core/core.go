@@ -1,0 +1,298 @@
+// Package core is the paper's primary contribution packaged as a reusable
+// artifact: a micro-architectural leakage model for the modelled
+// superscalar Cortex-A7-class CPU.
+//
+// Given a program and a core configuration, Analyze enumerates every
+// potential leakage event — which pairs of architectural values meet in
+// which shared pipeline buffer on which cycle (Hamming-distance events),
+// and which single values are exposed on zero-precharged nets
+// (Hamming-weight events) — without collecting a single power trace.
+// This is the model the paper proposes to integrate into static analysis
+// tools, countermeasure checkers and compiler back-ends (§2, §4.2, §5).
+//
+// On top of the event stream the package provides:
+//
+//   - taint propagation from user-labelled secrets (ComputeTaint), and a
+//     share-recombination checker for masked software (FindShareViolations)
+//     that flags §4.2's pitfalls: operand-position sharing, nop-induced
+//     recombination, write-back transitions and LSU data remanence;
+//   - a portable-security diff (Diff) showing which leakage events appear
+//     or disappear when the same code runs on a different, ISA-compatible
+//     micro-architecture, or after a seemingly innocuous code change such
+//     as swapping the operands of a commutative instruction.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+// Kind distinguishes transition (HD) from value-exposure (HW) events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindHD is a Hamming-distance event: two values combined by
+	// successive assertions on one shared component.
+	KindHD Kind = iota
+	// KindHW is a Hamming-weight event: one value asserted on a
+	// zero-precharged net (the ALU outputs, the shifter buffer).
+	KindHW
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindHD {
+		return "HD"
+	}
+	return "HW"
+}
+
+// Event is one potential leakage: on Cycle, component Comp combined the
+// value tagged A with the value tagged B (KindHD), or exposed the value
+// tagged B (KindHW), with the given model weight.
+type Event struct {
+	Cycle  int64
+	Comp   pipeline.Component
+	Kind   Kind
+	A, B   pipeline.ValueTag
+	Weight float64
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Kind == KindHW {
+		return fmt.Sprintf("cycle %d %s: HW(%s) w=%.2f", e.Cycle, e.Comp, e.B, e.Weight)
+	}
+	return fmt.Sprintf("cycle %d %s: HD(%s, %s) w=%.2f", e.Cycle, e.Comp, e.A, e.B, e.Weight)
+}
+
+// Report is the static leakage model of one program execution.
+type Report struct {
+	// Prog is the analyzed program.
+	Prog *isa.Program
+	// Events lists every potential leakage in (component, cycle) order.
+	Events []Event
+	// Result is the underlying pipeline run (issue records, timeline).
+	Result *pipeline.Result
+}
+
+// Analyze runs prog on a provenance-enabled core and derives its leakage
+// events under the given power model. init (optional) prepares registers
+// and memory before the run. Events with zero model weight are omitted:
+// under the default model this drops the register-file read ports and the
+// AGU, which the paper found not to leak.
+func Analyze(prog *isa.Program, cfg pipeline.Config, model power.Model, init func(*pipeline.Core)) (*Report, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := pipeline.New(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if init != nil {
+		init(c)
+	}
+	c.EnableProvenance(true)
+	res, err := c.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group drives per component in cycle order. The recording order is
+	// not globally cycle-sorted (write-backs are scheduled ahead), so
+	// sort stably per component.
+	perComp := make([][]pipeline.DriveEvent, pipeline.NumComponents)
+	for _, d := range res.Drives {
+		perComp[d.Comp] = append(perComp[d.Comp], d)
+	}
+	var events []Event
+	for comp, drives := range perComp {
+		sort.SliceStable(drives, func(i, j int) bool { return drives[i].Cycle < drives[j].Cycle })
+		hdW := model.HDWeights[comp]
+		hwW := model.HWWeights[comp]
+		if hdW == 0 && hwW == 0 {
+			continue
+		}
+		prevTag := pipeline.ValueTag{PC: -1}
+		first := true
+		for _, d := range drives {
+			if hwW != 0 {
+				events = append(events, Event{
+					Cycle: d.Cycle, Comp: pipeline.Component(comp), Kind: KindHW,
+					B: d.Tag, Weight: hwW,
+				})
+			}
+			if hdW != 0 {
+				// Skip the zero-against-initial transition and
+				// zero-to-zero bus refreshes: no information flows.
+				if !(first && d.Tag.Role == pipeline.RoleZero) &&
+					!(d.Tag.Role == pipeline.RoleZero && prevTag.Role == pipeline.RoleZero) {
+					events = append(events, Event{
+						Cycle: d.Cycle, Comp: pipeline.Component(comp), Kind: KindHD,
+						A: prevTag, B: d.Tag, Weight: hdW,
+					})
+				}
+			}
+			prevTag = d.Tag
+			first = false
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Cycle != events[j].Cycle {
+			return events[i].Cycle < events[j].Cycle
+		}
+		return events[i].Comp < events[j].Comp
+	})
+	return &Report{Prog: prog, Events: events, Result: res}, nil
+}
+
+// Combining returns the HD events that combine values of the two static
+// instructions, in either order — the query a countermeasure checker
+// asks: "do any values of instruction i and instruction j ever meet?".
+func (r *Report) Combining(pcA, pcB int) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Kind != KindHD {
+			continue
+		}
+		if (e.A.PC == pcA && e.B.PC == pcB) || (e.A.PC == pcB && e.B.PC == pcA) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CombinesDistinct reports whether any HD event combines values produced
+// by two *different* instructions (the cross-instruction leakage class
+// that is invisible in an assembly listing).
+func (r *Report) CombinesDistinct() []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Kind == KindHD && e.A.PC >= 0 && e.B.PC >= 0 && e.A.PC != e.B.PC &&
+			e.A.Role != pipeline.RoleZero && e.B.Role != pipeline.RoleZero {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByComponent returns the events on one component.
+func (r *Report) ByComponent(c pipeline.Component) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Comp == c {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the full event list.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "leakage model: %d events\n", len(r.Events))
+	for _, e := range r.Events {
+		sb.WriteString("  ")
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// taggedValue is a provenance tag augmented with the architectural
+// register the tag binds to (for source-operand roles), so that swapping
+// the operands of a commutative instruction — same tag structure,
+// different registers — changes the event identity (§4.2).
+type taggedValue struct {
+	Tag pipeline.ValueTag
+	Reg isa.Reg
+}
+
+// EventKey identifies an event independently of its cycle, for
+// cross-configuration and cross-allocation comparison.
+type EventKey struct {
+	Comp pipeline.Component
+	Kind Kind
+	A, B taggedValue
+}
+
+// resolveReg maps a source-operand tag to its architectural register;
+// non-operand roles return the sentinel 0xFF.
+func resolveReg(prog *isa.Program, tag pipeline.ValueTag) isa.Reg {
+	const none = isa.Reg(0xFF)
+	if prog == nil || tag.PC < 0 || tag.PC >= len(prog.Instrs) {
+		return none
+	}
+	idx := -1
+	switch tag.Role {
+	case pipeline.RoleSrc0:
+		idx = 0
+	case pipeline.RoleSrc1:
+		idx = 1
+	case pipeline.RoleSrc2:
+		idx = 2
+	default:
+		return none
+	}
+	srcs := prog.Instrs[tag.PC].SrcRegs()
+	if idx >= len(srcs) {
+		return none
+	}
+	return srcs[idx]
+}
+
+// keyIn returns the event's cycle-independent identity within prog. HD
+// keys are canonicalized so that A/B order does not matter.
+func (e Event) keyIn(prog *isa.Program) EventKey {
+	a := taggedValue{Tag: e.A, Reg: resolveReg(prog, e.A)}
+	b := taggedValue{Tag: e.B, Reg: resolveReg(prog, e.B)}
+	if e.Kind == KindHD {
+		if b.Tag.PC < a.Tag.PC || (b.Tag.PC == a.Tag.PC && b.Tag.Role < a.Tag.Role) {
+			a, b = b, a
+		}
+	}
+	return EventKey{Comp: e.Comp, Kind: e.Kind, A: a, B: b}
+}
+
+// Key returns the event's register-agnostic identity (no program context).
+func (e Event) Key() EventKey { return e.keyIn(nil) }
+
+// Diff compares two reports — e.g. the same program on two core
+// configurations, or two register allocations of the same function — and
+// returns the events present only in one of them. This is the paper's
+// "portable side-channel security" question made executable: an
+// ISA-compatible change of micro-architecture or an innocuous-looking
+// code edit may add leakage events (§4.2).
+func Diff(a, b *Report) (onlyA, onlyB []Event) {
+	inA := make(map[EventKey]bool, len(a.Events))
+	for _, e := range a.Events {
+		inA[e.keyIn(a.Prog)] = true
+	}
+	inB := make(map[EventKey]bool, len(b.Events))
+	for _, e := range b.Events {
+		inB[e.keyIn(b.Prog)] = true
+	}
+	seen := make(map[EventKey]bool)
+	for _, e := range a.Events {
+		k := e.keyIn(a.Prog)
+		if !inB[k] && !seen[k] {
+			onlyA = append(onlyA, e)
+			seen[k] = true
+		}
+	}
+	seen = make(map[EventKey]bool)
+	for _, e := range b.Events {
+		k := e.keyIn(b.Prog)
+		if !inA[k] && !seen[k] {
+			onlyB = append(onlyB, e)
+			seen[k] = true
+		}
+	}
+	return onlyA, onlyB
+}

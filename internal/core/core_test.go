@@ -1,0 +1,316 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+func analyze(t *testing.T, src string, cfg pipeline.Config, init func(*pipeline.Core)) *Report {
+	t.Helper()
+	r, err := Analyze(isa.MustAssemble(src), cfg, power.DefaultModel(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeFindsISEXCombination(t *testing.T) {
+	// Two single-issued adds: the model must predict that their
+	// same-position operands combine on the IS/EX buses.
+	r := analyze(t, "add r0, r1, r2\nadd r3, r4, r5", pipeline.DefaultConfig(), nil)
+	events := r.Combining(0, 1)
+	if len(events) == 0 {
+		t.Fatal("no combining events between the two adds")
+	}
+	var busHD, wbHD bool
+	for _, e := range events {
+		if e.Comp == pipeline.ISBus0 && e.A.Role == pipeline.RoleSrc0 && e.B.Role == pipeline.RoleSrc0 {
+			busHD = true
+		}
+		if (e.Comp == pipeline.WBBus0 || e.Comp == pipeline.WBBus1) &&
+			e.A.Role == pipeline.RoleResult && e.B.Role == pipeline.RoleResult {
+			wbHD = true
+		}
+	}
+	if !busHD {
+		t.Error("missing same-position IS/EX bus combination")
+	}
+	if !wbHD {
+		t.Error("missing EX/WB result combination")
+	}
+}
+
+func TestAnalyzeDualIssueRemovesCombination(t *testing.T) {
+	// add + add-imm dual-issues: the pair's operands must NOT combine.
+	r := analyze(t, "add r0, r1, r2\nadd r3, r4, #7", pipeline.DefaultConfig(), nil)
+	for _, e := range r.Combining(0, 1) {
+		if e.Kind == KindHD &&
+			e.A.Role != pipeline.RoleZero && e.B.Role != pipeline.RoleZero &&
+			strings.HasPrefix(string(e.A.Role), "src") && strings.HasPrefix(string(e.B.Role), "src") {
+			t.Errorf("dual-issued pair operands combine: %s", e)
+		}
+	}
+	// The same code on a scalar core DOES combine them (§4.2 point iii):
+	// the leakage profile is micro-architecture dependent.
+	rs := analyze(t, "add r0, r1, r2\nadd r3, r4, #7", pipeline.ScalarConfig(), nil)
+	found := false
+	for _, e := range rs.Combining(0, 1) {
+		if e.Comp == pipeline.ISBus0 && e.A.Role == pipeline.RoleSrc0 && e.B.Role == pipeline.RoleSrc0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scalar core must combine the operands")
+	}
+}
+
+func TestAnalyzeOperandSwapChangesEvents(t *testing.T) {
+	// §4.2: swapping the operands of a commutative instruction changes
+	// which values share a bus — an assembly-equivalent edit with a
+	// different leakage profile.
+	a := analyze(t, "eor r0, r1, r2\neor r3, r4, r5", pipeline.DefaultConfig(), nil)
+	b := analyze(t, "eor r0, r1, r2\neor r3, r5, r4", pipeline.DefaultConfig(), nil)
+	onlyA, onlyB := Diff(a, b)
+	if len(onlyA) == 0 || len(onlyB) == 0 {
+		t.Fatalf("operand swap must change the event set (onlyA=%d onlyB=%d)", len(onlyA), len(onlyB))
+	}
+}
+
+func TestAnalyzeNopInsertionAddsEvents(t *testing.T) {
+	// §4.2: nops are semantically neutral but not security neutral.
+	plain := analyze(t, "mov r0, r1\nmov r2, r3", pipeline.DefaultConfig(), nil)
+	nopped := analyze(t, "mov r0, r1\nnop\nmov r2, r3", pipeline.DefaultConfig(), nil)
+	_, onlyNopped := Diff(plain, nopped)
+	foundZero := false
+	for _, e := range onlyNopped {
+		if e.A.Role == pipeline.RoleZero || e.B.Role == pipeline.RoleZero {
+			foundZero = true
+		}
+	}
+	if !foundZero {
+		t.Error("nop insertion must add zero-transition events")
+	}
+}
+
+func TestAnalyzeMDRRemanence(t *testing.T) {
+	// §4.2 point iv: the MDR retains the last transferred value; a later
+	// store combines with it.
+	r := analyze(t, `
+		ldr r0, [r8]
+		add r1, r2, r3
+		str r1, [r9]
+	`, pipeline.DefaultConfig(), func(c *pipeline.Core) {
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+	})
+	found := false
+	for _, e := range r.ByComponent(pipeline.MDR) {
+		if e.Kind == KindHD && e.A.Role == pipeline.RoleLoadData && e.B.Role == pipeline.RoleStoreData {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MDR must combine the loaded value with the later store")
+	}
+}
+
+func TestAnalyzeZeroWeightComponentsExcluded(t *testing.T) {
+	r := analyze(t, "add r0, r1, r2", pipeline.DefaultConfig(), nil)
+	for _, e := range r.Events {
+		if e.Comp == pipeline.RFRead0 || e.Comp == pipeline.AGU {
+			t.Errorf("zero-weight component %v produced event %s", e.Comp, e)
+		}
+	}
+}
+
+func TestReportStringAndCombinesDistinct(t *testing.T) {
+	r := analyze(t, "add r0, r1, r2\nadd r3, r4, r5", pipeline.DefaultConfig(), nil)
+	if len(r.CombinesDistinct()) == 0 {
+		t.Error("expected cross-instruction combinations")
+	}
+	s := r.String()
+	if !strings.Contains(s, "HD(") || !strings.Contains(s, "events") {
+		t.Errorf("report rendering:\n%s", s)
+	}
+}
+
+func TestEventKeyCanonical(t *testing.T) {
+	a := pipeline.ValueTag{PC: 1, Role: pipeline.RoleSrc0}
+	b := pipeline.ValueTag{PC: 2, Role: pipeline.RoleSrc0}
+	e1 := Event{Comp: pipeline.ISBus0, Kind: KindHD, A: a, B: b}
+	e2 := Event{Comp: pipeline.ISBus0, Kind: KindHD, A: b, B: a}
+	if e1.Key() != e2.Key() {
+		t.Error("HD keys must be order-independent")
+	}
+}
+
+func TestComputeTaintPropagation(t *testing.T) {
+	src := `
+		eor r2, r0, r1
+		mov r3, r2
+	`
+	spec := TaintSpec{Regs: map[isa.Reg]Labels{
+		isa.R0: {"key.0"},
+		isa.R1: {"key.1"},
+	}}
+	taints, err := ComputeTaint(isa.MustAssemble(src), pipeline.DefaultConfig(), nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := taints.Of(pipeline.ValueTag{PC: 0, Role: pipeline.RoleResult})
+	if !res.Has("key.0") || !res.Has("key.1") {
+		t.Fatalf("eor result taint = %v", res)
+	}
+	movSrc := taints.Of(pipeline.ValueTag{PC: 1, Role: pipeline.RoleSrc0})
+	if !movSrc.Has("key.0") || !movSrc.Has("key.1") {
+		t.Fatalf("propagated taint = %v", movSrc)
+	}
+}
+
+func TestComputeTaintThroughMemoryAndLookup(t *testing.T) {
+	src := `
+		str r0, [r8]
+		ldr r1, [r8]
+		ldrb r2, [r9, r1]
+	`
+	init := func(c *pipeline.Core) {
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+	}
+	spec := TaintSpec{Regs: map[isa.Reg]Labels{isa.R0: {"secret"}}}
+	taints, err := ComputeTaint(isa.MustAssemble(src), pipeline.DefaultConfig(), init, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := taints.Of(pipeline.ValueTag{PC: 1, Role: pipeline.RoleLoadData}); !l.Has("secret") {
+		t.Errorf("load through memory lost taint: %v", l)
+	}
+	// Table lookup: the index taints the loaded value.
+	if l := taints.Of(pipeline.ValueTag{PC: 2, Role: pipeline.RoleLoadData}); !l.Has("secret") {
+		t.Errorf("lookup did not propagate index taint: %v", l)
+	}
+}
+
+func TestFindShareViolationsMaskedXor(t *testing.T) {
+	// A two-share value processed by consecutive single-issued
+	// instructions in the same operand position recombines on the IS/EX
+	// bus (the Seuschek-style failure, §4.2 i+ii, on a superscalar core).
+	src := `
+		eor r4, r0, r2
+		eor r5, r1, r3
+	`
+	cfg := pipeline.ScalarConfig() // force single issue: shares share the bus
+	spec := TaintSpec{Regs: map[isa.Reg]Labels{
+		isa.R0: {"key.0"},
+		isa.R1: {"key.1"},
+	}}
+	prog := isa.MustAssemble(src)
+	rep, err := Analyze(prog, cfg, power.DefaultModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taints, err := ComputeTaint(prog, cfg, nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := FindShareViolations(rep, taints, "key")
+	if len(viol) == 0 {
+		t.Fatal("share recombination on the operand bus not detected")
+	}
+}
+
+func TestDualIssueAsCountermeasure(t *testing.T) {
+	// §4.2: dual-issuing the two share computations keeps them on
+	// separate buses — the same code that violates on a scalar core is
+	// clean when the pair dual-issues.
+	src := `
+		eor r4, r0, #0x55
+		eor r5, r1, #0x3C
+	`
+	spec := TaintSpec{Regs: map[isa.Reg]Labels{
+		isa.R0: {"key.0"},
+		isa.R1: {"key.1"},
+	}}
+	prog := isa.MustAssemble(src)
+
+	check := func(cfg pipeline.Config) []Violation {
+		rep, err := Analyze(prog, cfg, power.DefaultModel(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taints, err := ComputeTaint(prog, cfg, nil, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FindShareViolations(rep, taints, "key")
+	}
+
+	if v := check(pipeline.ScalarConfig()); len(v) == 0 {
+		t.Error("scalar core must recombine the shares")
+	}
+	if v := check(pipeline.DefaultConfig()); len(v) != 0 {
+		for _, x := range v {
+			t.Errorf("dual-issued shares still recombine: %s", x)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Event:   Event{Comp: pipeline.ISBus0, Kind: KindHD, A: pipeline.ValueTag{PC: 0, Role: pipeline.RoleSrc0}, B: pipeline.ValueTag{PC: 1, Role: pipeline.RoleSrc0}},
+		LabelsA: Labels{"key.0"},
+		LabelsB: Labels{"key.1"},
+		Secret:  "key",
+	}
+	if !strings.Contains(v.String(), "key") {
+		t.Error("violation rendering broken")
+	}
+}
+
+func TestTaintSpecTaintMem(t *testing.T) {
+	var s TaintSpec
+	s.TaintMem(0x101, 2, Labels{"x"})
+	if !s.Mem[0x100].Has("x") || !s.Mem[0x104].Has("x") {
+		t.Errorf("TaintMem = %v", s.Mem)
+	}
+}
+
+func TestSummariesAndListing(t *testing.T) {
+	r := analyze(t, "add r0, r1, r2\nadd r3, r4, r5", pipeline.DefaultConfig(), nil)
+	sums := r.Summaries()
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	var first *InstrSummary
+	for i := range sums {
+		if sums[i].PC == 0 {
+			first = &sums[i]
+		}
+	}
+	if first == nil {
+		t.Fatal("instruction 0 missing from summaries")
+	}
+	foundPartner := false
+	for _, p := range first.HDWith {
+		if p == 1 {
+			foundPartner = true
+		}
+	}
+	if !foundPartner {
+		t.Errorf("instruction 0 must combine with 1: %+v", first)
+	}
+	if first.HWEvents == 0 {
+		t.Error("ALU result exposure missing")
+	}
+	listing := r.AnnotatedListing()
+	if !strings.Contains(listing, "combines-with=[1]") {
+		t.Errorf("listing missing annotation:\n%s", listing)
+	}
+	if !strings.Contains(listing, "add r0, r1, r2") {
+		t.Errorf("listing missing instruction text:\n%s", listing)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// InstrSummary aggregates the leakage events touching one static
+// instruction.
+type InstrSummary struct {
+	// PC is the static instruction index.
+	PC int
+	// HDWith lists the other instructions whose values this one combines
+	// with, sorted.
+	HDWith []int
+	// HWEvents counts value-exposure events of this instruction.
+	HWEvents int
+	// Components lists the components involved, sorted by name.
+	Components []pipeline.Component
+}
+
+// Summaries aggregates the report per static instruction, the view a
+// developer auditing an assembly listing wants: "which other lines does
+// this line's data meet, and where".
+func (r *Report) Summaries() []InstrSummary {
+	byPC := make(map[int]*InstrSummary)
+	get := func(pc int) *InstrSummary {
+		s := byPC[pc]
+		if s == nil {
+			s = &InstrSummary{PC: pc}
+			byPC[pc] = s
+		}
+		return s
+	}
+	addPartner := func(s *InstrSummary, pc int) {
+		for _, x := range s.HDWith {
+			if x == pc {
+				return
+			}
+		}
+		s.HDWith = append(s.HDWith, pc)
+	}
+	addComp := func(s *InstrSummary, c pipeline.Component) {
+		for _, x := range s.Components {
+			if x == c {
+				return
+			}
+		}
+		s.Components = append(s.Components, c)
+	}
+	for _, e := range r.Events {
+		switch e.Kind {
+		case KindHW:
+			if e.B.PC >= 0 {
+				s := get(e.B.PC)
+				s.HWEvents++
+				addComp(s, e.Comp)
+			}
+		case KindHD:
+			if e.A.PC >= 0 && e.B.PC >= 0 && e.A.PC != e.B.PC &&
+				e.A.Role != pipeline.RoleZero && e.B.Role != pipeline.RoleZero {
+				sa, sb := get(e.A.PC), get(e.B.PC)
+				addPartner(sa, e.B.PC)
+				addPartner(sb, e.A.PC)
+				addComp(sa, e.Comp)
+				addComp(sb, e.Comp)
+			}
+		}
+	}
+	out := make([]InstrSummary, 0, len(byPC))
+	for _, s := range byPC {
+		sort.Ints(s.HDWith)
+		sort.Slice(s.Components, func(i, j int) bool { return s.Components[i] < s.Components[j] })
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
+}
+
+// AnnotatedListing renders the program with per-instruction leakage
+// annotations: which other instructions each line's values combine with.
+func (r *Report) AnnotatedListing() string {
+	if r.Prog == nil {
+		return r.String()
+	}
+	sums := make(map[int]InstrSummary)
+	for _, s := range r.Summaries() {
+		sums[s.PC] = s
+	}
+	var sb strings.Builder
+	for pc, in := range r.Prog.Instrs {
+		fmt.Fprintf(&sb, "%4d  %-28s", pc, in.String())
+		if s, ok := sums[pc]; ok {
+			if len(s.HDWith) > 0 {
+				fmt.Fprintf(&sb, " combines-with=%v", s.HDWith)
+			}
+			if s.HWEvents > 0 {
+				fmt.Fprintf(&sb, " hw-exposures=%d", s.HWEvents)
+			}
+			var names []string
+			for _, c := range s.Components {
+				names = append(names, c.String())
+			}
+			if len(names) > 0 {
+				fmt.Fprintf(&sb, " via=%s", strings.Join(names, ","))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// Labels is a sorted set of taint labels. The convention for masked
+// secrets is "<name>.<share>", e.g. "key.0" and "key.1" for the two
+// shares of a first-order Boolean masking of "key".
+type Labels []string
+
+// Has reports whether l contains the label.
+func (l Labels) Has(label string) bool {
+	for _, x := range l {
+		if x == label {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set.
+func (l Labels) String() string { return "{" + strings.Join(l, ",") + "}" }
+
+func union(a, b Labels) Labels {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	m := make(map[string]bool, len(a)+len(b))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		m[x] = true
+	}
+	out := make(Labels, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaintSpec declares the initially tainted architectural state.
+type TaintSpec struct {
+	// Regs labels register contents at program start.
+	Regs map[isa.Reg]Labels
+	// Mem labels 32-bit memory words by (word-aligned) address.
+	Mem map[uint32]Labels
+}
+
+// TaintMem labels the n consecutive words starting at addr.
+func (s *TaintSpec) TaintMem(addr uint32, n int, labels Labels) {
+	if s.Mem == nil {
+		s.Mem = make(map[uint32]Labels)
+	}
+	for i := 0; i < n; i++ {
+		s.Mem[(addr&^3)+uint32(4*i)] = labels
+	}
+}
+
+// Taints maps provenance tags to the labels their values carry. Tags are
+// static (PC, role); programs with loops accumulate the union over the
+// dynamic instances, a sound over-approximation.
+type Taints map[pipeline.ValueTag]Labels
+
+// Of returns the labels of a tag.
+func (t Taints) Of(tag pipeline.ValueTag) Labels { return t[tag] }
+
+// ComputeTaint propagates the spec's labels through the program's
+// architectural dataflow (the same in-order execution the pipeline
+// performs, replayed with a shadow interpreter) and returns the taint of
+// every provenance tag the pipeline can drive. init must establish the
+// same initial registers and memory contents as the measured run, so that
+// addresses and branches resolve identically.
+func ComputeTaint(prog *isa.Program, cfg pipeline.Config, init func(*pipeline.Core), spec TaintSpec) (Taints, error) {
+	// Re-run the program to obtain the dynamic instruction stream.
+	c, err := pipeline.New(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if init != nil {
+		init(c)
+	}
+	// Shadow architectural state (values + taints), seeded identically.
+	var regs [isa.NumRegs]uint32
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		regs[r] = c.Reg(r)
+	}
+	shadowMem := c.Mem().Clone()
+	res, err := c.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	regs[isa.LR] = pipeline.HaltTarget
+
+	regTaint := make([]Labels, isa.NumRegs)
+	for r, l := range spec.Regs {
+		regTaint[r] = l
+	}
+	memTaint := make(map[uint32]Labels, len(spec.Mem))
+	for a, l := range spec.Mem {
+		memTaint[a&^3] = l
+	}
+
+	var flags isa.Flags
+	taints := make(Taints)
+	mark := func(pc int, role pipeline.Role, l Labels) {
+		if len(l) == 0 {
+			return
+		}
+		tag := pipeline.ValueTag{PC: pc, Role: role}
+		taints[tag] = union(taints[tag], l)
+	}
+
+	for _, is := range res.Issues {
+		in := prog.Instrs[is.PC]
+		pc := is.PC
+		// Source operand taints, in SrcRegs order.
+		srcs := in.SrcRegs()
+		var srcT Labels
+		for i, r := range srcs {
+			mark(pc, srcRoleAt(i), regTaint[r])
+			srcT = union(srcT, regTaint[r])
+		}
+		if !is.Executed {
+			continue
+		}
+		switch {
+		case in.Op == isa.NOP, in.Op == isa.B:
+			// no dataflow
+		case in.Op == isa.BL:
+			regTaint[isa.LR] = nil
+			regs[isa.LR] = uint32(pc + 1)
+		case in.Op == isa.BX:
+			// control only
+		case in.Op.IsMem():
+			base := regs[in.Mem.Base]
+			off := int32(0)
+			if in.Mem.HasOffReg {
+				off = int32(regs[in.Mem.OffReg])
+			} else if in.Mem.OffImm {
+				off = in.Mem.Imm
+			}
+			addr := base
+			if !in.Mem.PostIndex {
+				addr = uint32(int64(base) + int64(off))
+			}
+			word := addr &^ 3
+			if in.Op.IsLoad() {
+				// A loaded value depends on the stored word and on the
+				// address that selected it: a table lookup propagates the
+				// index's taint (S-box lookups in masked code).
+				addrT := regTaint[in.Mem.Base]
+				if in.Mem.HasOffReg {
+					addrT = union(addrT, regTaint[in.Mem.OffReg])
+				}
+				l := union(memTaint[word], addrT)
+				mark(pc, pipeline.RoleLoadData, l)
+				var val uint32
+				switch in.Op.AccessBytes() {
+				case 4:
+					val = shadowMem.Read32(addr)
+				case 2:
+					val = uint32(shadowMem.Read16(addr))
+				case 1:
+					val = uint32(shadowMem.Read8(addr))
+				}
+				regs[in.Rd] = val
+				regTaint[in.Rd] = l
+			} else {
+				l := regTaint[in.Rd]
+				mark(pc, pipeline.RoleStoreData, l)
+				data := regs[in.Rd]
+				switch in.Op.AccessBytes() {
+				case 4:
+					shadowMem.Write32(addr, data)
+					memTaint[word] = l
+				case 2:
+					shadowMem.Write16(addr, uint16(data))
+					memTaint[word] = union(memTaint[word], l)
+				case 1:
+					shadowMem.Write8(addr, uint8(data))
+					memTaint[word] = union(memTaint[word], l)
+				}
+			}
+			if wb, ok := in.BaseWriteBack(); ok {
+				regs[wb] = uint32(int64(base) + int64(off))
+			}
+		case in.Op.IsMul():
+			v := regs[in.Rn] * regs[in.Rm]
+			if in.Op == isa.MLA {
+				v += regs[in.Ra]
+			}
+			regs[in.Rd] = v
+			regTaint[in.Rd] = srcT
+			mark(pc, pipeline.RoleResult, srcT)
+			if in.SetFlags {
+				flags.N = v&(1<<31) != 0
+				flags.Z = v == 0
+			}
+		default: // data processing
+			a := uint32(0)
+			if in.Op.UsesRn() {
+				a = regs[in.Rn]
+			}
+			var sh isa.ShiftResult
+			if in.Op2.IsImm {
+				sh = isa.ShiftResult{Value: in.Op2.Imm, CarryOut: flags.C}
+			} else {
+				amt := uint32(in.Op2.ShiftAmt)
+				if in.Op2.ShiftByReg {
+					amt = regs[in.Op2.ShiftReg] & 0xFF
+				}
+				sh = isa.EvalShift(in.Op2.Shift, regs[in.Op2.Reg], amt, flags.C)
+				var shiftT Labels
+				shiftT = regTaint[in.Op2.Reg]
+				mark(pc, pipeline.RoleShifted, shiftT)
+			}
+			r := isa.EvalDataProc(in.Op, a, sh.Value, sh.CarryOut, flags)
+			if in.Op.HasDest() {
+				regs[in.Rd] = r.Value
+				regTaint[in.Rd] = srcT
+				mark(pc, pipeline.RoleResult, srcT)
+			}
+			if in.SetFlags || in.Op.IsCompare() {
+				flags = r.Flags
+			}
+		}
+	}
+
+	// Self-check: the shadow interpreter must agree with the pipeline.
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if regs[r] != res.Regs[r] {
+			return nil, fmt.Errorf("core: taint interpreter diverged at %s: %#x vs %#x",
+				r, regs[r], res.Regs[r])
+		}
+	}
+	return taints, nil
+}
+
+func srcRoleAt(i int) pipeline.Role {
+	switch i {
+	case 0:
+		return pipeline.RoleSrc0
+	case 1:
+		return pipeline.RoleSrc1
+	default:
+		return pipeline.RoleSrc2
+	}
+}
+
+// Violation is a leakage event that recombines the shares of a masked
+// secret, or exposes a value depending on both shares at once.
+type Violation struct {
+	Event
+	// LabelsA and LabelsB are the taints of the combined values.
+	LabelsA, LabelsB Labels
+	// Secret is the recombined secret's base name.
+	Secret string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s combines shares of %q: %s x %s", v.Event, v.Secret, v.LabelsA, v.LabelsB)
+}
+
+// FindShareViolations scans the report for events that combine both
+// shares of the named secret: an HD event whose two values carry
+// complementary shares, or any event whose single value already depends
+// on both shares. These are exactly the §4.2 failure modes of masking on
+// this micro-architecture.
+func FindShareViolations(r *Report, taints Taints, secret string) []Violation {
+	s0, s1 := secret+".0", secret+".1"
+	var out []Violation
+	for _, e := range r.Events {
+		ta, tb := taints.Of(e.A), taints.Of(e.B)
+		switch e.Kind {
+		case KindHD:
+			cross := (ta.Has(s0) && tb.Has(s1)) || (ta.Has(s1) && tb.Has(s0))
+			both := (tb.Has(s0) && tb.Has(s1)) || (ta.Has(s0) && ta.Has(s1))
+			if cross || both {
+				out = append(out, Violation{Event: e, LabelsA: ta, LabelsB: tb, Secret: secret})
+			}
+		case KindHW:
+			if tb.Has(s0) && tb.Has(s1) {
+				out = append(out, Violation{Event: e, LabelsA: nil, LabelsB: tb, Secret: secret})
+			}
+		}
+	}
+	return out
+}

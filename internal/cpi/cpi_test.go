@@ -1,0 +1,166 @@
+package cpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func TestMeasurePairMov(t *testing.T) {
+	cpi, err := MeasurePair(pipeline.DefaultConfig(), isa.ClassMov, isa.ClassMov, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi != 0.5 {
+		t.Errorf("hazard-free mov CPI = %v, want 0.5", cpi)
+	}
+	laden, err := MeasurePair(pipeline.DefaultConfig(), isa.ClassMov, isa.ClassMov, true, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laden < 1 {
+		t.Errorf("hazard-laden mov CPI = %v, want >= 1", laden)
+	}
+}
+
+func TestMeasurePairValidatesReps(t *testing.T) {
+	if _, err := MeasurePair(pipeline.DefaultConfig(), isa.ClassMov, isa.ClassMov, false, 0); err == nil {
+		t.Error("zero reps must be rejected")
+	}
+}
+
+func TestMatrixReproducesTable1(t *testing.T) {
+	m, err := MeasureMatrix(pipeline.DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, total := m.Agreement()
+	if match != total {
+		for _, older := range isa.Table1Classes() {
+			for _, younger := range isa.Table1Classes() {
+				got := m.Dual(older, younger)
+				want := PaperTable1(older, younger)
+				if got != want {
+					cell := m.Cells[older][younger]
+					t.Errorf("(%v, %v): measured dual=%v (CPI %.2f), paper says %v",
+						older, younger, got, cell.CPI, want)
+				}
+			}
+		}
+		t.Fatalf("matrix agreement %d/%d", match, total)
+	}
+}
+
+func TestMatrixScalarCoreAllSingle(t *testing.T) {
+	m, err := MeasureMatrix(pipeline.ScalarConfig(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, older := range isa.Table1Classes() {
+		for _, younger := range isa.Table1Classes() {
+			if m.Dual(older, younger) {
+				t.Errorf("scalar core dual-issued (%v, %v)", older, younger)
+			}
+		}
+	}
+}
+
+func TestHazardAlwaysAtLeastOne(t *testing.T) {
+	m, err := MeasureMatrix(pipeline.DefaultConfig(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, older := range isa.Table1Classes() {
+		for _, younger := range isa.Table1Classes() {
+			cell := m.Cells[older][younger]
+			if cell.HazardCPI < cell.CPI-1e-9 {
+				t.Errorf("(%v, %v): hazard CPI %.2f below hazard-free %.2f",
+					older, younger, cell.HazardCPI, cell.CPI)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	m, err := MeasureMatrix(pipeline.DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Table()
+	for _, label := range []string{"mov", "ALU w/ imm", "ld/st", "YES", "no"} {
+		if !strings.Contains(s, label) {
+			t.Errorf("table missing %q:\n%s", label, s)
+		}
+	}
+}
+
+func TestProbesOnDefaultCore(t *testing.T) {
+	p, err := MeasureProbes(pipeline.DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MovPairCPI != 0.5 {
+		t.Errorf("mov pair CPI = %v, want 0.5", p.MovPairCPI)
+	}
+	if p.LoadSeqCPI != 1 || p.StoreSeqCPI != 1 {
+		t.Errorf("ld/st stream CPI = %v/%v, want 1/1 (pipelined LSU)", p.LoadSeqCPI, p.StoreSeqCPI)
+	}
+	if p.MulSeqCPI != 1 {
+		t.Errorf("mul stream CPI = %v, want 1 (pipelined multiplier)", p.MulSeqCPI)
+	}
+	if p.NopSeqCPI != 1 {
+		t.Errorf("nop stream CPI = %v, want 1 (nops never dual-issue)", p.NopSeqCPI)
+	}
+	if p.LoadWithALUImmCPI != 0.5 {
+		t.Errorf("ldr+ALUimm CPI = %v, want 0.5 (AGU in issue stage)", p.LoadWithALUImmCPI)
+	}
+}
+
+func TestInferenceMatchesPaper(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	m, err := MeasureMatrix(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MeasureProbes(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := Infer(m, p)
+	ok, why := inf.MatchesPaper()
+	if !ok {
+		t.Fatalf("inference disagrees with Figure 2: %s\n%s", why, inf)
+	}
+	if inf.NumALUs != 2 || inf.ReadPorts != 3 || inf.WritePorts != 2 {
+		t.Errorf("structure = %+v", inf)
+	}
+}
+
+func TestInferenceOnScalarCore(t *testing.T) {
+	cfg := pipeline.ScalarConfig()
+	m, err := MeasureMatrix(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MeasureProbes(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := Infer(m, p)
+	if inf.DualIssue || inf.FetchWidth != 1 {
+		t.Errorf("scalar core misidentified: %+v", inf)
+	}
+	if ok, _ := inf.MatchesPaper(); ok {
+		t.Error("scalar core must not match the Cortex-A7 structure")
+	}
+}
+
+func TestInferenceString(t *testing.T) {
+	inf := &Inference{DualIssue: true, FetchWidth: 2, NumALUs: 2, ReadPorts: 3, WritePorts: 2}
+	s := inf.String()
+	if !strings.Contains(s, "read ports:       3") && !strings.Contains(s, "RF read ports") {
+		t.Errorf("report missing fields:\n%s", s)
+	}
+}

@@ -1,0 +1,175 @@
+package cpi
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// Probes holds the targeted CPI measurements of §3.2 beyond the pair
+// matrix: sustained sequences exercising one unit at a time.
+type Probes struct {
+	// MovPairCPI is the hazard-free mov stream (0.5 confirms full
+	// dual-issue and a 2-wide fetch).
+	MovPairCPI float64
+	// LoadSeqCPI and StoreSeqCPI are hazard-free ld/st streams (1.0
+	// proves the LSU is fully pipelined).
+	LoadSeqCPI  float64
+	StoreSeqCPI float64
+	// MulSeqCPI is a hazard-free mul stream (1.0 proves a pipelined
+	// multiplier).
+	MulSeqCPI float64
+	// NopSeqCPI is a nop stream (1.0 shows nops are not dual-issued).
+	NopSeqCPI float64
+	// LoadWithALUImmCPI is the ldr+ALU-imm pair (0.5 is consistent with
+	// address generation in the Issue stage, not on an ALU).
+	LoadWithALUImmCPI float64
+}
+
+// MeasureProbes runs the targeted micro-benchmarks.
+func MeasureProbes(cfg pipeline.Config, reps int) (*Probes, error) {
+	p := &Probes{}
+	var err error
+	if p.MovPairCPI, err = MeasurePair(cfg, isa.ClassMov, isa.ClassMov, false, reps); err != nil {
+		return nil, err
+	}
+	if p.LoadSeqCPI, err = MeasurePair(cfg, isa.ClassLoadStore, isa.ClassLoadStore, false, reps); err != nil {
+		return nil, err
+	}
+	// Store stream: build directly (the class representative is a load).
+	storeCPI, err := measureRawPair(cfg, "str r1, [r8]", "str r4, [r10]", reps)
+	if err != nil {
+		return nil, err
+	}
+	p.StoreSeqCPI = storeCPI
+	if p.MulSeqCPI, err = MeasurePair(cfg, isa.ClassMul, isa.ClassMul, false, reps); err != nil {
+		return nil, err
+	}
+	if p.NopSeqCPI, err = measureRawPair(cfg, "nop", "nop", reps); err != nil {
+		return nil, err
+	}
+	if p.LoadWithALUImmCPI, err = MeasurePair(cfg, isa.ClassLoadStore, isa.ClassALUImm, false, reps); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func measureRawPair(cfg pipeline.Config, a, b string, reps int) (float64, error) {
+	prog, start, end, err := buildBench(a, b, reps)
+	if err != nil {
+		return 0, err
+	}
+	core, err := pipeline.New(cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Run(prog)
+	if err != nil {
+		return 0, err
+	}
+	return res.CPIBetween(start, end), nil
+}
+
+// Inference is the pipeline structure deduced from the measurements —
+// the content of the paper's Figure 2.
+type Inference struct {
+	// DualIssue records that some pair sustained CPI 0.5.
+	DualIssue bool
+	// FetchWidth is the implied fetch bandwidth (2 when CPI 0.5 is
+	// sustained, else 1).
+	FetchWidth int
+	// NumALUs is 2 when two arithmetic instructions dual-issue.
+	NumALUs int
+	// ALUsSymmetric is false when the shifter and multiplier exist on
+	// only one ALU (shift+shift and mul+mul never dual-issue while a
+	// shift or mul can pair with a plain ALU-imm instruction).
+	ALUsSymmetric bool
+	// ReadPorts is 3: two ALU ops pair only when one has an immediate.
+	ReadPorts int
+	// WritePorts is 2: sustained dual-issue retires 2 results per cycle.
+	WritePorts int
+	// LSUPipelined and MulPipelined record sustained CPI 1 streams.
+	LSUPipelined bool
+	MulPipelined bool
+	// AGUInIssueStage is consistent with load + ALU-imm dual-issuing.
+	AGUInIssueStage bool
+	// NopsDualIssued records the (counter-intuitive) nop behaviour.
+	NopsDualIssued bool
+}
+
+// Infer deduces the structure from a matrix and probes, reproducing the
+// §3.2 reasoning step by step.
+func Infer(m *Matrix, p *Probes) *Inference {
+	inf := &Inference{FetchWidth: 1, NumALUs: 1, ReadPorts: 2, WritePorts: 1, ALUsSymmetric: true}
+
+	if p.MovPairCPI < dualThreshold {
+		inf.DualIssue = true
+		inf.FetchWidth = 2
+		inf.WritePorts = 2
+	}
+	// Two arithmetic/logic instructions dual-issued (one with an
+	// immediate) imply two ALUs.
+	if m.Dual(isa.ClassALU, isa.ClassALUImm) || m.Dual(isa.ClassALUImm, isa.ClassALU) {
+		inf.NumALUs = 2
+	}
+	// Shifts/muls never pair with each other or with plain ALU ops, yet
+	// pair with ALU-imm: one ALU carries the shifter and multiplier.
+	shiftAsym := !m.Dual(isa.ClassShift, isa.ClassShift) && m.Dual(isa.ClassALUImm, isa.ClassShift)
+	mulAsym := !m.Dual(isa.ClassMul, isa.ClassMul) && !m.Dual(isa.ClassMul, isa.ClassALUImm)
+	if inf.NumALUs == 2 && (shiftAsym || mulAsym) {
+		inf.ALUsSymmetric = false
+	}
+	// Three RF read ports: reg-reg + reg-imm pairs (3 reads) dual-issue,
+	// reg-reg + reg-reg pairs (4 reads) do not.
+	if m.Dual(isa.ClassALU, isa.ClassALUImm) && !m.Dual(isa.ClassALU, isa.ClassALU) {
+		inf.ReadPorts = 3
+	}
+	inf.LSUPipelined = p.LoadSeqCPI <= 1 && p.StoreSeqCPI <= 1
+	inf.MulPipelined = p.MulSeqCPI <= 1
+	inf.AGUInIssueStage = p.LoadWithALUImmCPI < dualThreshold
+	inf.NopsDualIssued = p.NopSeqCPI < dualThreshold
+	return inf
+}
+
+// MatchesPaper reports whether the inference agrees with every Figure 2
+// deduction of the paper, with a description of the first disagreement.
+func (inf *Inference) MatchesPaper() (bool, string) {
+	checks := []struct {
+		ok   bool
+		desc string
+	}{
+		{inf.DualIssue, "dual-issue observed (CPI 0.5)"},
+		{inf.FetchWidth == 2, "fetch unit delivers 2 instructions/cycle"},
+		{inf.NumALUs == 2, "two ALUs present"},
+		{!inf.ALUsSymmetric, "ALUs asymmetric (one shifter+multiplier)"},
+		{inf.ReadPorts == 3, "three RF read ports"},
+		{inf.WritePorts == 2, "two RF write ports"},
+		{inf.LSUPipelined, "LSU fully pipelined"},
+		{inf.MulPipelined, "multiplier fully pipelined"},
+		{inf.AGUInIssueStage, "address generation in the Issue stage"},
+		{!inf.NopsDualIssued, "nops not dual-issued"},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return false, "disagrees: " + c.desc
+		}
+	}
+	return true, ""
+}
+
+// String renders the inference as the Figure 2 prose report.
+func (inf *Inference) String() string {
+	var sb strings.Builder
+	sb.WriteString("Deduced pipeline structure (cf. paper Figure 2):\n")
+	fmt.Fprintf(&sb, "  dual issue:          %v (fetch width %d)\n", inf.DualIssue, inf.FetchWidth)
+	fmt.Fprintf(&sb, "  ALUs:                %d, symmetric: %v\n", inf.NumALUs, inf.ALUsSymmetric)
+	fmt.Fprintf(&sb, "  RF read ports:       %d\n", inf.ReadPorts)
+	fmt.Fprintf(&sb, "  RF write ports:      %d\n", inf.WritePorts)
+	fmt.Fprintf(&sb, "  LSU pipelined:       %v\n", inf.LSUPipelined)
+	fmt.Fprintf(&sb, "  multiplier pipelined:%v\n", inf.MulPipelined)
+	fmt.Fprintf(&sb, "  AGU in issue stage:  %v\n", inf.AGUInIssueStage)
+	fmt.Fprintf(&sb, "  nops dual-issued:    %v\n", inf.NopsDualIssued)
+	return sb.String()
+}

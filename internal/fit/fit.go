@@ -1,0 +1,197 @@
+// Package fit recovers a per-component power model from measured traces
+// by linear regression — the "grey box" instruction/component-level
+// profiling direction the paper points to (McCann et al., its reference
+// [16]). Given runs with known pipeline activity and their measured
+// traces, FitModel estimates the Hamming-distance and Hamming-weight
+// weight of every tracked component, turning the simulator into a
+// profiling framework: characterize once, then predict leakage of
+// arbitrary code with power.Model and core.Analyze.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// featuresPerComp is HD plus HW per component.
+const featuresPerComp = 2
+
+// NumFeatures is the regression design width (without the intercept).
+const NumFeatures = int(pipeline.NumComponents) * featuresPerComp
+
+// CycleFeatures returns the per-cycle regression features of a timeline:
+// for every component, its Hamming-distance transition (0 when not
+// driven) and its Hamming weight when driven (0 otherwise).
+func CycleFeatures(tl pipeline.Timeline) [][]float64 {
+	out := make([][]float64, len(tl))
+	for i := range tl {
+		row := make([]float64, NumFeatures)
+		cur := &tl[i]
+		for c := pipeline.Component(0); c < pipeline.NumComponents; c++ {
+			if !cur.IsDriven(c) {
+				continue
+			}
+			var prev uint32
+			if i > 0 {
+				prev = tl[i-1].Values[c]
+			}
+			row[int(c)*featuresPerComp] = float64(power.HD(prev, cur.Values[c]))
+			row[int(c)*featuresPerComp+1] = float64(power.HW(cur.Values[c]))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// solveRidge solves (X'X + lambda I) w = X'y for w, with an intercept in
+// the last column position handled by the caller. Plain Gaussian
+// elimination with partial pivoting: the system is small (tens of
+// unknowns).
+func solveRidge(xtx [][]float64, xty []float64, lambda float64) ([]float64, error) {
+	n := len(xty)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		copy(a[i], xtx[i])
+		a[i][i] += lambda
+		a[i][n] = xty[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("fit: singular system at column %d (increase ridge)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = a[i][n] / a[i][i]
+	}
+	return w, nil
+}
+
+// Result is a fitted model with its goodness of fit.
+type Result struct {
+	// Model carries the fitted weights (and the source model's sampling
+	// parameters).
+	Model power.Model
+	// Intercept is the fitted static consumption.
+	Intercept float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+	// Rows is the number of (cycle, sample) observations used.
+	Rows int
+}
+
+// FitModel estimates per-component weights from runs and their measured
+// traces. Each trace must come from the corresponding timeline through
+// any acquisition chain that preserves per-cycle linearity (averaging is
+// fine). Only the first sample of each cycle is used (the pulse peak).
+// lambda is the ridge regularizer; collinear components (e.g. an IS/EX
+// bus and the ALU input latch carrying the same values in the same
+// cycle) share their weight mass between them, so interpret such weights
+// jointly.
+func FitModel(tls []pipeline.Timeline, traces []trace.Trace, spc int, lambda float64) (*Result, error) {
+	if len(tls) == 0 || len(tls) != len(traces) {
+		return nil, fmt.Errorf("fit: need matching timelines and traces, got %d/%d", len(tls), len(traces))
+	}
+	if spc < 1 {
+		return nil, fmt.Errorf("fit: samples per cycle must be >= 1, got %d", spc)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("fit: ridge must be >= 0, got %g", lambda)
+	}
+	n := NumFeatures + 1 // + intercept
+	xtx := make([][]float64, n)
+	for i := range xtx {
+		xtx[i] = make([]float64, n)
+	}
+	xty := make([]float64, n)
+	var sy, syy float64
+	rows := 0
+
+	for run, tl := range tls {
+		feats := CycleFeatures(tl)
+		tr := traces[run]
+		for cyc, row := range feats {
+			s := cyc * spc
+			if s >= len(tr) {
+				break
+			}
+			y := tr[s]
+			full := append(append(make([]float64, 0, n), row...), 1) // intercept
+			for i := 0; i < n; i++ {
+				if full[i] == 0 {
+					continue
+				}
+				for j := i; j < n; j++ {
+					xtx[i][j] += full[i] * full[j]
+				}
+				xty[i] += full[i] * y
+			}
+			sy += y
+			syy += y * y
+			rows++
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	w, err := solveRidge(xtx, xty, lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Intercept: w[NumFeatures], Rows: rows}
+	res.Model.SamplesPerCycle = spc
+	res.Model.Baseline = w[NumFeatures]
+	for c := 0; c < int(pipeline.NumComponents); c++ {
+		res.Model.HDWeights[c] = w[c*featuresPerComp]
+		res.Model.HWWeights[c] = w[c*featuresPerComp+1]
+	}
+
+	// R² via the residual sum of squares recomputed in a second pass.
+	var ssRes float64
+	for run, tl := range tls {
+		feats := CycleFeatures(tl)
+		tr := traces[run]
+		for cyc, row := range feats {
+			s := cyc * spc
+			if s >= len(tr) {
+				break
+			}
+			pred := res.Intercept
+			for i, v := range row {
+				pred += w[i] * v
+			}
+			d := tr[s] - pred
+			ssRes += d * d
+		}
+	}
+	mean := sy / float64(rows)
+	ssTot := syy - float64(rows)*mean*mean
+	if ssTot > 0 {
+		res.R2 = 1 - ssRes/ssTot
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// profilingRuns generates random-operand executions of a profiling
+// program exercising the ALU, shifter, memory and write-back paths, and
+// returns the timelines plus traces synthesized under the given model.
+func profilingRuns(t *testing.T, m power.Model, n int, seed int64) ([]pipeline.Timeline, []trace.Trace) {
+	t.Helper()
+	prog := isa.MustAssemble(`
+		add r4, r0, r1
+		eor r5, r2, r3
+		add r6, r0, r2, lsl #4
+		str r4, [r8]
+		ldr r7, [r8]
+		strb r5, [r9]
+		ldrb r10, [r9]
+		nop
+		mov r11, r5
+		nop
+	`)
+	rng := rand.New(rand.NewSource(seed))
+	var tls []pipeline.Timeline
+	var trs []trace.Trace
+	for i := 0; i < n; i++ {
+		c := pipeline.MustNew(pipeline.DefaultConfig(), nil)
+		c.SetRegs(rng.Uint32(), rng.Uint32(), rng.Uint32(), rng.Uint32())
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+		res, err := c.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tls = append(tls, res.Timeline)
+		trs = append(trs, m.SynthesizeAveraged(res.Timeline, rng, 8))
+	}
+	return tls, trs
+}
+
+func TestFitRecoversModelWeights(t *testing.T) {
+	truth := power.DefaultModel()
+	truth.NoiseSigma = 0.5
+	tls, trs := profilingRuns(t, truth, 400, 1)
+	res, err := FitModel(tls, trs, truth.SamplesPerCycle, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.98 {
+		t.Fatalf("R2 = %v, want near 1", res.R2)
+	}
+	if math.Abs(res.Intercept-truth.Baseline) > 0.5 {
+		t.Errorf("intercept %v, want %v", res.Intercept, truth.Baseline)
+	}
+	// Identifiable weights: MDR and align buffer carry unique values.
+	if d := math.Abs(res.Model.HDWeights[pipeline.MDR] - truth.HDWeights[pipeline.MDR]); d > 0.3 {
+		t.Errorf("MDR weight %v, want %v", res.Model.HDWeights[pipeline.MDR], truth.HDWeights[pipeline.MDR])
+	}
+	if d := math.Abs(res.Model.HDWeights[pipeline.AlignBuf] - truth.HDWeights[pipeline.AlignBuf]); d > 0.3 {
+		t.Errorf("align weight %v, want %v", res.Model.HDWeights[pipeline.AlignBuf], truth.HDWeights[pipeline.AlignBuf])
+	}
+	// The IS/EX bus and ALU input latch are collinear (same values, same
+	// cycle): their joint mass must match the sum of the true weights.
+	joint := res.Model.HDWeights[pipeline.ISBus0] + res.Model.HDWeights[pipeline.ALUIn00]
+	want := truth.HDWeights[pipeline.ISBus0] + truth.HDWeights[pipeline.ALUIn00]
+	if math.Abs(joint-want) > 0.4 {
+		t.Errorf("bus+latch joint weight %v, want %v", joint, want)
+	}
+	// The register file must fit to (near) zero: it does not leak.
+	for _, c := range []pipeline.Component{pipeline.RFRead0, pipeline.RFRead1, pipeline.RFRead2} {
+		if math.Abs(res.Model.HDWeights[c]) > 0.25 {
+			t.Errorf("%v fitted weight %v, want about 0", c, res.Model.HDWeights[c])
+		}
+	}
+}
+
+// The fitted model must predict an unseen program's trace: profile once,
+// predict everywhere — the grey-box workflow.
+func TestFittedModelPredictsUnseenCode(t *testing.T) {
+	truth := power.DefaultModel()
+	truth.NoiseSigma = 0.5
+	tls, trs := profilingRuns(t, truth, 300, 2)
+	res, err := FitModel(tls, trs, truth.SamplesPerCycle, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen program.
+	c := pipeline.MustNew(pipeline.DefaultConfig(), nil)
+	c.SetRegs(0xDEADBEEF, 0x12345678, 0x0F0F0F0F)
+	c.SetReg(isa.R8, 0x400)
+	r, err := c.Run(isa.MustAssemble(`
+		eor r4, r0, r1
+		sub r5, r2, r0
+		str r5, [r8]
+		ldrb r6, [r8]
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth
+	want.NoiseSigma = 0
+	ref := want.Synthesize(r.Timeline, nil)
+	fitted := res.Model
+	fitted.NoiseSigma = 0
+	got := fitted.Synthesize(r.Timeline, nil)
+	// Compare the cycle-peak samples.
+	for cyc := 0; cyc < len(r.Timeline); cyc++ {
+		s := cyc * truth.SamplesPerCycle
+		if math.Abs(got[s]-ref[s]) > 1.5 {
+			t.Fatalf("cycle %d: predicted %v, want %v", cyc, got[s], ref[s])
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitModel(nil, nil, 4, 0.1); err == nil {
+		t.Error("empty input must be rejected")
+	}
+	tl := []pipeline.Timeline{{}}
+	tr := []trace.Trace{{}}
+	if _, err := FitModel(tl, tr, 0, 0.1); err == nil {
+		t.Error("bad spc must be rejected")
+	}
+	if _, err := FitModel(tl, tr, 4, -1); err == nil {
+		t.Error("negative ridge must be rejected")
+	}
+}
+
+func TestCycleFeaturesShape(t *testing.T) {
+	c := pipeline.MustNew(pipeline.DefaultConfig(), nil)
+	c.SetRegs(0xFF, 0x0F)
+	res, err := c.Run(isa.MustAssemble("add r2, r0, r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := CycleFeatures(res.Timeline)
+	if len(feats) != len(res.Timeline) {
+		t.Fatalf("feature rows %d, timeline %d", len(feats), len(res.Timeline))
+	}
+	for _, row := range feats {
+		if len(row) != NumFeatures {
+			t.Fatalf("row width %d, want %d", len(row), NumFeatures)
+		}
+	}
+	// The add's IS/EX bus transition must appear as a nonzero HD feature.
+	found := false
+	for _, row := range feats {
+		if row[int(pipeline.ISBus0)*featuresPerComp] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no IS/EX HD feature recorded")
+	}
+}

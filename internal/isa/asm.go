@@ -1,0 +1,504 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses UAL-style assembly text into a Program. It is a
+// two-pass assembler: labels may be referenced before their definition.
+//
+// Supported syntax per line:
+//
+//	label:                    @ label definition (may share a line)
+//	mov r0, r1                @ comment introduced by '@', ';' or '//'
+//	adds r2, r3, #0x10
+//	addeq r2, r3, r4, lsl #2
+//	ldrb r5, [r6, #1]
+//	str r5, [r6, r7]
+//	ldr r5, [r6], #4          @ post-indexed
+//	str r5, [r6, #4]!         @ pre-indexed with write-back
+//	bne loop
+//	nop
+func Assemble(src string) (*Program, error) {
+	a := &assembler{b: NewBuilder()}
+	for ln, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return a.b.Build()
+}
+
+// MustAssemble is Assemble that panics on error, for tests and embedded
+// fixed programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b *Builder
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{"@", ";", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) line(raw string) error {
+	s := stripComment(raw)
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,[]#") {
+			return fmt.Errorf("malformed label %q", label)
+		}
+		a.b.Label(label)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	return a.instr(s)
+}
+
+// mnemonicTable lists base mnemonics longest-first so that greedy matching
+// prefers "ldrb" over "ldr" and "mla" over nothing.
+var mnemonicTable = func() []string {
+	ms := make([]string, 0, int(numOps))
+	for o := Op(0); o < numOps; o++ {
+		ms = append(ms, o.String())
+	}
+	sort.Slice(ms, func(i, j int) bool { return len(ms[i]) > len(ms[j]) })
+	return ms
+}()
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for o := Op(0); o < numOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+var condByName = func() map[string]Cond {
+	m := make(map[string]Cond, numConds)
+	for c := Cond(0); c < numConds; c++ {
+		if n := condNames[c]; n != "" {
+			m[n] = c
+		}
+	}
+	m["al"] = AL
+	return m
+}()
+
+// splitMnemonic decomposes a full mnemonic like "addseq" or "ldrbne" into
+// base op, condition and S flag. It tries longer base mnemonics first and
+// rejects decompositions whose suffix is not a valid (cond, s) combination.
+func splitMnemonic(mn string) (Op, Cond, bool, error) {
+	mn = strings.ToLower(mn)
+	for _, base := range mnemonicTable {
+		if !strings.HasPrefix(mn, base) {
+			continue
+		}
+		rest := mn[len(base):]
+		op := opByName[base]
+		cond := AL
+		setFlags := false
+		ok := true
+		switch {
+		case rest == "":
+		case rest == "s":
+			setFlags = true
+		default:
+			if c, found := condByName[rest]; found {
+				cond = c
+			} else if strings.HasSuffix(rest, "s") {
+				if c, found := condByName[rest[:len(rest)-1]]; found {
+					cond, setFlags = c, true
+				} else {
+					ok = false
+				}
+			} else if strings.HasPrefix(rest, "s") {
+				if c, found := condByName[rest[1:]]; found {
+					cond, setFlags = c, true
+				} else {
+					ok = false
+				}
+			} else {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		if setFlags && (op.IsMem() || op.IsBranch() || op == NOP) {
+			continue // e.g. "bls" must parse as b+ls, not bl+s
+		}
+		return op, cond, setFlags, nil
+	}
+	return 0, AL, false, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	case "pc":
+		return PC, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("invalid register %q", s)
+}
+
+func parseImm(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("immediate must start with '#': %q", s)
+	}
+	v, err := strconv.ParseInt(strings.TrimPrefix(s, "#"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid immediate %q: %v", s, err)
+	}
+	return uint32(v), nil
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func parseShiftKind(s string) (ShiftKind, bool) {
+	switch strings.ToLower(s) {
+	case "lsl":
+		return ShiftLSL, true
+	case "lsr":
+		return ShiftLSR, true
+	case "asr":
+		return ShiftASR, true
+	case "ror":
+		return ShiftROR, true
+	case "rrx":
+		return ShiftRRX, true
+	}
+	return ShiftNone, false
+}
+
+// parseOp2 parses a flexible operand possibly spanning several
+// comma-separated fields: "#imm" | "rm" | "rm", "lsl #n" | "rm", "lsl rs".
+// It consumes fields from ops and returns the remainder.
+func parseOp2(ops []string) (Operand2, []string, error) {
+	if len(ops) == 0 {
+		return Operand2{}, nil, fmt.Errorf("missing operand")
+	}
+	if strings.HasPrefix(ops[0], "#") {
+		v, err := parseImm(ops[0])
+		if err != nil {
+			return Operand2{}, nil, err
+		}
+		return Imm(v), ops[1:], nil
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return Operand2{}, nil, err
+	}
+	rest := ops[1:]
+	if len(rest) > 0 {
+		fields := strings.Fields(rest[0])
+		if len(fields) >= 1 {
+			if k, ok := parseShiftKind(fields[0]); ok {
+				if k == ShiftRRX {
+					return Operand2{Reg: r, Shift: ShiftRRX}, rest[1:], nil
+				}
+				if len(fields) != 2 {
+					return Operand2{}, nil, fmt.Errorf("malformed shift %q", rest[0])
+				}
+				if strings.HasPrefix(fields[1], "#") {
+					amt, err := parseImm(fields[1])
+					if err != nil {
+						return Operand2{}, nil, err
+					}
+					if amt > 32 {
+						return Operand2{}, nil, fmt.Errorf("shift amount %d out of range", amt)
+					}
+					return ShiftedReg(r, k, uint8(amt)), rest[1:], nil
+				}
+				rs, err := parseReg(fields[1])
+				if err != nil {
+					return Operand2{}, nil, err
+				}
+				return RegShiftedReg(r, k, rs), rest[1:], nil
+			}
+		}
+	}
+	return RegOp(r), rest, nil
+}
+
+func parseMem(s string) (MemOperand, error) {
+	s = strings.TrimSpace(s)
+	post := false
+	wb := false
+	var postOff string
+	if strings.HasSuffix(s, "!") {
+		wb = true
+		s = strings.TrimSpace(strings.TrimSuffix(s, "!"))
+	}
+	if !strings.HasPrefix(s, "[") {
+		return MemOperand{}, fmt.Errorf("malformed memory operand %q", s)
+	}
+	end := strings.Index(s, "]")
+	if end < 0 {
+		return MemOperand{}, fmt.Errorf("unterminated memory operand %q", s)
+	}
+	inner := s[1:end]
+	if rest := strings.TrimSpace(s[end+1:]); rest != "" {
+		if wb {
+			return MemOperand{}, fmt.Errorf("post-index cannot combine with '!': %q", s)
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return MemOperand{}, fmt.Errorf("malformed post-index %q", s)
+		}
+		post = true
+		postOff = strings.TrimSpace(rest[1:])
+	}
+	parts := splitOperands(inner)
+	if len(parts) == 0 || len(parts) > 2 {
+		return MemOperand{}, fmt.Errorf("malformed memory operand %q", s)
+	}
+	base, err := parseReg(parts[0])
+	if err != nil {
+		return MemOperand{}, err
+	}
+	m := MemOperand{Base: base, OffImm: true, WriteBack: wb, PostIndex: post}
+	off := ""
+	if len(parts) == 2 {
+		off = parts[1]
+	}
+	if post {
+		if off != "" {
+			return MemOperand{}, fmt.Errorf("post-index with pre-offset %q", s)
+		}
+		off = postOff
+	}
+	if off != "" {
+		if strings.HasPrefix(off, "#") {
+			v, err := parseImm(off)
+			if err != nil {
+				return MemOperand{}, err
+			}
+			m.Imm = int32(v)
+		} else {
+			r, err := parseReg(off)
+			if err != nil {
+				return MemOperand{}, err
+			}
+			m.OffReg = r
+			m.HasOffReg = true
+			m.OffImm = false
+		}
+	}
+	if wb && !m.HasOffset() {
+		return MemOperand{}, fmt.Errorf("write-back without offset %q", s)
+	}
+	return m, nil
+}
+
+func (a *assembler) instr(s string) error {
+	mn := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, cond, setFlags, err := splitMnemonic(mn)
+	if err != nil {
+		return err
+	}
+	if op == NOP {
+		if rest != "" {
+			return fmt.Errorf("nop takes no operands")
+		}
+		a.b.Emit(Nop())
+		return nil
+	}
+	ops := splitOperands(rest)
+	in := Instr{Op: op, Cond: cond, SetFlags: setFlags}
+	switch {
+	case op.IsMul():
+		want := 3
+		if op == MLA {
+			want = 4
+		}
+		if len(ops) != want {
+			return fmt.Errorf("%s requires %d operands, got %d", op, want, len(ops))
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rn, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		if in.Rm, err = parseReg(ops[2]); err != nil {
+			return err
+		}
+		if op == MLA {
+			if in.Ra, err = parseReg(ops[3]); err != nil {
+				return err
+			}
+		}
+	case op.IsMem():
+		if len(ops) < 2 {
+			return fmt.Errorf("%s requires a register and a memory operand", op)
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Mem, err = parseMem(strings.Join(ops[1:], ", ")); err != nil {
+			return err
+		}
+	case op == BX:
+		if len(ops) != 1 {
+			return fmt.Errorf("bx requires one register")
+		}
+		if in.Rm, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+	case op.IsBranch():
+		if len(ops) != 1 {
+			return fmt.Errorf("%s requires one target", op)
+		}
+		in.Label = ops[0]
+		in.Target = -1
+	case op.IsShift() && op != RRX:
+		// lsl rd, rm, #n  |  lsl rd, rm, rs
+		if len(ops) != 3 {
+			return fmt.Errorf("%s requires 3 operands", op)
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		rm, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		kind := map[Op]ShiftKind{LSL: ShiftLSL, LSR: ShiftLSR, ASR: ShiftASR, ROR: ShiftROR}[op]
+		if strings.HasPrefix(ops[2], "#") {
+			amt, err := parseImm(ops[2])
+			if err != nil {
+				return err
+			}
+			if amt > 32 {
+				return fmt.Errorf("shift amount %d out of range", amt)
+			}
+			in.Op2 = ShiftedReg(rm, kind, uint8(amt))
+		} else {
+			rs, err := parseReg(ops[2])
+			if err != nil {
+				return err
+			}
+			in.Op2 = RegShiftedReg(rm, kind, rs)
+		}
+	case op == RRX:
+		if len(ops) != 2 {
+			return fmt.Errorf("rrx requires 2 operands")
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		rm, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Op2 = Operand2{Reg: rm, Shift: ShiftRRX}
+	case op.IsCompare():
+		if len(ops) < 2 {
+			return fmt.Errorf("%s requires 2 operands", op)
+		}
+		if in.Rn, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		op2, leftover, err := parseOp2(ops[1:])
+		if err != nil {
+			return err
+		}
+		if len(leftover) != 0 {
+			return fmt.Errorf("trailing operands %v", leftover)
+		}
+		in.Op2 = op2
+		in.SetFlags = true
+	case op == MOV || op == MVN:
+		if len(ops) < 2 {
+			return fmt.Errorf("%s requires 2 operands", op)
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		op2, leftover, err := parseOp2(ops[1:])
+		if err != nil {
+			return err
+		}
+		if len(leftover) != 0 {
+			return fmt.Errorf("trailing operands %v", leftover)
+		}
+		in.Op2 = op2
+	default: // three-operand data processing
+		if len(ops) < 3 {
+			return fmt.Errorf("%s requires 3 operands", op)
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rn, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		op2, leftover, err := parseOp2(ops[2:])
+		if err != nil {
+			return err
+		}
+		if len(leftover) != 0 {
+			return fmt.Errorf("trailing operands %v", leftover)
+		}
+		in.Op2 = op2
+	}
+	a.b.Emit(in)
+	return nil
+}

@@ -1,0 +1,97 @@
+package isa
+
+import "fmt"
+
+// Class is the instruction taxonomy of the paper's Table 1. The dual-issue
+// policy of the Cortex-A7 model is expressed over these classes.
+type Class uint8
+
+// Instruction classes, in the row/column order of Table 1.
+const (
+	// ClassMov: register or immediate moves without a shifted operand.
+	ClassMov Class = iota
+	// ClassALU: arithmetic/logic with a plain register Op2 (two register
+	// reads besides the destination; excludes mul).
+	ClassALU
+	// ClassALUImm: arithmetic/logic with an immediate Op2 (one register
+	// read).
+	ClassALUImm
+	// ClassMul: multiplies (mul/mla), which occupy the shifter-equipped
+	// ALU pipe's multiplier.
+	ClassMul
+	// ClassShift: explicit shifts and any instruction with a shifted
+	// flexible operand; occupies the single barrel shifter.
+	ClassShift
+	// ClassBranch: control flow.
+	ClassBranch
+	// ClassLoadStore: memory accesses through the LSU.
+	ClassLoadStore
+	// ClassNop: the condition-never nop; per §3.2 it is never dual-issued.
+	ClassNop
+	// ClassOther: anything outside the Table 1 taxonomy (FPU/NEON in the
+	// real core); never dual-issued by the model.
+	ClassOther
+
+	// NumClasses counts the Table 1 classes (excluding nop/other).
+	NumClasses = 7
+)
+
+var classNames = map[Class]string{
+	ClassMov:       "mov",
+	ClassALU:       "ALU",
+	ClassALUImm:    "ALU w/ imm",
+	ClassMul:       "mul",
+	ClassShift:     "shifts",
+	ClassBranch:    "branch",
+	ClassLoadStore: "ld/st",
+	ClassNop:       "nop",
+	ClassOther:     "other",
+}
+
+// String returns the Table 1 label of the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Table1Classes lists the seven classes of the paper's Table 1 in its
+// row/column order.
+func Table1Classes() []Class {
+	return []Class{ClassMov, ClassALU, ClassALUImm, ClassMul, ClassShift, ClassBranch, ClassLoadStore}
+}
+
+// Classify maps an instruction onto its Table 1 class.
+//
+// The boundaries follow §3.2 of the paper: "ALU indicates the set of
+// arithmetic/logic operations save for the mul"; moves (register or
+// immediate) are their own class; a shifted flexible operand drags any
+// data-processing instruction into the shift class because it occupies
+// the single barrel shifter.
+func Classify(in Instr) Class {
+	switch {
+	case in.Op == NOP:
+		return ClassNop
+	case in.Op.IsBranch():
+		return ClassBranch
+	case in.Op.IsMem():
+		return ClassLoadStore
+	case in.Op.IsMul():
+		return ClassMul
+	case in.Op.IsShift():
+		return ClassShift
+	case in.Op.IsDataProc():
+		if in.Op2.UsesShifter() {
+			return ClassShift
+		}
+		if in.Op == MOV || in.Op == MVN {
+			return ClassMov
+		}
+		if in.Op2.IsImm {
+			return ClassALUImm
+		}
+		return ClassALU
+	}
+	return ClassOther
+}

@@ -1,0 +1,151 @@
+package isa
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want Class
+	}{
+		{Instr{Op: MOV, Cond: AL, Rd: R0, Op2: RegOp(R1)}, ClassMov},
+		{Instr{Op: MOV, Cond: AL, Rd: R0, Op2: Imm(7)}, ClassMov},
+		{Instr{Op: MVN, Cond: AL, Rd: R0, Op2: RegOp(R1)}, ClassMov},
+		{Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: RegOp(R2)}, ClassALU},
+		{Instr{Op: EOR, Cond: AL, Rd: R0, Rn: R1, Op2: RegOp(R2)}, ClassALU},
+		{Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: Imm(4)}, ClassALUImm},
+		{Instr{Op: CMP, Cond: AL, Rn: R1, Op2: Imm(0), SetFlags: true}, ClassALUImm},
+		{Instr{Op: MUL, Cond: AL, Rd: R0, Rn: R1, Rm: R2}, ClassMul},
+		{Instr{Op: MLA, Cond: AL, Rd: R0, Rn: R1, Rm: R2, Ra: R3}, ClassMul},
+		{Instr{Op: LSL, Cond: AL, Rd: R0, Op2: ShiftedReg(R1, ShiftLSL, 3)}, ClassShift},
+		{Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: ShiftedReg(R2, ShiftLSL, 3)}, ClassShift},
+		{Instr{Op: B, Cond: AL, Target: 0}, ClassBranch},
+		{Instr{Op: BL, Cond: AL, Target: 0}, ClassBranch},
+		{Instr{Op: BX, Cond: AL, Rm: LR}, ClassBranch},
+		{Instr{Op: LDR, Cond: AL, Rd: R0, Mem: MemImm(R1, 0)}, ClassLoadStore},
+		{Instr{Op: LDRB, Cond: AL, Rd: R0, Mem: MemImm(R1, 0)}, ClassLoadStore},
+		{Instr{Op: STR, Cond: AL, Rd: R0, Mem: MemImm(R1, 0)}, ClassLoadStore},
+		{Nop(), ClassNop},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTable1Classes(t *testing.T) {
+	cs := Table1Classes()
+	if len(cs) != NumClasses {
+		t.Fatalf("Table1Classes returned %d classes, want %d", len(cs), NumClasses)
+	}
+	want := []Class{ClassMov, ClassALU, ClassALUImm, ClassMul, ClassShift, ClassBranch, ClassLoadStore}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("class %d = %v, want %v", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	// The paper's Table 1 labels.
+	want := map[Class]string{
+		ClassMov:       "mov",
+		ClassALU:       "ALU",
+		ClassALUImm:    "ALU w/ imm",
+		ClassMul:       "mul",
+		ClassShift:     "shifts",
+		ClassBranch:    "branch",
+		ClassLoadStore: "ld/st",
+	}
+	for c, name := range want {
+		if got := c.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", c, got, name)
+		}
+	}
+}
+
+func TestSrcRegsOperandPositions(t *testing.T) {
+	// Operand position order matters for the IS/EX bus leakage model.
+	add := Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: RegOp(R2)}
+	got := add.SrcRegs()
+	if len(got) != 2 || got[0] != R1 || got[1] != R2 {
+		t.Errorf("add src regs = %v, want [r1 r2]", got)
+	}
+	str := Instr{Op: STR, Cond: AL, Rd: R3, Mem: MemReg(R4, R5)}
+	got = str.SrcRegs()
+	if len(got) != 3 || got[0] != R3 || got[1] != R4 || got[2] != R5 {
+		t.Errorf("str src regs = %v, want [r3 r4 r5]", got)
+	}
+	ldr := Instr{Op: LDR, Cond: AL, Rd: R3, Mem: MemImm(R4, 8)}
+	got = ldr.SrcRegs()
+	if len(got) != 1 || got[0] != R4 {
+		t.Errorf("ldr src regs = %v, want [r4]", got)
+	}
+	if n := Nop(); len(n.SrcRegs()) != 0 {
+		t.Error("nop must have no source registers")
+	}
+}
+
+func TestDstReg(t *testing.T) {
+	if _, ok := Nop().DstReg(); ok {
+		t.Error("nop must have no destination")
+	}
+	if _, ok := (Instr{Op: STR, Cond: AL, Rd: R1, Mem: MemImm(R2, 0)}).DstReg(); ok {
+		t.Error("str must have no destination")
+	}
+	if d, ok := (Instr{Op: LDR, Cond: AL, Rd: R1, Mem: MemImm(R2, 0)}).DstReg(); !ok || d != R1 {
+		t.Errorf("ldr dst = (%v,%v), want (r1,true)", d, ok)
+	}
+	if d, ok := (Instr{Op: BL, Cond: AL, Target: 0}).DstReg(); !ok || d != LR {
+		t.Errorf("bl dst = (%v,%v), want (lr,true)", d, ok)
+	}
+	if _, ok := (Instr{Op: CMP, Cond: AL, Rn: R1, Op2: Imm(0), SetFlags: true}).DstReg(); ok {
+		t.Error("cmp must have no destination")
+	}
+}
+
+func TestBaseWriteBack(t *testing.T) {
+	post := Instr{Op: LDR, Cond: AL, Rd: R1, Mem: MemOperand{Base: R2, OffImm: true, Imm: 4, PostIndex: true}}
+	if r, ok := post.BaseWriteBack(); !ok || r != R2 {
+		t.Errorf("post-index write-back = (%v,%v), want (r2,true)", r, ok)
+	}
+	plain := Instr{Op: LDR, Cond: AL, Rd: R1, Mem: MemImm(R2, 4)}
+	if _, ok := plain.BaseWriteBack(); ok {
+		t.Error("plain load must not write back its base")
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	good := Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: RegOp(R2)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	bad := Instr{Op: NOP, Cond: AL}
+	if err := bad.Validate(); err == nil {
+		t.Error("nop with AL condition must be rejected")
+	}
+	badMem := Instr{Op: LDR, Cond: AL, Rd: R0,
+		Mem: MemOperand{Base: R1, OffImm: true, Imm: 4, PostIndex: true, WriteBack: true}}
+	if err := badMem.Validate(); err == nil {
+		t.Error("post-index plus write-back must be rejected")
+	}
+	badBranch := Instr{Op: B, Cond: AL, Target: -1}
+	if err := badBranch.Validate(); err == nil {
+		t.Error("unresolved branch must be rejected")
+	}
+}
+
+func TestUsesShifterInstr(t *testing.T) {
+	if !(Instr{Op: LSL, Cond: AL, Rd: R0, Op2: ShiftedReg(R1, ShiftLSL, 1)}).UsesShifter() {
+		t.Error("lsl must use the shifter")
+	}
+	if !(Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: ShiftedReg(R2, ShiftLSL, 1)}).UsesShifter() {
+		t.Error("shifted-operand add must use the shifter")
+	}
+	if (Instr{Op: ADD, Cond: AL, Rd: R0, Rn: R1, Op2: RegOp(R2)}).UsesShifter() {
+		t.Error("plain add must not use the shifter")
+	}
+	if Nop().UsesShifter() {
+		t.Error("nop must not use the shifter")
+	}
+}

@@ -1,0 +1,188 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary encoding packs one instruction into three little-endian
+// 32-bit words. It is the simulator's serialization format (used by the
+// trace tooling and for program round-trips), not the architectural ARM
+// encoding: the modelled subset carries full 32-bit immediates and
+// resolved branch indices, which do not fit ARM's modified-immediate and
+// PC-relative fields.
+//
+// Word 0 layout (LSB first):
+//
+//	[0:8)   op
+//	[8:12)  cond
+//	[12]    set-flags
+//	[13:17) rd
+//	[17:21) rn
+//	[21:25) rm
+//	[25:29) ra
+//	[29]    op2 is immediate
+//	[30]    op2 shift-by-register
+//	[31]    memory offset is a register
+//
+// Word 1 holds the data-processing immediate when bit 29 of word 0 is
+// set; otherwise it packs the register-form flexible operand and the
+// memory addressing mode:
+//
+//	[0:4)   op2 register
+//	[4:7)   op2 shift kind
+//	[7:13)  op2 shift amount
+//	[13:17) op2 shift register
+//	[17:21) memory base register
+//	[21:25) memory offset register
+//	[25]    post-index
+//	[26]    write-back
+//	[27]    memory offset is immediate
+//
+// Word 2 holds the signed memory immediate offset or the branch target
+// instruction index. Labels are not serialized; decode yields resolved
+// targets only.
+
+// InstrWords is the number of 32-bit words per encoded instruction.
+const InstrWords = 3
+
+// EncodedInstr is the three-word binary form of an instruction.
+type EncodedInstr [InstrWords]uint32
+
+// Encode packs the instruction. Branch labels must already be resolved
+// (Target >= 0) except for BX, which has no target.
+func Encode(in Instr) (EncodedInstr, error) {
+	if err := in.Validate(); err != nil {
+		return EncodedInstr{}, err
+	}
+	if in.Op.IsBranch() && in.Op != BX && in.Target < 0 {
+		return EncodedInstr{}, fmt.Errorf("isa: encode: unresolved branch target (label %q)", in.Label)
+	}
+	var w EncodedInstr
+	w[0] = uint32(in.Op) |
+		uint32(in.Cond)<<8 |
+		b2u(in.SetFlags)<<12 |
+		uint32(in.Rd)<<13 |
+		uint32(in.Rn)<<17 |
+		uint32(in.Rm)<<21 |
+		uint32(in.Ra)<<25 |
+		b2u(in.Op2.IsImm)<<29 |
+		b2u(in.Op2.ShiftByReg)<<30 |
+		b2u(in.Mem.HasOffReg)<<31
+	if in.Op2.IsImm {
+		w[1] = in.Op2.Imm
+	} else {
+		w[1] = uint32(in.Op2.Reg) |
+			uint32(in.Op2.Shift)<<4 |
+			uint32(in.Op2.ShiftAmt)<<7 |
+			uint32(in.Op2.ShiftReg)<<13 |
+			uint32(in.Mem.Base)<<17 |
+			uint32(in.Mem.OffReg)<<21 |
+			b2u(in.Mem.PostIndex)<<25 |
+			b2u(in.Mem.WriteBack)<<26 |
+			b2u(in.Mem.OffImm)<<27
+	}
+	switch {
+	case in.Op.IsMem():
+		w[2] = uint32(in.Mem.Imm)
+	case in.Op.IsBranch() && in.Op != BX:
+		w[2] = uint32(int32(in.Target))
+	}
+	return w, nil
+}
+
+// Decode unpacks a three-word encoding.
+func Decode(w EncodedInstr) (Instr, error) {
+	in := Instr{
+		Op:       Op(w[0] & 0xFF),
+		Cond:     Cond(w[0] >> 8 & 0xF),
+		SetFlags: w[0]>>12&1 != 0,
+		Rd:       Reg(w[0] >> 13 & 0xF),
+		Rn:       Reg(w[0] >> 17 & 0xF),
+		Rm:       Reg(w[0] >> 21 & 0xF),
+		Ra:       Reg(w[0] >> 25 & 0xF),
+	}
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: decode: invalid op %d", w[0]&0xFF)
+	}
+	if w[0]>>29&1 != 0 {
+		in.Op2 = Imm(w[1])
+	} else {
+		in.Op2 = Operand2{
+			Reg:        Reg(w[1] & 0xF),
+			Shift:      ShiftKind(w[1] >> 4 & 0x7),
+			ShiftAmt:   uint8(w[1] >> 7 & 0x3F),
+			ShiftReg:   Reg(w[1] >> 13 & 0xF),
+			ShiftByReg: w[0]>>30&1 != 0,
+		}
+		in.Mem = MemOperand{
+			Base:      Reg(w[1] >> 17 & 0xF),
+			OffReg:    Reg(w[1] >> 21 & 0xF),
+			HasOffReg: w[0]>>31&1 != 0,
+			PostIndex: w[1]>>25&1 != 0,
+			WriteBack: w[1]>>26&1 != 0,
+			OffImm:    w[1]>>27&1 != 0,
+		}
+	}
+	switch {
+	case in.Op.IsMem():
+		in.Mem.Imm = int32(w[2])
+	case in.Op.IsBranch() && in.Op != BX:
+		in.Target = int(int32(w[2]))
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, fmt.Errorf("isa: decode: %w", err)
+	}
+	return in, nil
+}
+
+// WriteProgram serializes a program (instruction stream only; symbols are
+// not preserved) as a length-prefixed little-endian word stream.
+func WriteProgram(w io.Writer, p *Program) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Instrs))); err != nil {
+		return err
+	}
+	for i, in := range p.Instrs {
+		enc, err := Encode(in)
+		if err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, enc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadProgram deserializes a program written by WriteProgram.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxInstrs = 1 << 24
+	if n > maxInstrs {
+		return nil, fmt.Errorf("isa: unreasonable program length %d", n)
+	}
+	p := &Program{Instrs: make([]Instr, 0, n), Symbols: map[string]int{}}
+	for i := uint32(0); i < n; i++ {
+		var enc EncodedInstr
+		if err := binary.Read(r, binary.LittleEndian, enc[:]); err != nil {
+			return nil, err
+		}
+		in, err := Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	return p, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

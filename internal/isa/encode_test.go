@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeFixed(t *testing.T) {
+	prog := MustAssemble(`
+	top:
+		mov r0, #0xDEADBEEF
+		add r1, r2, r3
+		sub r4, r5, r6, lsl #7
+		mul r7, r8, r9
+		mla r7, r8, r9, r10
+		ldr r0, [r1, #-12]
+		strb r2, [r3, r4]
+		ldr r5, [r6], #4
+		str r7, [r8, #8]!
+		beq top
+		bx lr
+		nop
+	`)
+	for i, in := range prog.Instrs {
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %d (%s): %v", i, in, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %d (%s): %v", i, in, err)
+		}
+		in.Label = "" // labels are not serialized
+		if dec.String() != in.String() {
+			t.Errorf("instr %d round trip: %q -> %q", i, in, dec)
+		}
+	}
+}
+
+func TestEncodeRejectsUnresolvedBranch(t *testing.T) {
+	if _, err := Encode(Instr{Op: B, Cond: AL, Label: "x", Target: -1}); err == nil {
+		t.Error("encoding an unresolved branch must fail")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(EncodedInstr{0xFF, 0, 0}); err == nil {
+		t.Error("decoding an invalid op must fail")
+	}
+}
+
+// randomInstr draws a random valid instruction covering every operand
+// shape; it is the generator for the round-trip property test.
+func randomInstr(r *rand.Rand) Instr {
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	shapes := []func() Instr{
+		func() Instr { return Instr{Op: MOV, Cond: AL, Rd: reg(), Op2: Imm(r.Uint32())} },
+		func() Instr { return Instr{Op: MVN, Cond: Cond(r.Intn(15)), Rd: reg(), Op2: RegOp(reg())} },
+		func() Instr {
+			op := []Op{ADD, ADC, SUB, SBC, RSB, AND, ORR, EOR, BIC}[r.Intn(9)]
+			return Instr{Op: op, Cond: AL, SetFlags: r.Intn(2) == 0, Rd: reg(), Rn: reg(), Op2: RegOp(reg())}
+		},
+		func() Instr {
+			k := []ShiftKind{ShiftLSL, ShiftLSR, ShiftASR, ShiftROR}[r.Intn(4)]
+			return Instr{Op: ADD, Cond: AL, Rd: reg(), Rn: reg(), Op2: ShiftedReg(reg(), k, uint8(r.Intn(32)))}
+		},
+		func() Instr {
+			return Instr{Op: EOR, Cond: AL, Rd: reg(), Rn: reg(), Op2: RegShiftedReg(reg(), ShiftROR, reg())}
+		},
+		func() Instr { return Instr{Op: CMP, Cond: AL, Rn: reg(), Op2: Imm(r.Uint32()), SetFlags: true} },
+		func() Instr { return Instr{Op: MUL, Cond: AL, Rd: reg(), Rn: reg(), Rm: reg()} },
+		func() Instr { return Instr{Op: MLA, Cond: AL, Rd: reg(), Rn: reg(), Rm: reg(), Ra: reg()} },
+		func() Instr {
+			op := []Op{LDR, LDRB, LDRH, STR, STRB, STRH}[r.Intn(6)]
+			return Instr{Op: op, Cond: AL, Rd: reg(), Mem: MemImm(reg(), int32(r.Intn(4096)-2048))}
+		},
+		func() Instr {
+			op := []Op{LDR, LDRB, STR, STRB}[r.Intn(4)]
+			return Instr{Op: op, Cond: AL, Rd: reg(), Mem: MemReg(reg(), reg())}
+		},
+		func() Instr { return Instr{Op: B, Cond: Cond(r.Intn(15)), Target: r.Intn(1 << 20)} },
+		func() Instr { return Instr{Op: BL, Cond: AL, Target: r.Intn(1 << 20)} },
+		func() Instr { return Instr{Op: BX, Cond: AL, Rm: reg()} },
+		func() Instr { return Nop() },
+	}
+	return shapes[r.Intn(len(shapes))]()
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstr(r)
+		enc, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %s: %v", in, err)
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode %s: %v", in, err)
+			return false
+		}
+		return dec.String() == in.String() && Classify(dec) == Classify(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadProgram(t *testing.T) {
+	p := MustAssemble(`
+	loop:
+		add r0, r0, #1
+		cmp r0, #200
+		bne loop
+		bx lr
+	`)
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("length = %d, want %d", q.Len(), p.Len())
+	}
+	for i := range p.Instrs {
+		a := p.Instrs[i]
+		a.Label = ""
+		if q.Instrs[i].String() != a.String() {
+			t.Errorf("instr %d: %q vs %q", i, q.Instrs[i], a)
+		}
+	}
+}
+
+func TestReadProgramTruncated(t *testing.T) {
+	p := MustAssemble("mov r0, r1\nmov r2, r3")
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadProgram(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream must fail to decode")
+	}
+}

@@ -1,0 +1,249 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one instruction of the modelled subset in structural form.
+// Fields are interpreted according to Op:
+//
+//   - data processing: Rd, Rn (when UsesRn), Op2, SetFlags
+//   - MUL: Rd := Rn * Rm; MLA: Rd := Rn * Rm + Ra
+//   - shifts (UAL aliases): Rd, Op2 carries the shifted register
+//   - memory: Rd is the transfer register, Mem the addressing mode
+//   - branches: Target is the resolved instruction index, Label the
+//     source-level name; BX reads Rm
+//
+// The zero value is "mov r0, r0" with condition EQ; construct instructions
+// through the Builder, the Assembler, or the helper constructors.
+type Instr struct {
+	Op       Op
+	Cond     Cond
+	SetFlags bool
+
+	Rd Reg // destination / transfer register
+	Rn Reg // first source operand
+	Rm Reg // multiply second operand; BX target
+	Ra Reg // MLA accumulator
+
+	Op2 Operand2   // data-processing flexible operand
+	Mem MemOperand // memory addressing mode
+
+	Target int    // branch destination as an instruction index
+	Label  string // branch destination label (pre-resolution)
+}
+
+// Nop returns the canonical nop: per the paper, a condition-never
+// data-processing instruction with zero-valued operands. It flows through
+// the pipeline and drives zeros on the operand and write-back buses.
+func Nop() Instr {
+	return Instr{Op: NOP, Cond: NV, Op2: Imm(0)}
+}
+
+// SrcRegs returns the architectural registers the instruction reads, in
+// operand-position order. Position matters to the leakage model: the
+// paper's §4.1 shows that only same-position operands of successively
+// issued instructions share an IS/EX bus.
+func (in Instr) SrcRegs() []Reg {
+	var rs []Reg
+	switch {
+	case in.Op == NOP:
+		return nil
+	case in.Op.IsMul():
+		rs = append(rs, in.Rn, in.Rm)
+		if in.Op == MLA {
+			rs = append(rs, in.Ra)
+		}
+	case in.Op.IsMem():
+		if in.Op.IsStore() {
+			rs = append(rs, in.Rd)
+		}
+		rs = append(rs, in.Mem.Base)
+		if in.Mem.HasOffReg {
+			rs = append(rs, in.Mem.OffReg)
+		}
+	case in.Op == BX:
+		rs = append(rs, in.Rm)
+	case in.Op.IsBranch():
+		return nil
+	default: // data processing
+		if in.Op.UsesRn() {
+			rs = append(rs, in.Rn)
+		}
+		if !in.Op2.IsImm {
+			rs = append(rs, in.Op2.Reg)
+			if in.Op2.ShiftByReg {
+				rs = append(rs, in.Op2.ShiftReg)
+			}
+		}
+	}
+	return rs
+}
+
+// DstReg returns the destination register and whether one exists.
+func (in Instr) DstReg() (Reg, bool) {
+	switch {
+	case in.Op == NOP, in.Op.IsCompare(), in.Op.IsStore(), in.Op == B, in.Op == BX:
+		return 0, false
+	case in.Op == BL:
+		return LR, true
+	}
+	if in.Op.IsMem() { // loads
+		if in.Mem.WriteBack || in.Mem.PostIndex {
+			// The transfer register is primary; base write-back is reported
+			// by BaseWriteBack.
+			return in.Rd, true
+		}
+		return in.Rd, true
+	}
+	return in.Rd, true
+}
+
+// BaseWriteBack reports whether a memory instruction updates its base
+// register, and which register that is.
+func (in Instr) BaseWriteBack() (Reg, bool) {
+	if in.Op.IsMem() && (in.Mem.WriteBack || in.Mem.PostIndex) {
+		return in.Mem.Base, true
+	}
+	return 0, false
+}
+
+// UsesShifter reports whether the instruction occupies the barrel shifter:
+// explicit shift mnemonics and any shifted flexible operand.
+func (in Instr) UsesShifter() bool {
+	if in.Op.IsShift() {
+		return true
+	}
+	return in.Op.IsDataProc() && in.Op2.UsesShifter()
+}
+
+// Validate checks structural well-formedness and returns a descriptive
+// error for the first violation found.
+func (in Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid op %d", uint8(in.Op))
+	}
+	if !in.Cond.Valid() {
+		return fmt.Errorf("isa: %s: invalid condition %d", in.Op, uint8(in.Cond))
+	}
+	if in.Op == NOP && in.Cond != NV {
+		return fmt.Errorf("isa: nop must carry the never condition")
+	}
+	regs := append([]Reg{in.Rd, in.Rn, in.Rm, in.Ra}, in.Op2.Reg, in.Op2.ShiftReg, in.Mem.Base, in.Mem.OffReg)
+	for _, r := range regs {
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: invalid register %d", in.Op, uint8(r))
+		}
+	}
+	if in.Op.IsDataProc() && !in.Op2.IsImm {
+		if !in.Op2.Shift.Valid() {
+			return fmt.Errorf("isa: %s: invalid shift kind", in.Op)
+		}
+		if !in.Op2.ShiftByReg && in.Op2.Shift != ShiftNone && in.Op2.Shift != ShiftRRX && in.Op2.ShiftAmt > 32 {
+			return fmt.Errorf("isa: %s: shift amount %d out of range", in.Op, in.Op2.ShiftAmt)
+		}
+	}
+	if in.Op.IsMem() {
+		if in.Mem.PostIndex && in.Mem.WriteBack {
+			return fmt.Errorf("isa: %s: post-index and write-back are exclusive", in.Op)
+		}
+	}
+	if in.Op.IsBranch() && in.Op != BX && in.Target < 0 && in.Label == "" {
+		return fmt.Errorf("isa: %s: branch without target", in.Op)
+	}
+	return nil
+}
+
+// String renders the instruction in UAL-style assembly.
+func (in Instr) String() string {
+	var sb strings.Builder
+	mn := in.Op.String()
+	if in.Op == NOP {
+		return "nop"
+	}
+	sb.WriteString(mn)
+	if in.SetFlags && !in.Op.IsCompare() {
+		sb.WriteByte('s')
+	}
+	if in.Cond != AL {
+		sb.WriteString(in.Cond.String())
+	}
+	sb.WriteByte(' ')
+	switch {
+	case in.Op.IsMul():
+		fmt.Fprintf(&sb, "%s, %s, %s", in.Rd, in.Rn, in.Rm)
+		if in.Op == MLA {
+			fmt.Fprintf(&sb, ", %s", in.Ra)
+		}
+	case in.Op.IsMem():
+		fmt.Fprintf(&sb, "%s, %s", in.Rd, in.Mem)
+	case in.Op == BX:
+		sb.WriteString(in.Rm.String())
+	case in.Op.IsBranch():
+		if in.Label != "" {
+			sb.WriteString(in.Label)
+		} else {
+			fmt.Fprintf(&sb, "%d", in.Target)
+		}
+	case in.Op.IsShift():
+		// UAL: lsl rd, rm, #n  (Op2 carries rm and the amount)
+		if in.Op == RRX {
+			fmt.Fprintf(&sb, "%s, %s", in.Rd, in.Op2.Reg)
+		} else if in.Op2.ShiftByReg {
+			fmt.Fprintf(&sb, "%s, %s, %s", in.Rd, in.Op2.Reg, in.Op2.ShiftReg)
+		} else {
+			fmt.Fprintf(&sb, "%s, %s, #%d", in.Rd, in.Op2.Reg, in.Op2.ShiftAmt)
+		}
+	case in.Op.IsCompare():
+		fmt.Fprintf(&sb, "%s, %s", in.Rn, in.Op2)
+	case in.Op.UsesRn():
+		fmt.Fprintf(&sb, "%s, %s, %s", in.Rd, in.Rn, in.Op2)
+	default: // mov/mvn
+		fmt.Fprintf(&sb, "%s, %s", in.Rd, in.Op2)
+	}
+	return sb.String()
+}
+
+// Program is an assembled instruction sequence. Branch targets are
+// resolved instruction indices.
+type Program struct {
+	Instrs []Instr
+	// Symbols maps label names to instruction indices.
+	Symbols map[string]int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Validate checks every instruction and branch target.
+func (p *Program) Validate() error {
+	for i, in := range p.Instrs {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("instr %d (%s): %w", i, in, err)
+		}
+		if in.Op.IsBranch() && in.Op != BX {
+			if in.Target < 0 || in.Target > len(p.Instrs) {
+				return fmt.Errorf("instr %d (%s): branch target %d out of range", i, in, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// String disassembles the whole program, one instruction per line with
+// label annotations.
+func (p *Program) String() string {
+	labels := make(map[int][]string)
+	for name, idx := range p.Symbols {
+		labels[idx] = append(labels[idx], name)
+	}
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		for _, l := range labels[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "\t%s\n", in)
+	}
+	return sb.String()
+}

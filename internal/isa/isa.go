@@ -1,0 +1,189 @@
+// Package isa models the subset of the ARMv7-A instruction set
+// architecture exercised by the DAC 2018 paper "Side-channel security of
+// superscalar CPUs" (Barenghi & Pelosi).
+//
+// The package provides:
+//
+//   - register and condition-code definitions (Reg, Cond, Flags);
+//   - a structural instruction representation (Instr) covering the
+//     data-processing, multiply, shift, memory and branch instructions used
+//     by the paper's micro-benchmarks and its AES-128 case study;
+//   - pure evaluation semantics for the ALU and the barrel shifter
+//     (EvalDataProc, EvalShift) shared by the pipeline simulator;
+//   - the instruction-class taxonomy of the paper's Table 1 (Class,
+//     Classify), which drives the dual-issue policy of the core model;
+//   - a fluent program Builder, a two-pass text Assembler and a
+//     disassembler, plus a compact 32-bit binary encoding with a
+//     round-trip guarantee.
+//
+// The subset is semantically faithful where the paper depends on it
+// (operand positions, shifter usage, sub-word memory accesses, nop
+// implemented as a condition-never data-processing instruction with
+// all-zero operands) and deliberately omits features the paper never
+// touches (Thumb, coprocessors, exclusive monitors, PSR transfers).
+package isa
+
+import "fmt"
+
+// Reg names one of the sixteen ARM core registers. R13–R15 retain their
+// conventional roles (SP, LR, PC) but the simulator treats PC-relative
+// addressing and PC writes as assembler-resolved branch targets instead of
+// architectural register reads.
+type Reg uint8
+
+// Core register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// SP, LR and PC are the ABI aliases of R13, R14 and R15.
+	SP = R13
+	LR = R14
+	PC = R15
+
+	// NumRegs is the size of the architectural register file.
+	NumRegs = 16
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the canonical lower-case assembly name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Cond is an ARM condition code. Every instruction carries one; AL
+// (always) is the default and NV (never) is how the Cortex-A7 implements
+// nop according to the paper's inference in §4.1: a condition-never
+// data-processing instruction with zero-valued operands.
+type Cond uint8
+
+// Condition codes in architectural encoding order.
+const (
+	EQ Cond = iota // Z set
+	NE             // Z clear
+	CS             // C set
+	CC             // C clear
+	MI             // N set
+	PL             // N clear
+	VS             // V set
+	VC             // V clear
+	HI             // C set and Z clear
+	LS             // C clear or Z set
+	GE             // N == V
+	LT             // N != V
+	GT             // Z clear and N == V
+	LE             // Z set or N != V
+	AL             // always
+	NV             // never (architecturally unpredictable; used for nop)
+
+	numConds = 16
+)
+
+var condNames = [numConds]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "", "nv",
+}
+
+// String returns the assembly suffix of the condition ("" for AL).
+func (c Cond) String() string {
+	if c < numConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Valid reports whether c is an architectural condition code.
+func (c Cond) Valid() bool { return c < numConds }
+
+// Flags holds the CPSR condition flags.
+type Flags struct {
+	N bool // negative
+	Z bool // zero
+	C bool // carry
+	V bool // overflow
+}
+
+// Passed reports whether an instruction with condition c executes under
+// the flag state f. NV never passes: the paper infers that the A7 issues
+// such instructions down the pipeline (driving zero operands onto the
+// shared buses) without performing their architectural effect.
+func (c Cond) Passed(f Flags) bool {
+	switch c {
+	case EQ:
+		return f.Z
+	case NE:
+		return !f.Z
+	case CS:
+		return f.C
+	case CC:
+		return !f.C
+	case MI:
+		return f.N
+	case PL:
+		return !f.N
+	case VS:
+		return f.V
+	case VC:
+		return !f.V
+	case HI:
+		return f.C && !f.Z
+	case LS:
+		return !f.C || f.Z
+	case GE:
+		return f.N == f.V
+	case LT:
+		return f.N != f.V
+	case GT:
+		return !f.Z && f.N == f.V
+	case LE:
+		return f.Z || f.N != f.V
+	case AL:
+		return true
+	case NV:
+		return false
+	}
+	return false
+}
+
+// String renders the flags as the conventional NZCV string with lower-case
+// letters marking clear flags, e.g. "NzCv".
+func (f Flags) String() string {
+	b := []byte("nzcv")
+	if f.N {
+		b[0] = 'N'
+	}
+	if f.Z {
+		b[1] = 'Z'
+	}
+	if f.C {
+		b[2] = 'C'
+	}
+	if f.V {
+		b[3] = 'V'
+	}
+	return string(b)
+}

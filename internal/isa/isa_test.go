@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R7, "r7"}, {R12, "r12"}, {SP, "sp"}, {LR, "lr"}, {PC, "pc"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %d should be valid", r)
+		}
+	}
+	if Reg(16).Valid() {
+		t.Error("register 16 should be invalid")
+	}
+}
+
+func TestCondPassedAL(t *testing.T) {
+	flagStates := []Flags{
+		{}, {N: true}, {Z: true}, {C: true}, {V: true},
+		{N: true, Z: true, C: true, V: true},
+	}
+	for _, f := range flagStates {
+		if !AL.Passed(f) {
+			t.Errorf("AL must pass under %v", f)
+		}
+		if NV.Passed(f) {
+			t.Errorf("NV must never pass, flags %v", f)
+		}
+	}
+}
+
+func TestCondPassedTable(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		f    Flags
+		want bool
+	}{
+		{EQ, Flags{Z: true}, true},
+		{EQ, Flags{}, false},
+		{NE, Flags{}, true},
+		{NE, Flags{Z: true}, false},
+		{CS, Flags{C: true}, true},
+		{CC, Flags{C: true}, false},
+		{MI, Flags{N: true}, true},
+		{PL, Flags{N: true}, false},
+		{VS, Flags{V: true}, true},
+		{VC, Flags{V: true}, false},
+		{HI, Flags{C: true}, true},
+		{HI, Flags{C: true, Z: true}, false},
+		{LS, Flags{C: true, Z: true}, true},
+		{LS, Flags{C: true}, false},
+		{GE, Flags{N: true, V: true}, true},
+		{GE, Flags{N: true}, false},
+		{LT, Flags{N: true}, true},
+		{LT, Flags{N: true, V: true}, false},
+		{GT, Flags{}, true},
+		{GT, Flags{Z: true}, false},
+		{LE, Flags{Z: true}, true},
+		{LE, Flags{}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Passed(c.f); got != c.want {
+			t.Errorf("%v.Passed(%v) = %v, want %v", c.c, c.f, got, c.want)
+		}
+	}
+}
+
+// Complementary condition codes must disagree under every flag state.
+func TestCondComplementPairs(t *testing.T) {
+	pairs := [][2]Cond{{EQ, NE}, {CS, CC}, {MI, PL}, {VS, VC}, {HI, LS}, {GE, LT}, {GT, LE}}
+	check := func(n, z, c, v bool) bool {
+		f := Flags{N: n, Z: z, C: c, V: v}
+		for _, p := range pairs {
+			if p[0].Passed(f) == p[1].Passed(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (Flags{}).String(); got != "nzcv" {
+		t.Errorf("zero flags = %q, want nzcv", got)
+	}
+	if got := (Flags{N: true, C: true}).String(); got != "NzCv" {
+		t.Errorf("flags = %q, want NzCv", got)
+	}
+	if got := (Flags{N: true, Z: true, C: true, V: true}).String(); got != "NZCV" {
+		t.Errorf("flags = %q, want NZCV", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	cases := []struct {
+		op                                Op
+		dataProc, mul, shift, load, store bool
+		branch, hasDest, usesRn           bool
+	}{
+		{MOV, true, false, false, false, false, false, true, false},
+		{ADD, true, false, false, false, false, false, true, true},
+		{EOR, true, false, false, false, false, false, true, true},
+		{CMP, true, false, false, false, false, false, false, true},
+		{MUL, false, true, false, false, false, false, true, true},
+		{LSL, true, false, true, false, false, false, true, false},
+		{LDR, false, false, false, true, false, false, true, true},
+		{LDRB, false, false, false, true, false, false, true, true},
+		{STR, false, false, false, false, true, false, false, true},
+		{B, false, false, false, false, false, true, false, false},
+		{BL, false, false, false, false, false, true, true, false},
+		{BX, false, false, false, false, false, true, false, true},
+		{NOP, false, false, false, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsDataProc(); got != c.dataProc {
+			t.Errorf("%v.IsDataProc() = %v, want %v", c.op, got, c.dataProc)
+		}
+		if got := c.op.IsMul(); got != c.mul {
+			t.Errorf("%v.IsMul() = %v, want %v", c.op, got, c.mul)
+		}
+		if got := c.op.IsShift(); got != c.shift {
+			t.Errorf("%v.IsShift() = %v, want %v", c.op, got, c.shift)
+		}
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", c.op, got, c.load)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%v.IsStore() = %v, want %v", c.op, got, c.store)
+		}
+		if got := c.op.IsBranch(); got != c.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", c.op, got, c.branch)
+		}
+		if got := c.op.HasDest(); got != c.hasDest {
+			t.Errorf("%v.HasDest() = %v, want %v", c.op, got, c.hasDest)
+		}
+		if got := c.op.UsesRn(); got != c.usesRn {
+			t.Errorf("%v.UsesRn() = %v, want %v", c.op, got, c.usesRn)
+		}
+	}
+}
+
+func TestOpAccessBytes(t *testing.T) {
+	cases := map[Op]int{
+		LDR: 4, STR: 4, LDRH: 2, STRH: 2, LDRB: 1, STRB: 1, ADD: 0, MOV: 0, B: 0,
+	}
+	for op, want := range cases {
+		if got := op.AccessBytes(); got != want {
+			t.Errorf("%v.AccessBytes() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := make(map[string]Op)
+	for o := Op(0); o < numOps; o++ {
+		name := o.String()
+		if name == "" {
+			t.Fatalf("op %d has empty name", o)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("ops %v and %v share mnemonic %q", prev, o, name)
+		}
+		seen[name] = o
+	}
+}

@@ -1,0 +1,149 @@
+package isa
+
+import "fmt"
+
+// Op identifies an operation of the modelled ARM subset.
+type Op uint8
+
+// Operations. The data-processing group mirrors the ARM encoding; the
+// shift mnemonics (LSL..RRX as top-level ops) are the ARM UAL spellings of
+// MOV with a shifted operand and are kept distinct because they occupy the
+// barrel shifter, which the paper shows to be a leakage source and a
+// dual-issue constraint.
+const (
+	// Data processing.
+	MOV Op = iota // Rd := Op2
+	MVN           // Rd := ^Op2
+	ADD           // Rd := Rn + Op2
+	ADC           // Rd := Rn + Op2 + C
+	SUB           // Rd := Rn - Op2
+	SBC           // Rd := Rn - Op2 - !C
+	RSB           // Rd := Op2 - Rn
+	AND           // Rd := Rn & Op2
+	ORR           // Rd := Rn | Op2
+	EOR           // Rd := Rn ^ Op2
+	BIC           // Rd := Rn &^ Op2
+
+	// Compare/test (no destination, always set flags).
+	CMP // flags(Rn - Op2)
+	CMN // flags(Rn + Op2)
+	TST // flags(Rn & Op2)
+	TEQ // flags(Rn ^ Op2)
+
+	// Multiply.
+	MUL // Rd := Rn * Rm
+	MLA // Rd := Rn * Rm + Ra
+
+	// Explicit shifts (UAL aliases of MOV Rd, Rm, <shift> Rs/#imm).
+	LSL
+	LSR
+	ASR
+	ROR
+	RRX
+
+	// Memory.
+	LDR  // word load
+	LDRB // byte load, zero-extended
+	LDRH // halfword load, zero-extended
+	STR  // word store
+	STRB // byte store
+	STRH // halfword store
+
+	// Control flow.
+	B  // branch
+	BL // branch with link
+	BX // branch to register (used only as function return in our programs)
+
+	// NOP is modelled per the paper's §4.1 inference: a condition-never
+	// data-processing instruction whose operands are zero. It traverses
+	// the pipeline, clobbering shared buses with zeros.
+	NOP
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	MOV: "mov", MVN: "mvn", ADD: "add", ADC: "adc", SUB: "sub", SBC: "sbc",
+	RSB: "rsb", AND: "and", ORR: "orr", EOR: "eor", BIC: "bic",
+	CMP: "cmp", CMN: "cmn", TST: "tst", TEQ: "teq",
+	MUL: "mul", MLA: "mla",
+	LSL: "lsl", LSR: "lsr", ASR: "asr", ROR: "ror", RRX: "rrx",
+	LDR: "ldr", LDRB: "ldrb", LDRH: "ldrh",
+	STR: "str", STRB: "strb", STRH: "strh",
+	B: "b", BL: "bl", BX: "bx",
+	NOP: "nop",
+}
+
+// String returns the lower-case mnemonic.
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsDataProc reports whether o is a data-processing operation (including
+// compares and the UAL shift aliases, excluding multiplies).
+func (o Op) IsDataProc() bool {
+	return o <= TEQ || (o >= LSL && o <= RRX)
+}
+
+// IsCompare reports whether o only updates flags (CMP/CMN/TST/TEQ).
+func (o Op) IsCompare() bool { return o >= CMP && o <= TEQ }
+
+// IsShift reports whether o is an explicit shift/rotate mnemonic.
+func (o Op) IsShift() bool { return o >= LSL && o <= RRX }
+
+// IsMul reports whether o is a multiply.
+func (o Op) IsMul() bool { return o == MUL || o == MLA }
+
+// IsLoad reports whether o reads memory.
+func (o Op) IsLoad() bool { return o == LDR || o == LDRB || o == LDRH }
+
+// IsStore reports whether o writes memory.
+func (o Op) IsStore() bool { return o == STR || o == STRB || o == STRH }
+
+// IsMem reports whether o accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsBranch reports whether o is a control-flow operation.
+func (o Op) IsBranch() bool { return o == B || o == BL || o == BX }
+
+// HasDest reports whether o writes a destination register (architectural
+// register-file write-back).
+func (o Op) HasDest() bool {
+	switch {
+	case o.IsCompare(), o.IsStore(), o == B, o == BX, o == NOP:
+		return false
+	case o == BL:
+		return true // writes LR
+	}
+	return true
+}
+
+// UsesRn reports whether the operation reads a first register source
+// operand Rn. MOV/MVN and the shift aliases take only Op2.
+func (o Op) UsesRn() bool {
+	switch o {
+	case MOV, MVN, LSL, LSR, ASR, ROR, RRX, B, BL, NOP:
+		return false
+	}
+	return true
+}
+
+// AccessBytes returns the memory access width in bytes for memory
+// operations and 0 otherwise.
+func (o Op) AccessBytes() int {
+	switch o {
+	case LDR, STR:
+		return 4
+	case LDRH, STRH:
+		return 2
+	case LDRB, STRB:
+		return 1
+	}
+	return 0
+}

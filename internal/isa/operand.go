@@ -1,0 +1,285 @@
+package isa
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ShiftKind selects a barrel-shifter function.
+type ShiftKind uint8
+
+// Barrel shifter functions. ShiftNone means the operand bypasses the
+// shifter entirely (plain register or immediate), which matters for the
+// dual-issue policy and for the shifter-buffer leakage model.
+const (
+	ShiftNone ShiftKind = iota
+	ShiftLSL
+	ShiftLSR
+	ShiftASR
+	ShiftROR
+	ShiftRRX
+
+	numShiftKinds
+)
+
+var shiftNames = [numShiftKinds]string{"", "lsl", "lsr", "asr", "ror", "rrx"}
+
+// String returns the UAL spelling of the shift kind.
+func (k ShiftKind) String() string {
+	if k < numShiftKinds {
+		return shiftNames[k]
+	}
+	return fmt.Sprintf("shift(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined shifter function.
+func (k ShiftKind) Valid() bool { return k < numShiftKinds }
+
+// Operand2 is the flexible second operand of ARM data-processing
+// instructions: an immediate, a register, or a register shifted by an
+// immediate amount or by the low byte of another register.
+type Operand2 struct {
+	// IsImm selects the immediate form. When set, only Imm is meaningful.
+	IsImm bool
+	// Imm is the immediate value. The assembler accepts any 32-bit value
+	// (the simulator does not re-encode ARM's 8-bit-rotated immediates,
+	// but the binary encoder rejects unencodable ones).
+	Imm uint32
+	// Reg is the register form's source register.
+	Reg Reg
+	// Shift is the shifter function applied to Reg.
+	Shift ShiftKind
+	// ShiftByReg selects shifting by register (amount = low byte of
+	// ShiftReg) instead of by the immediate ShiftAmt.
+	ShiftByReg bool
+	// ShiftAmt is the immediate shift amount (0–31; RRX ignores it).
+	ShiftAmt uint8
+	// ShiftReg is the shift-amount register when ShiftByReg is set.
+	ShiftReg Reg
+}
+
+// Imm returns an immediate Operand2.
+func Imm(v uint32) Operand2 { return Operand2{IsImm: true, Imm: v} }
+
+// RegOp returns a plain register Operand2.
+func RegOp(r Reg) Operand2 { return Operand2{Reg: r} }
+
+// ShiftedReg returns a register Operand2 shifted by an immediate amount.
+func ShiftedReg(r Reg, k ShiftKind, amt uint8) Operand2 {
+	return Operand2{Reg: r, Shift: k, ShiftAmt: amt}
+}
+
+// RegShiftedReg returns a register Operand2 shifted by a register amount.
+func RegShiftedReg(r Reg, k ShiftKind, rs Reg) Operand2 {
+	return Operand2{Reg: r, Shift: k, ShiftByReg: true, ShiftReg: rs}
+}
+
+// UsesShifter reports whether the operand occupies the barrel shifter.
+// A plain register or immediate does not; any shifted register does, even
+// with amount zero, because the instruction still routes through the
+// shifter-equipped ALU pipe.
+func (o Operand2) UsesShifter() bool { return !o.IsImm && o.Shift != ShiftNone }
+
+// String renders the operand in UAL syntax.
+func (o Operand2) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("#%d", int32(o.Imm))
+	}
+	if o.Shift == ShiftNone {
+		return o.Reg.String()
+	}
+	if o.Shift == ShiftRRX {
+		return fmt.Sprintf("%s, rrx", o.Reg)
+	}
+	if o.ShiftByReg {
+		return fmt.Sprintf("%s, %s %s", o.Reg, o.Shift, o.ShiftReg)
+	}
+	return fmt.Sprintf("%s, %s #%d", o.Reg, o.Shift, o.ShiftAmt)
+}
+
+// MemOperand is the addressing form of loads and stores:
+// [Rn], [Rn, #imm] or [Rn, Rm] with optional write-back (pre-indexed) or
+// post-indexed update. Register offsets are never shifted in our subset.
+type MemOperand struct {
+	// Base is the base address register.
+	Base Reg
+	// OffImm selects an immediate offset; otherwise OffReg is added.
+	OffImm bool
+	// Imm is the signed immediate offset.
+	Imm int32
+	// OffReg is the register offset.
+	OffReg Reg
+	// HasOffReg records that a register offset is present.
+	HasOffReg bool
+	// PostIndex applies the offset after the access and writes Base back.
+	PostIndex bool
+	// WriteBack writes the effective address back to Base (pre-indexed).
+	WriteBack bool
+}
+
+// MemImm returns a [base, #imm] operand.
+func MemImm(base Reg, imm int32) MemOperand {
+	return MemOperand{Base: base, OffImm: true, Imm: imm}
+}
+
+// MemReg returns a [base, offset] register-offset operand.
+func MemReg(base, off Reg) MemOperand {
+	return MemOperand{Base: base, OffReg: off, HasOffReg: true}
+}
+
+// HasOffset reports whether the operand carries any offset.
+func (m MemOperand) HasOffset() bool { return m.HasOffReg || (m.OffImm && m.Imm != 0) }
+
+// String renders the addressing mode in UAL syntax.
+func (m MemOperand) String() string {
+	var inner string
+	switch {
+	case m.HasOffReg:
+		inner = fmt.Sprintf("%s, %s", m.Base, m.OffReg)
+	case m.OffImm && m.Imm != 0:
+		inner = fmt.Sprintf("%s, #%d", m.Base, m.Imm)
+	default:
+		inner = m.Base.String()
+	}
+	switch {
+	case m.PostIndex:
+		if m.HasOffReg {
+			return fmt.Sprintf("[%s], %s", m.Base, m.OffReg)
+		}
+		return fmt.Sprintf("[%s], #%d", m.Base, m.Imm)
+	case m.WriteBack:
+		return "[" + inner + "]!"
+	default:
+		return "[" + inner + "]"
+	}
+}
+
+// ShiftResult is the output of the barrel shifter: the shifted value and
+// the shifter carry-out (which becomes the C flag for logical operations
+// with S set).
+type ShiftResult struct {
+	Value    uint32
+	CarryOut bool
+}
+
+// EvalShift applies the barrel shifter function k to v with the given
+// amount and incoming carry, following the ARM ARM semantics for
+// data-processing operands (amount already resolved: for register-shift
+// forms pass the low byte of the shift register).
+func EvalShift(k ShiftKind, v uint32, amount uint32, carryIn bool) ShiftResult {
+	switch k {
+	case ShiftNone:
+		return ShiftResult{Value: v, CarryOut: carryIn}
+	case ShiftLSL:
+		switch {
+		case amount == 0:
+			return ShiftResult{Value: v, CarryOut: carryIn}
+		case amount < 32:
+			return ShiftResult{Value: v << amount, CarryOut: v&(1<<(32-amount)) != 0}
+		case amount == 32:
+			return ShiftResult{Value: 0, CarryOut: v&1 != 0}
+		default:
+			return ShiftResult{Value: 0, CarryOut: false}
+		}
+	case ShiftLSR:
+		switch {
+		case amount == 0: // LSR #0 encodes LSR #32 in immediate form
+			return ShiftResult{Value: v, CarryOut: carryIn}
+		case amount < 32:
+			return ShiftResult{Value: v >> amount, CarryOut: v&(1<<(amount-1)) != 0}
+		case amount == 32:
+			return ShiftResult{Value: 0, CarryOut: v&(1<<31) != 0}
+		default:
+			return ShiftResult{Value: 0, CarryOut: false}
+		}
+	case ShiftASR:
+		switch {
+		case amount == 0:
+			return ShiftResult{Value: v, CarryOut: carryIn}
+		case amount < 32:
+			return ShiftResult{Value: uint32(int32(v) >> amount), CarryOut: v&(1<<(amount-1)) != 0}
+		default:
+			s := uint32(int32(v) >> 31)
+			return ShiftResult{Value: s, CarryOut: s&1 != 0}
+		}
+	case ShiftROR:
+		if amount == 0 {
+			return ShiftResult{Value: v, CarryOut: carryIn}
+		}
+		amount %= 32
+		if amount == 0 {
+			return ShiftResult{Value: v, CarryOut: v&(1<<31) != 0}
+		}
+		r := bits.RotateLeft32(v, -int(amount))
+		return ShiftResult{Value: r, CarryOut: r&(1<<31) != 0}
+	case ShiftRRX:
+		var hi uint32
+		if carryIn {
+			hi = 1 << 31
+		}
+		return ShiftResult{Value: v>>1 | hi, CarryOut: v&1 != 0}
+	}
+	return ShiftResult{Value: v, CarryOut: carryIn}
+}
+
+// ALUResult is the output of EvalDataProc: the computed value (undefined
+// for compares, which have no destination) and the resulting flags.
+type ALUResult struct {
+	Value uint32
+	Flags Flags
+}
+
+// EvalDataProc computes a data-processing operation on fully resolved
+// operands. a is the Rn value, b the (already shifted) Op2 value,
+// shiftCarry the shifter carry-out and f the incoming flags. The returned
+// flags are the flags the instruction would set with S=1; callers that
+// model S=0 simply keep the old flags.
+func EvalDataProc(op Op, a, b uint32, shiftCarry bool, f Flags) ALUResult {
+	logical := func(v uint32) ALUResult {
+		return ALUResult{Value: v, Flags: Flags{
+			N: v&(1<<31) != 0, Z: v == 0, C: shiftCarry, V: f.V,
+		}}
+	}
+	addWith := func(x, y uint32, carry uint32) ALUResult {
+		sum64 := uint64(x) + uint64(y) + uint64(carry)
+		v := uint32(sum64)
+		return ALUResult{Value: v, Flags: Flags{
+			N: v&(1<<31) != 0,
+			Z: v == 0,
+			C: sum64 > 0xFFFFFFFF,
+			V: (x^y)&(1<<31) == 0 && (x^v)&(1<<31) != 0,
+		}}
+	}
+	c := uint32(0)
+	if f.C {
+		c = 1
+	}
+	switch op {
+	case MOV, LSL, LSR, ASR, ROR, RRX:
+		return logical(b)
+	case MVN:
+		return logical(^b)
+	case AND, TST:
+		return logical(a & b)
+	case ORR:
+		return logical(a | b)
+	case EOR, TEQ:
+		return logical(a ^ b)
+	case BIC:
+		return logical(a &^ b)
+	case ADD, CMN:
+		return addWith(a, b, 0)
+	case ADC:
+		return addWith(a, b, c)
+	case SUB, CMP:
+		return addWith(a, ^b, 1)
+	case SBC:
+		return addWith(a, ^b, c)
+	case RSB:
+		return addWith(b, ^a, 1)
+	case MUL:
+		v := a * b
+		return ALUResult{Value: v, Flags: Flags{N: v&(1<<31) != 0, Z: v == 0, C: f.C, V: f.V}}
+	}
+	return ALUResult{Value: 0, Flags: f}
+}

@@ -1,0 +1,272 @@
+package isa
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalShiftLSL(t *testing.T) {
+	cases := []struct {
+		v, amt  uint32
+		want    uint32
+		carry   bool
+		carryIn bool
+	}{
+		{0x1, 0, 0x1, true, true}, // amount 0 keeps carry-in
+		{0x1, 1, 0x2, false, false},
+		{0x80000000, 1, 0, true, false},
+		{0xFFFFFFFF, 4, 0xFFFFFFF0, true, false},
+		{0x1, 31, 0x80000000, false, false},
+		{0x1, 32, 0, true, false},
+		{0x2, 32, 0, false, false},
+		{0x1, 33, 0, false, false},
+	}
+	for _, c := range cases {
+		got := EvalShift(ShiftLSL, c.v, c.amt, c.carryIn)
+		if got.Value != c.want || got.CarryOut != c.carry {
+			t.Errorf("lsl %#x by %d = (%#x,%v), want (%#x,%v)",
+				c.v, c.amt, got.Value, got.CarryOut, c.want, c.carry)
+		}
+	}
+}
+
+func TestEvalShiftLSR(t *testing.T) {
+	got := EvalShift(ShiftLSR, 0x80000001, 1, false)
+	if got.Value != 0x40000000 || got.CarryOut != true {
+		t.Errorf("lsr 1 = (%#x,%v)", got.Value, got.CarryOut)
+	}
+	got = EvalShift(ShiftLSR, 0x80000000, 32, false)
+	if got.Value != 0 || got.CarryOut != true {
+		t.Errorf("lsr 32 = (%#x,%v)", got.Value, got.CarryOut)
+	}
+}
+
+func TestEvalShiftASR(t *testing.T) {
+	got := EvalShift(ShiftASR, 0x80000000, 4, false)
+	if got.Value != 0xF8000000 {
+		t.Errorf("asr = %#x, want 0xF8000000", got.Value)
+	}
+	got = EvalShift(ShiftASR, 0x80000000, 40, false)
+	if got.Value != 0xFFFFFFFF || !got.CarryOut {
+		t.Errorf("asr saturate = (%#x,%v)", got.Value, got.CarryOut)
+	}
+	got = EvalShift(ShiftASR, 0x40000000, 40, false)
+	if got.Value != 0 || got.CarryOut {
+		t.Errorf("asr positive saturate = (%#x,%v)", got.Value, got.CarryOut)
+	}
+}
+
+func TestEvalShiftROR(t *testing.T) {
+	got := EvalShift(ShiftROR, 0x00000001, 1, false)
+	if got.Value != 0x80000000 || !got.CarryOut {
+		t.Errorf("ror = (%#x,%v)", got.Value, got.CarryOut)
+	}
+	// Rotation by multiples of 32 returns the value with C = bit31.
+	got = EvalShift(ShiftROR, 0x80000001, 32, false)
+	if got.Value != 0x80000001 || !got.CarryOut {
+		t.Errorf("ror 32 = (%#x,%v)", got.Value, got.CarryOut)
+	}
+}
+
+func TestEvalShiftRRX(t *testing.T) {
+	got := EvalShift(ShiftRRX, 0x00000003, 0, true)
+	if got.Value != 0x80000001 || !got.CarryOut {
+		t.Errorf("rrx = (%#x,%v)", got.Value, got.CarryOut)
+	}
+	got = EvalShift(ShiftRRX, 0x00000002, 0, false)
+	if got.Value != 0x00000001 || got.CarryOut {
+		t.Errorf("rrx = (%#x,%v)", got.Value, got.CarryOut)
+	}
+}
+
+// Property: ROR by any amount preserves population count.
+func TestRORPreservesPopcount(t *testing.T) {
+	f := func(v uint32, amt uint8) bool {
+		r := EvalShift(ShiftROR, v, uint32(amt%64), false)
+		if amt%64 == 0 {
+			return r.Value == v
+		}
+		return bits.OnesCount32(r.Value) == bits.OnesCount32(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LSL then LSR by the same in-range amount masks the top bits.
+func TestShiftInverseProperty(t *testing.T) {
+	f := func(v uint32, amt uint8) bool {
+		a := uint32(amt % 32)
+		l := EvalShift(ShiftLSL, v, a, false)
+		r := EvalShift(ShiftLSR, l.Value, a, false)
+		mask := uint32(0xFFFFFFFF)
+		if a > 0 {
+			mask = (1 << (32 - a)) - 1
+		}
+		return r.Value == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalDataProcArithmetic(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want uint32
+	}{
+		{ADD, 2, 3, 5},
+		{SUB, 5, 3, 2},
+		{RSB, 3, 5, 2},
+		{AND, 0xF0, 0xFF, 0xF0},
+		{ORR, 0xF0, 0x0F, 0xFF},
+		{EOR, 0xFF, 0x0F, 0xF0},
+		{BIC, 0xFF, 0x0F, 0xF0},
+		{MOV, 0, 42, 42},
+		{MVN, 0, 0, 0xFFFFFFFF},
+		{MUL, 6, 7, 42},
+	}
+	for _, c := range cases {
+		got := EvalDataProc(c.op, c.a, c.b, false, Flags{})
+		if got.Value != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got.Value, c.want)
+		}
+	}
+}
+
+func TestEvalDataProcCarryChain(t *testing.T) {
+	// ADC with carry set adds one more.
+	got := EvalDataProc(ADC, 1, 2, false, Flags{C: true})
+	if got.Value != 4 {
+		t.Errorf("adc = %d, want 4", got.Value)
+	}
+	// SBC with carry clear subtracts one more.
+	got = EvalDataProc(SBC, 10, 3, false, Flags{C: false})
+	if got.Value != 6 {
+		t.Errorf("sbc !C = %d, want 6", got.Value)
+	}
+	got = EvalDataProc(SBC, 10, 3, false, Flags{C: true})
+	if got.Value != 7 {
+		t.Errorf("sbc C = %d, want 7", got.Value)
+	}
+}
+
+func TestEvalDataProcFlags(t *testing.T) {
+	// Zero result sets Z.
+	r := EvalDataProc(SUB, 5, 5, false, Flags{})
+	if !r.Flags.Z || r.Flags.N {
+		t.Errorf("sub equal: flags %v", r.Flags)
+	}
+	if !r.Flags.C { // no borrow => C set (ARM convention)
+		t.Error("sub without borrow must set C")
+	}
+	// Borrow clears C.
+	r = EvalDataProc(SUB, 3, 5, false, Flags{})
+	if r.Flags.C {
+		t.Error("sub with borrow must clear C")
+	}
+	if !r.Flags.N {
+		t.Error("negative result must set N")
+	}
+	// Signed overflow sets V.
+	r = EvalDataProc(ADD, 0x7FFFFFFF, 1, false, Flags{})
+	if !r.Flags.V || !r.Flags.N {
+		t.Errorf("add overflow: flags %v", r.Flags)
+	}
+	// Unsigned carry out.
+	r = EvalDataProc(ADD, 0xFFFFFFFF, 1, false, Flags{})
+	if !r.Flags.C || !r.Flags.Z {
+		t.Errorf("add wrap: flags %v", r.Flags)
+	}
+	// Logical ops propagate the shifter carry.
+	r = EvalDataProc(AND, 0xFF, 0xFF, true, Flags{})
+	if !r.Flags.C {
+		t.Error("logical op must take C from shifter carry")
+	}
+}
+
+// Property: CMP sets the same flags as SUBS on identical inputs.
+func TestCmpMatchesSub(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return EvalDataProc(CMP, a, b, false, Flags{}).Flags ==
+			EvalDataProc(SUB, a, b, false, Flags{}).Flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EOR is self-inverse: (a^b)^b == a, and commutative.
+func TestEorProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := EvalDataProc(EOR, a, b, false, Flags{}).Value
+		back := EvalDataProc(EOR, x, b, false, Flags{}).Value
+		comm := EvalDataProc(EOR, b, a, false, Flags{}).Value
+		return back == a && comm == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ADD/SUB round trip.
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		s := EvalDataProc(ADD, a, b, false, Flags{}).Value
+		return EvalDataProc(SUB, s, b, false, Flags{}).Value == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperand2String(t *testing.T) {
+	cases := []struct {
+		o    Operand2
+		want string
+	}{
+		{Imm(42), "#42"},
+		{RegOp(R3), "r3"},
+		{ShiftedReg(R4, ShiftLSL, 2), "r4, lsl #2"},
+		{RegShiftedReg(R4, ShiftROR, R5), "r4, ror r5"},
+		{Operand2{Reg: R6, Shift: ShiftRRX}, "r6, rrx"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("Operand2 = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMemOperandString(t *testing.T) {
+	cases := []struct {
+		m    MemOperand
+		want string
+	}{
+		{MemImm(R1, 0), "[r1]"},
+		{MemImm(R1, 8), "[r1, #8]"},
+		{MemImm(R1, -4), "[r1, #-4]"},
+		{MemReg(R1, R2), "[r1, r2]"},
+		{MemOperand{Base: R1, OffImm: true, Imm: 4, WriteBack: true}, "[r1, #4]!"},
+		{MemOperand{Base: R1, OffImm: true, Imm: 4, PostIndex: true}, "[r1], #4"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("MemOperand = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestUsesShifter(t *testing.T) {
+	if Imm(3).UsesShifter() {
+		t.Error("immediate must not use the shifter")
+	}
+	if RegOp(R1).UsesShifter() {
+		t.Error("plain register must not use the shifter")
+	}
+	if !ShiftedReg(R1, ShiftLSL, 0).UsesShifter() {
+		t.Error("shifted register occupies the shifter even with amount 0")
+	}
+}

@@ -1,0 +1,388 @@
+// Package leakscan implements the side-channel characterization of the
+// paper's §4: seven instruction micro-benchmarks run with randomly drawn
+// operands, acquired through the simulated measurement chain, and tested
+// against per-component Hamming-weight/distance power models with the
+// paper's statistical criterion — a leak is declared when the model's
+// correlation is distinguishable from zero, in the correct clock cycle,
+// with confidence above 99.5% (Table 2).
+package leakscan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/sca"
+)
+
+// Verdict classifies one (component, expression) cell of Table 2.
+type Verdict uint8
+
+// Verdicts. Border marks the † entries: leakage caused by the
+// pipeline-flushing nops around the benchmark, not by the benchmarked
+// instructions themselves.
+const (
+	None Verdict = iota
+	Leak
+	Border
+)
+
+// String renders the verdict in Table 2's vocabulary.
+func (v Verdict) String() string {
+	switch v {
+	case None:
+		return "no leak"
+	case Leak:
+		return "LEAK"
+	case Border:
+		return "LEAK (border †)"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Leaks reports whether the verdict declares any leakage.
+func (v Verdict) Leaks() bool { return v != None }
+
+// Column names one Table 2 component column.
+type Column string
+
+// Table 2 columns.
+const (
+	ColRF    Column = "Register File"
+	ColISEX  Column = "Is/Ex Buffer"
+	ColShift Column = "Shift Buffer"
+	ColALU   Column = "ALU Buffer"
+	ColEXWB  Column = "Ex/Wb Buffer"
+	ColMDR   Column = "MDR"
+	ColAlign Column = "Align Buffer"
+)
+
+// Values carries one run's randomly drawn operand values and the derived
+// intermediates, keyed by the paper's register letters ("rA", "rB", ...).
+type Values map[string]uint32
+
+// HW returns the Hamming weight of a named value.
+func (v Values) HW(name string) float64 { return float64(sca.HW(v[name])) }
+
+// HD returns the Hamming distance between two named values.
+func (v Values) HD(a, b string) float64 { return float64(sca.HD(v[a], v[b])) }
+
+// Expr is one power-model expression of Table 2, evaluated per run and
+// correlated against the trace inside its component's clock-cycle window.
+type Expr struct {
+	Column Column
+	Name   string
+	// Expected is the ground-truth verdict.
+	Expected Verdict
+	// Scored marks expressions whose red/black status is unambiguous in
+	// the paper (prose-backed); only these count toward the Table 2
+	// agreement figure. Unscored expressions document model-specific
+	// predictions (the dump of Table 2 loses cell colors).
+	Scored bool
+	// Anchor is the index of the anchoring instruction inside the
+	// benchmark sequence; len(seq) anchors at the first trailing nop
+	// (for † border expressions).
+	Anchor int
+	// OffLo and OffHi bound the window in cycles relative to the
+	// anchor's issue cycle.
+	OffLo, OffHi int
+	// Eval computes the predicted leakage from the run's values.
+	Eval func(Values) float64
+}
+
+// Benchmark is one Table 2 row: an instruction sequence, its operand
+// randomization, and the model expressions to test.
+type Benchmark struct {
+	// Name identifies the row.
+	Name string
+	// Row is the 1-based Table 2 row number.
+	Row int
+	// Seq is the benchmark's assembly (concrete registers).
+	Seq string
+	// SeqLen is the number of instructions in Seq.
+	SeqLen int
+	// DualExpected records Table 2's "Dual Issued" column.
+	DualExpected bool
+	// Setup draws random operands, configures the fresh core (registers,
+	// destination pre-charge, memory contents) and returns the values.
+	Setup func(rng *rand.Rand, core *pipeline.Core) Values
+	// Exprs are the model expressions to test.
+	Exprs []Expr
+}
+
+// padNops is the pipeline-flushing padding around the measured sequence
+// (the paper uses 100 on hardware; the simulated pipeline state is fully
+// flushed well within 12).
+const padNops = 12
+
+// program assembles padding + sequence + padding and returns the static
+// instruction index of the first sequence instruction.
+func (b *Benchmark) program() (*isa.Program, int, error) {
+	var sb strings.Builder
+	for i := 0; i < padNops; i++ {
+		sb.WriteString("nop\n")
+	}
+	sb.WriteString(b.Seq)
+	sb.WriteByte('\n')
+	for i := 0; i < padNops; i++ {
+		sb.WriteString("nop\n")
+	}
+	p, err := isa.Assemble(sb.String())
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.Len() != b.SeqLen+2*padNops {
+		return nil, 0, fmt.Errorf("leakscan: %s: sequence length %d, declared %d",
+			b.Name, p.Len()-2*padNops, b.SeqLen)
+	}
+	return p, padNops, nil
+}
+
+// Options configures a leakage scan.
+type Options struct {
+	// Traces is the number of random-input acquisitions (the paper uses
+	// 100k on hardware; the simulator's SNR needs far fewer).
+	Traces int
+	// Averages is the per-acquisition averaging factor (paper: 16).
+	Averages int
+	// Confidence is the detection criterion (paper: 0.995). The
+	// per-sample threshold is Bonferroni-corrected by the window width.
+	Confidence float64
+	// Seed drives operand randomization and measurement noise.
+	Seed int64
+	// Model is the power model; Core the micro-architecture.
+	Model power.Model
+	Core  pipeline.Config
+}
+
+// DefaultOptions returns the paper's §4 methodology scaled to the
+// simulator: 20000 traces of 16 averaged executions, 99.5% confidence.
+// The trace count is dictated by the weakest effect under test — the
+// shifter buffer's correlation sits at roughly one tenth of the other
+// leakages (§4.1), just as on the paper's hardware, where 100k traces
+// were needed.
+func DefaultOptions() Options {
+	return Options{
+		Traces:     20000,
+		Averages:   16,
+		Confidence: 0.995,
+		Seed:       1,
+		Model:      power.DefaultModel(),
+		Core:       pipeline.DefaultConfig(),
+	}
+}
+
+// ExprResult is the measured outcome for one expression.
+type ExprResult struct {
+	Expr
+	// Peak is the peak correlation inside the window; PeakSample its
+	// sample index.
+	Peak       float64
+	PeakSample int
+	// Confidence is the Fisher-z confidence of the peak.
+	Confidence float64
+	// Detected is the measured verdict after the Bonferroni-corrected
+	// threshold.
+	Detected bool
+	// Match reports Detected == Expected.Leaks().
+	Match bool
+}
+
+// BenchResult is the measured outcome of one Table 2 row.
+type BenchResult struct {
+	Name         string
+	Row          int
+	Dual         bool
+	DualExpected bool
+	Traces       int
+	Exprs        []ExprResult
+}
+
+// Agreement counts scored expressions matching the paper, including the
+// dual-issue column.
+func (r *BenchResult) Agreement() (match, total int) {
+	total++ // the Dual Issued column
+	if r.Dual == r.DualExpected {
+		match++
+	}
+	for _, e := range r.Exprs {
+		if !e.Scored {
+			continue
+		}
+		total++
+		if e.Match {
+			match++
+		}
+	}
+	return match, total
+}
+
+// RunBenchmark measures one Table 2 row.
+func RunBenchmark(b *Benchmark, opt Options) (*BenchResult, error) {
+	if opt.Traces < 8 {
+		return nil, fmt.Errorf("leakscan: need at least 8 traces, got %d", opt.Traces)
+	}
+	if err := opt.Model.Validate(); err != nil {
+		return nil, err
+	}
+	prog, seqStart, err := b.program()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Calibration run: issue cycles are input-independent, so one run
+	// fixes every expression's window and the dual-issue verdict.
+	calCore, err := pipeline.New(opt.Core, nil)
+	if err != nil {
+		return nil, err
+	}
+	calVals := b.Setup(rand.New(rand.NewSource(opt.Seed^0x5ca1ab1e)), calCore)
+	_ = calVals
+	calRes, err := calCore.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	issueCycle := make(map[int]int64) // static PC -> issue cycle
+	dualSeen := false
+	for _, is := range calRes.Issues {
+		if _, ok := issueCycle[is.PC]; !ok {
+			issueCycle[is.PC] = is.Cycle
+		}
+		if is.PC >= seqStart && is.PC < seqStart+b.SeqLen && is.Dual {
+			dualSeen = true
+		}
+	}
+	spc := opt.Model.SamplesPerCycle
+	nSamples := len(calRes.Timeline) * spc
+
+	type window struct{ lo, hi int } // sample range, inclusive lo, exclusive hi
+	windows := make([]window, len(b.Exprs))
+	for i, e := range b.Exprs {
+		pc := seqStart + e.Anchor
+		base, ok := issueCycle[pc]
+		if !ok {
+			return nil, fmt.Errorf("leakscan: %s: expression %q anchors at unexecuted pc %d", b.Name, e.Name, pc)
+		}
+		lo := (int(base) + e.OffLo) * spc
+		hi := (int(base) + e.OffHi + 1) * spc
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nSamples {
+			hi = nSamples
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("leakscan: %s: empty window for %q", b.Name, e.Name)
+		}
+		windows[i] = window{lo, hi}
+	}
+
+	cpa, err := sca.NewCPA(len(b.Exprs), nSamples)
+	if err != nil {
+		return nil, err
+	}
+	hyp := make([]float64, len(b.Exprs))
+	for n := 0; n < opt.Traces; n++ {
+		core, err := pipeline.New(opt.Core, nil)
+		if err != nil {
+			return nil, err
+		}
+		vals := b.Setup(rng, core)
+		res, err := core.Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+		if len(tr) != nSamples {
+			return nil, fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
+				b.Name, len(tr), nSamples)
+		}
+		for i, e := range b.Exprs {
+			hyp[i] = e.Eval(vals)
+		}
+		if err := cpa.Add(tr, hyp); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &BenchResult{Name: b.Name, Row: b.Row, Dual: dualSeen, DualExpected: b.DualExpected, Traces: opt.Traces}
+	for i, e := range b.Exprs {
+		w := windows[i]
+		best, bestS := 0.0, w.lo
+		for s := w.lo; s < w.hi; s++ {
+			r := cpa.Corr(i, s)
+			if abs(r) > abs(best) {
+				best, bestS = r, s
+			}
+		}
+		conf := sca.CorrConfidence(best, opt.Traces)
+		// Bonferroni correction over the window width.
+		thr := 1 - (1-opt.Confidence)/float64(w.hi-w.lo)
+		det := conf > thr
+		out.Exprs = append(out.Exprs, ExprResult{
+			Expr: e, Peak: best, PeakSample: bestS,
+			Confidence: conf, Detected: det,
+			Match: det == e.Expected.Leaks(),
+		})
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RunAll measures every Table 2 row.
+func RunAll(opt Options) ([]*BenchResult, error) {
+	var out []*BenchResult
+	for _, b := range Benchmarks() {
+		b := b
+		r, err := RunBenchmark(&b, opt)
+		if err != nil {
+			return nil, fmt.Errorf("leakscan: %s: %w", b.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Agreement aggregates scored agreement over all rows.
+func Agreement(rs []*BenchResult) (match, total int) {
+	for _, r := range rs {
+		m, t := r.Agreement()
+		match += m
+		total += t
+	}
+	return match, total
+}
+
+// Report renders the scan in the shape of Table 2.
+func Report(rs []*BenchResult) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "Row %d: %s (dual issued: %v, expected %v, %d traces)\n",
+			r.Row, r.Name, r.Dual, r.DualExpected, r.Traces)
+		for _, e := range r.Exprs {
+			status := "OK "
+			if !e.Match {
+				status = "DIFF"
+			}
+			scored := " "
+			if e.Scored {
+				scored = "*"
+			}
+			fmt.Fprintf(&sb, "  %s%s %-14s %-14s r=%+.3f conf=%.4f detected=%-5v expected=%s\n",
+				status, scored, e.Column, e.Name, e.Peak, e.Confidence, e.Detected, e.Expected)
+		}
+	}
+	m, t := Agreement(rs)
+	fmt.Fprintf(&sb, "scored agreement with Table 2: %d/%d\n", m, t)
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package leakscan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/sca"
+)
+
+// TVLAResult is the outcome of a fixed-vs-random Welch t-test leakage
+// assessment — the non-specific methodology complementing the paper's
+// model-based CPA detection (included as an extension; see [16] in the
+// paper for the tool-oriented motivation).
+type TVLAResult struct {
+	// MaxT is the largest absolute t statistic over all samples; Sample
+	// its index.
+	MaxT   float64
+	Sample int
+	// Detected applies the conventional |t| > 4.5 threshold.
+	Detected bool
+	// TracesPerGroup is the per-group acquisition count.
+	TracesPerGroup int
+}
+
+// TVLAThreshold is the conventional detection threshold.
+const TVLAThreshold = 4.5
+
+// RunTVLA performs a fixed-vs-random t-test on one Table 2 benchmark:
+// group 0 re-runs the sequence with one fixed operand draw, group 1 with
+// fresh random draws, and the per-sample Welch t statistic flags any
+// data-dependent consumption without assuming a power model.
+func RunTVLA(b *Benchmark, opt Options) (*TVLAResult, error) {
+	if opt.Traces < 8 {
+		return nil, fmt.Errorf("leakscan: need at least 8 traces, got %d", opt.Traces)
+	}
+	if err := opt.Model.Validate(); err != nil {
+		return nil, err
+	}
+	prog, _, err := b.program()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	fixedRng := rand.New(rand.NewSource(opt.Seed ^ 0x0f1ced))
+
+	calCore, err := pipeline.New(opt.Core, nil)
+	if err != nil {
+		return nil, err
+	}
+	b.Setup(rand.New(rand.NewSource(1)), calCore)
+	cal, err := calCore.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	nSamples := len(cal.Timeline) * opt.Model.SamplesPerCycle
+	w := sca.NewWelch(nSamples)
+
+	for n := 0; n < opt.Traces; n++ {
+		group := n & 1
+		c, err := pipeline.New(opt.Core, nil)
+		if err != nil {
+			return nil, err
+		}
+		if group == 0 {
+			// Fixed group: replay the same operand draw every time.
+			b.Setup(rand.New(rand.NewSource(fixedRng.Int63()*0+42)), c)
+		} else {
+			b.Setup(rng, c)
+		}
+		res, err := c.Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+		if err := w.Add(group, tr); err != nil {
+			return nil, err
+		}
+	}
+	ts := w.T()
+	maxT, idx := sca.MaxAbs(ts)
+	return &TVLAResult{
+		MaxT: maxT, Sample: idx,
+		Detected:       maxT > TVLAThreshold,
+		TracesPerGroup: opt.Traces / 2,
+	}, nil
+}

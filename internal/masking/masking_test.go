@@ -1,0 +1,147 @@
+package masking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+)
+
+func TestSplitCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(v uint32) bool {
+		s0, s1 := Split(rng, v)
+		return Combine(s0, s1) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorConst(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(v, c uint32) bool {
+		s0, s1 := Split(rng, v)
+		x0, x1 := XorConst(s0, s1, c)
+		return Combine(x0, x1) == v^c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(v uint32) bool {
+		s0, s1 := Split(rng, v)
+		r0, r1 := Refresh(rng, s0, s1)
+		return Combine(r0, r1) == v && (r0 != s0 || r1 != s1 || v == Combine(s0, s1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskedAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(a, b uint32) bool {
+		a0, a1 := Split(rng, a)
+		b0, b1 := Split(rng, b)
+		c0, c1 := And(rng, a0, a1, b0, b1)
+		return Combine(c0, c1) == a&b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shares must be individually uniform: each share alone says nothing.
+func TestShareUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	ones := 0
+	for i := 0; i < n; i++ {
+		s0, _ := Split(rng, 0xFFFFFFFF) // extreme secret
+		ones += int(s0 & 1)
+	}
+	frac := float64(ones) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("share bit bias %v, want about 0.5", frac)
+	}
+}
+
+func TestStaticCheckerVerdicts(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cases := []struct {
+		g        Gadget
+		violates bool
+	}{
+		{NaiveXor(), true},
+		{SeparatedXor(), false},
+		{DualIssueXor(), false},
+	}
+	for _, c := range cases {
+		v, err := CheckStatic(c.g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.g.Name, err)
+		}
+		if (len(v) > 0) != c.violates {
+			for _, x := range v {
+				t.Logf("  %s", x)
+			}
+			t.Errorf("%s: violations=%d, want violating=%v", c.g.Name, len(v), c.violates)
+		}
+	}
+}
+
+func TestDynamicLeakageMatchesStatic(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	naive, err := EvaluateLeakage(NaiveXor(), cfg, 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Detected {
+		t.Errorf("naive gadget must leak HW(secret): r=%v conf=%v", naive.MaxCorr, naive.Confidence)
+	}
+	dual, err := EvaluateLeakage(DualIssueXor(), cfg, 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Detected {
+		t.Errorf("dual-issued gadget must not leak: r=%v conf=%v", dual.MaxCorr, dual.Confidence)
+	}
+	sep, err := EvaluateLeakage(SeparatedXor(), cfg, 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Detected {
+		t.Errorf("separated gadget must not leak: r=%v conf=%v", sep.MaxCorr, sep.Confidence)
+	}
+}
+
+// Porting hazard: the dual-issue-protected gadget recombines when the
+// same binary runs on a scalar, ISA-compatible core (§1's portable
+// side-channel security problem).
+func TestDualIssueGadgetBreaksOnScalarCore(t *testing.T) {
+	v, err := CheckStatic(DualIssueXor(), pipeline.ScalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 {
+		t.Fatal("scalar core must recombine the dual-issue-protected shares")
+	}
+	dyn, err := EvaluateLeakage(DualIssueXor(), pipeline.ScalarConfig(), 1200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dyn.Detected {
+		t.Errorf("scalar core leak not measured: r=%v conf=%v", dyn.MaxCorr, dyn.Confidence)
+	}
+}
+
+func TestEvaluateLeakageValidation(t *testing.T) {
+	if _, err := EvaluateLeakage(NaiveXor(), pipeline.DefaultConfig(), 2, 1); err == nil {
+		t.Error("too few traces must be rejected")
+	}
+}

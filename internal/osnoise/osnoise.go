@@ -1,0 +1,146 @@
+// Package osnoise models the "realistic scenario" of the paper's §5
+// Figure 4 experiment: the AES target runs as an unprivileged userspace
+// process on a full Linux distribution with a GUI, no clock gating, no
+// CPU affinity, and an Apache web server saturating both cores with 1000
+// HTTP requests per second driven from another machine.
+//
+// For the power side channel this environment contributes three effects:
+//
+//   - a raised, fluctuating noise floor from the second core and the
+//     un-gated peripherals (uncorrelated with the target's data);
+//   - occasional preemptions by the scheduler, which replace a slice of
+//     the target's activity with foreign activity and displace the rest
+//     of the computation in time, corrupting the affected acquisition;
+//   - trigger jitter relative to the core clock.
+//
+// The model reproduces all three on top of a noiseless pipeline timeline.
+package osnoise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Environment describes the loaded-system conditions.
+type Environment struct {
+	// NoiseBoost is the additional Gaussian noise sigma contributed by
+	// the second core and peripherals, added to the model's own
+	// measurement noise.
+	NoiseBoost float64
+	// ActivityLevel is the mean extra consumption of the busy system,
+	// raising the baseline with slow fluctuations.
+	ActivityLevel float64
+	// ActivityWobble is the amplitude of the slow baseline fluctuation.
+	ActivityWobble float64
+	// PreemptProb is the per-execution probability that the scheduler
+	// preempts the target mid-computation.
+	PreemptProb float64
+	// PreemptMin and PreemptMax bound the stolen time in samples; during
+	// the stolen slice the trace shows foreign activity and the rest of
+	// the computation is displaced beyond the acquisition window.
+	PreemptMin, PreemptMax int
+	// JitterSamples is the trigger jitter amplitude.
+	JitterSamples int
+}
+
+// LoadedLinux returns the Figure 4 environment: Ubuntu 16.04 with X, an
+// Apache 2.4 server at 1000 queries/s keeping both cores at full load
+// (verified with htop in the paper), and the CPU at 120 MHz.
+func LoadedLinux() Environment {
+	return Environment{
+		NoiseBoost:     3.0,
+		ActivityLevel:  6.0,
+		ActivityWobble: 2.0,
+		PreemptProb:    0.02,
+		PreemptMin:     64,
+		PreemptMax:     512,
+		JitterSamples:  1,
+	}
+}
+
+// Quiet returns a bare-metal-like environment (no extra effects), useful
+// as the control in ablations.
+func Quiet() Environment { return Environment{} }
+
+// Validate reports the first configuration error.
+func (env Environment) Validate() error {
+	switch {
+	case env.NoiseBoost < 0 || env.ActivityLevel < 0 || env.ActivityWobble < 0:
+		return fmt.Errorf("osnoise: negative noise parameters")
+	case env.PreemptProb < 0 || env.PreemptProb > 1:
+		return fmt.Errorf("osnoise: preempt probability %g out of [0,1]", env.PreemptProb)
+	case env.PreemptMin < 0 || env.PreemptMax < env.PreemptMin:
+		return fmt.Errorf("osnoise: bad preemption bounds [%d,%d]", env.PreemptMin, env.PreemptMax)
+	case env.JitterSamples < 0:
+		return fmt.Errorf("osnoise: negative jitter")
+	}
+	return nil
+}
+
+// Acquire captures one averaged acquisition of the timeline under the
+// environment: avg executions with independent noise, preemption and
+// jitter, averaged point-wise (the paper's 16-fold on-scope averaging).
+func (env Environment) Acquire(tl pipeline.Timeline, m *power.Model, rng *rand.Rand, avg int) trace.Trace {
+	if avg < 1 {
+		avg = 1
+	}
+	var acc trace.Trace
+	for i := 0; i < avg; i++ {
+		t := env.one(tl, m, rng)
+		if acc == nil {
+			acc = t
+		} else {
+			_ = acc.AddInPlace(t)
+		}
+	}
+	return acc.Scale(1 / float64(avg))
+}
+
+// one renders a single execution under the environment.
+func (env Environment) one(tl pipeline.Timeline, m *power.Model, rng *rand.Rand) trace.Trace {
+	t := m.Synthesize(tl, rng)
+	// Busy-system baseline: raised mean with a slow wobble across the
+	// trace (other-core activity is low-frequency relative to samples).
+	if env.ActivityLevel > 0 || env.ActivityWobble > 0 {
+		phase := rng.Float64()
+		level := env.ActivityLevel + env.ActivityWobble*(2*phase-1)
+		for i := range t {
+			t[i] += level
+		}
+	}
+	if env.NoiseBoost > 0 {
+		for i := range t {
+			t[i] += rng.NormFloat64() * env.NoiseBoost
+		}
+	}
+	// Preemption: a random slice starting at a random point is replaced
+	// by foreign activity and everything after it is pushed out of the
+	// acquisition window (the target resumes later).
+	if env.PreemptProb > 0 && rng.Float64() < env.PreemptProb && len(t) > 4 {
+		start := rng.Intn(len(t))
+		span := env.PreemptMin
+		if env.PreemptMax > env.PreemptMin {
+			span += rng.Intn(env.PreemptMax - env.PreemptMin + 1)
+		}
+		shifted := make(trace.Trace, len(t))
+		copy(shifted, t[:start])
+		for i := start; i < len(t); i++ {
+			j := i - span
+			if j >= start {
+				shifted[i] = t[j]
+			} else {
+				// Foreign process activity: busy, data-uncorrelated.
+				shifted[i] = t[start] + rng.NormFloat64()*(env.NoiseBoost+2)
+			}
+		}
+		t = shifted
+	}
+	if env.JitterSamples > 0 {
+		t = t.Shift(rng.Intn(2*env.JitterSamples+1) - env.JitterSamples)
+	}
+	return t
+}

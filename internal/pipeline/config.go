@@ -1,0 +1,108 @@
+package pipeline
+
+import "fmt"
+
+// Config selects the micro-architectural parameters of the modelled core.
+// The defaults reproduce the Cortex-A7 structure deduced in §3 of the
+// paper; the feature toggles exist so ablation benchmarks can show which
+// observable behaviours each modelling choice is responsible for.
+type Config struct {
+	// DualIssue enables the second issue slot. Disabling it degrades the
+	// core to a scalar in-order machine (every Table 1 cell becomes ✗).
+	DualIssue bool
+
+	// StructuralPolicyOnly replaces the empirically measured pairing
+	// policy of Table 1 with a purely structural check (read-port,
+	// shifter, multiplier and LSU budgets). The difference between the
+	// two exposes which ✗ entries of Table 1 are policy, not resources.
+	StructuralPolicyOnly bool
+
+	// AlignedPairs restricts dual-issue candidates to fetch-aligned pairs
+	// (older instruction at an even index), modelling the 2-wide fetch
+	// unit of Figure 2. This is what makes Table 1 asymmetric: a repeated
+	// (mov, ldr) stream never pairs while (ldr, mov) always does. With
+	// AlignedPairs disabled the issue logic pairs any adjacent couple,
+	// an idealized core that cannot reproduce the asymmetry.
+	AlignedPairs bool
+
+	// NopZeroesWB models the paper's inference that a nop resets the
+	// write-back bus to zero, producing the † border-effect leakages of
+	// Table 2. Disabling it makes nops leave the WB bus untouched.
+	NopZeroesWB bool
+
+	// AlignBuffer models the LSU-internal sub-word extraction buffer
+	// (Table 2, row 7). When disabled, sub-word accesses leave no
+	// separate remanent state.
+	AlignBuffer bool
+
+	// StoreLaneReplication replicates sub-word store data across the
+	// 32-bit data bus lanes (ARM bus behaviour). When disabled, sub-word
+	// stores drive the zero-extended datum.
+	StoreLaneReplication bool
+
+	// Latencies, in cycles from issue to result availability.
+	ALULatency   int // simple ALU pipe (1-stage EX)
+	ShiftLatency int // shifter-equipped ALU pipe
+	MulLatency   int // pipelined multiplier
+	LoadLatency  int // LSU load-to-use
+
+	// BranchPenalty is the bubble after a taken branch (front-end refill).
+	BranchPenalty int
+
+	// FetchWidth is the number of instructions fetched per cycle.
+	FetchWidth int
+
+	// MaxCycles bounds a single Run as a runaway guard.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Cortex-A7 model of the paper: dual issue with
+// the Table 1 policy, nop-zeroed WB bus, align buffer present, 1-cycle
+// ALU, 3-stage shifter pipe and multiplier, 3-cycle load-to-use, 2-wide
+// fetch.
+func DefaultConfig() Config {
+	return Config{
+		DualIssue:            true,
+		AlignedPairs:         true,
+		StructuralPolicyOnly: false,
+		NopZeroesWB:          true,
+		AlignBuffer:          true,
+		StoreLaneReplication: true,
+		ALULatency:           1,
+		ShiftLatency:         2,
+		MulLatency:           3,
+		LoadLatency:          3,
+		BranchPenalty:        2,
+		FetchWidth:           2,
+		MaxCycles:            1 << 32,
+	}
+}
+
+// ScalarConfig returns a single-issue variant of the default model, the
+// baseline against which dual-issue effects are measured.
+func ScalarConfig() Config {
+	c := DefaultConfig()
+	c.DualIssue = false
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.ALULatency < 1:
+		return fmt.Errorf("pipeline: ALU latency must be >= 1, got %d", c.ALULatency)
+	case c.ShiftLatency < 1:
+		return fmt.Errorf("pipeline: shift latency must be >= 1, got %d", c.ShiftLatency)
+	case c.MulLatency < 1:
+		return fmt.Errorf("pipeline: mul latency must be >= 1, got %d", c.MulLatency)
+	case c.LoadLatency < 1:
+		return fmt.Errorf("pipeline: load latency must be >= 1, got %d", c.LoadLatency)
+	case c.BranchPenalty < 0:
+		return fmt.Errorf("pipeline: branch penalty must be >= 0, got %d", c.BranchPenalty)
+	case c.FetchWidth < 1:
+		return fmt.Errorf("pipeline: fetch width must be >= 1, got %d", c.FetchWidth)
+	case c.MaxCycles < 1:
+		return fmt.Errorf("pipeline: max cycles must be >= 1, got %d", c.MaxCycles)
+	}
+	return nil
+}

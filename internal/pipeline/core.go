@@ -1,0 +1,614 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// HaltTarget is the branch-target sentinel that stops execution: programs
+// return with "bx lr" after the core initializes LR to this value, or
+// simply run off the end of the instruction stream.
+const HaltTarget = 0x7FFFFFFF
+
+// IssueRecord describes the issue of one dynamic instruction.
+type IssueRecord struct {
+	// PC is the static instruction index in the program.
+	PC int
+	// Cycle is the clock cycle in which the instruction issued.
+	Cycle int64
+	// Slot is 0 for the older and 1 for the younger of a dual-issued
+	// pair; single-issued instructions always use slot 0.
+	Slot int
+	// Dual reports whether the instruction was part of a dual-issued pair.
+	Dual bool
+	// Executed reports whether the condition check passed.
+	Executed bool
+}
+
+// Result is the outcome of one program execution on the core.
+type Result struct {
+	// Cycles is the total cycle count: the cycle after the last issue,
+	// including trailing result latency is not counted (the paper's CPI
+	// measurements are issue-throughput measurements).
+	Cycles int64
+	// Issues records every dynamic instruction in issue order.
+	Issues []IssueRecord
+	// Timeline is the per-cycle component state history.
+	Timeline Timeline
+	// Regs is the final architectural register file.
+	Regs [isa.NumRegs]uint32
+	// Flags is the final CPSR state.
+	Flags isa.Flags
+	// Drives holds the provenance-tagged drive events when the core ran
+	// with EnableProvenance(true); nil otherwise.
+	Drives []DriveEvent
+}
+
+// DynamicInstrs returns the number of issued instructions.
+func (r *Result) DynamicInstrs() int { return len(r.Issues) }
+
+// CPI returns cycles per issued instruction over the whole run.
+func (r *Result) CPI() float64 {
+	if len(r.Issues) == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(len(r.Issues))
+}
+
+// CPIBetween returns the CPI over the dynamic instructions issued while
+// the program counter lay in [startPC, endPC). It reproduces the paper's
+// GPIO-delimited measurement: cycles elapsed across the region divided by
+// the number of region instructions.
+func (r *Result) CPIBetween(startPC, endPC int) float64 {
+	var first, last int64 = -1, -1
+	n := 0
+	for _, is := range r.Issues {
+		if is.PC >= startPC && is.PC < endPC {
+			if first < 0 {
+				first = is.Cycle
+			}
+			last = is.Cycle
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(last-first+1) / float64(n)
+}
+
+// Core is one Cortex-A7-style CPU core. A Core is not safe for concurrent
+// use; independent measurement runs should each construct their own.
+type Core struct {
+	cfg  Config
+	mem  *mem.Memory
+	hier *mem.Hierarchy // nil means ideal (always-warm) memory
+
+	regs       [isa.NumRegs]uint32
+	flags      isa.Flags
+	ready      [isa.NumRegs]int64
+	flagsReady int64
+
+	tl     Timeline
+	issues []IssueRecord
+
+	recordProv bool
+	prov       []DriveEvent
+}
+
+// New returns a core with the given configuration and data memory. A nil
+// memory allocates a fresh one. Cache timing is ideal (warm) unless a
+// hierarchy is attached with SetHierarchy.
+func New(cfg Config, m *mem.Memory) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = mem.NewMemory()
+	}
+	return &Core{cfg: cfg, mem: m}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config, m *mem.Memory) *Core {
+	c, err := New(cfg, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetHierarchy attaches a cache timing model; nil restores ideal timing.
+func (c *Core) SetHierarchy(h *mem.Hierarchy) { c.hier = h }
+
+// Mem returns the core's data memory.
+func (c *Core) Mem() *mem.Memory { return c.mem }
+
+// SetReg sets an architectural register before a run.
+func (c *Core) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
+
+// Reg reads an architectural register.
+func (c *Core) Reg(r isa.Reg) uint32 { return c.regs[r] }
+
+// SetRegs sets r0..r(n-1) from vals.
+func (c *Core) SetRegs(vals ...uint32) {
+	for i, v := range vals {
+		if i >= isa.NumRegs {
+			break
+		}
+		c.regs[i] = v
+	}
+}
+
+// ResetState clears registers, flags and recorded history, keeping memory
+// and configuration.
+func (c *Core) ResetState() {
+	c.regs = [isa.NumRegs]uint32{}
+	c.flags = isa.Flags{}
+	c.ready = [isa.NumRegs]int64{}
+	c.flagsReady = 0
+	c.tl = nil
+	c.issues = nil
+}
+
+// at returns the snapshot for the given cycle, growing the timeline.
+func (c *Core) at(cycle int64) *Snapshot {
+	for int64(len(c.tl)) <= cycle {
+		c.tl = append(c.tl, Snapshot{})
+	}
+	return &c.tl[cycle]
+}
+
+// driveWB asserts v on a write-back bus at the desired cycle, preferring
+// the given port and resolving collisions (two results retiring in the
+// same cycle) by falling over to the other port, then to the next cycle.
+func (c *Core) driveWB(cycle int64, port int, v uint32, pc int, role Role) {
+	for {
+		s := c.at(cycle)
+		p := Component(int(WBBus0) + port)
+		if !s.IsDriven(p) {
+			c.rec(cycle, p, v, pc, role)
+			return
+		}
+		other := Component(int(WBBus0) + 1 - port)
+		if !s.IsDriven(other) {
+			c.rec(cycle, other, v, pc, role)
+			return
+		}
+		cycle++
+	}
+}
+
+// exBoundOperands lists the operand values an instruction sends to the
+// execute stage over the IS/EX buses, in position order. Memory addresses
+// travel through the Issue-stage AGU instead ([12], §3.2), so loads
+// contribute none and stores contribute only their data.
+func exBoundOperands(in isa.Instr, regs *[isa.NumRegs]uint32) []uint32 {
+	switch {
+	case in.Op == isa.NOP:
+		// Condition-never instruction with zero-valued operands (§4.1).
+		return []uint32{0, 0}
+	case in.Op.IsMul():
+		vals := []uint32{regs[in.Rn], regs[in.Rm]}
+		if in.Op == isa.MLA {
+			vals = append(vals, regs[in.Ra])
+		}
+		return vals
+	case in.Op.IsStore():
+		return []uint32{regs[in.Rd]}
+	case in.Op.IsLoad(), in.Op.IsBranch():
+		return nil
+	case in.Op.IsDataProc():
+		var vals []uint32
+		if in.Op.UsesRn() {
+			vals = append(vals, regs[in.Rn])
+		}
+		if !in.Op2.IsImm {
+			vals = append(vals, regs[in.Op2.Reg])
+			if in.Op2.ShiftByReg {
+				vals = append(vals, regs[in.Op2.ShiftReg])
+			}
+		}
+		return vals
+	}
+	return nil
+}
+
+// needsPipe1 reports whether the instruction must execute on pipe 1, the
+// only pipe equipped with the barrel shifter and the multiplier (§3.2).
+func needsPipe1(in isa.Instr) bool {
+	return in.UsesShifter() || in.Op.IsMul()
+}
+
+// assignPipes selects execution pipes for an issue group. A single
+// instruction takes pipe 1 only when it needs the shifter or multiplier;
+// in a dual-issued pair whichever instruction needs pipe 1 claims it and
+// the partner falls back to pipe 0 (the pairing policy guarantees at most
+// one such claimant).
+func assignPipes(older isa.Instr, younger *isa.Instr) (pOlder, pYounger int) {
+	if younger == nil {
+		if needsPipe1(older) {
+			return 1, 0
+		}
+		return 0, 0
+	}
+	if needsPipe1(older) {
+		return 1, 0
+	}
+	return 0, 1
+}
+
+// latencyOf returns issue-to-result latency in cycles.
+func (c *Core) latencyOf(in isa.Instr) int64 {
+	switch {
+	case in.Op.IsMul():
+		return int64(c.cfg.MulLatency)
+	case in.Op.IsLoad():
+		return int64(c.cfg.LoadLatency)
+	case in.UsesShifter():
+		return int64(c.cfg.ShiftLatency)
+	default:
+		return int64(c.cfg.ALULatency)
+	}
+}
+
+// readyCycle returns the earliest cycle at which every operand of in is
+// available, not before lower.
+func (c *Core) readyCycle(in isa.Instr, lower int64) int64 {
+	e := lower
+	for _, s := range in.SrcRegs() {
+		if c.ready[s] > e {
+			e = c.ready[s]
+		}
+	}
+	if in.Cond != isa.AL && in.Cond != isa.NV && c.flagsReady > e {
+		e = c.flagsReady
+	}
+	return e
+}
+
+// Run executes prog to completion and returns the run's Result. The core
+// keeps its architectural state afterwards, so callers can inspect
+// registers and memory; call ResetState between independent measurements.
+func (c *Core) Run(prog *isa.Program) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	c.tl = nil
+	c.issues = nil
+	c.prov = nil
+	c.ready = [isa.NumRegs]int64{}
+	c.flagsReady = 0
+	c.regs[isa.LR] = HaltTarget
+
+	var cycle int64
+	pc := 0
+	for pc >= 0 && pc < len(prog.Instrs) {
+		if cycle > c.cfg.MaxCycles {
+			return nil, fmt.Errorf("pipeline: exceeded %d cycles (runaway program?)", c.cfg.MaxCycles)
+		}
+		in := prog.Instrs[pc]
+		e := c.readyCycle(in, cycle)
+		if c.hier != nil {
+			if fp := c.hier.FetchPenalty(pc); fp > 0 {
+				e += int64(fp)
+			}
+		}
+
+		// Dual-issue decision.
+		dual := false
+		var younger isa.Instr
+		if c.cfg.DualIssue && pc+1 < len(prog.Instrs) && (!c.cfg.AlignedPairs || pc%2 == 0) {
+			younger = prog.Instrs[pc+1]
+			if c.cfg.CanPair(in, younger) && c.readyCycle(younger, e) == e {
+				// A taken branch in slot 0 squashes the younger.
+				if !(in.Op.IsBranch() && in.Cond.Passed(c.flags)) {
+					dual = true
+				}
+			}
+		}
+
+		var pOlder, pYounger int
+		if dual {
+			pOlder, pYounger = assignPipes(in, &younger)
+		} else {
+			pOlder, _ = assignPipes(in, nil)
+		}
+		stall, taken, target := c.issueOne(in, pc, e, 0, dual, pOlder)
+		next := pc + 1
+		if dual {
+			s2, t2, tgt2 := c.issueOne(younger, pc+1, e, 1, true, pYounger)
+			if s2 > stall {
+				stall = s2
+			}
+			if t2 {
+				taken, target = true, tgt2
+			}
+			next = pc + 2
+		}
+
+		cycle = e + 1 + stall
+		if taken {
+			cycle += int64(c.cfg.BranchPenalty)
+			next = target
+		}
+		pc = next
+	}
+
+	res := &Result{
+		Issues:   c.issues,
+		Timeline: c.finalizeTimeline(),
+		Regs:     c.regs,
+		Flags:    c.flags,
+		Drives:   c.prov,
+	}
+	if n := len(c.issues); n > 0 {
+		res.Cycles = c.issues[n-1].Cycle + 1 - c.issues[0].Cycle
+	}
+	return res, nil
+}
+
+// issueOne issues a single instruction at cycle e in the given slot,
+// performing its architectural effects and recording its leakage events.
+// It returns extra stall cycles (memory penalties), whether a branch was
+// taken, and the branch target.
+func (c *Core) issueOne(in isa.Instr, pc int, e int64, slot int, dual bool, pipe int) (stall int64, taken bool, target int) {
+	passed := in.Cond.Passed(c.flags)
+	c.issues = append(c.issues, IssueRecord{PC: pc, Cycle: e, Slot: slot, Dual: dual, Executed: passed})
+
+	// Register-file read ports and IS/EX buses at the issue cycle.
+	s := c.at(e)
+	port := 0
+	if slot == 1 {
+		// The younger instruction's reads use the remaining ports.
+		for port < 3 && s.IsDriven(Component(int(RFRead0)+port)) {
+			port++
+		}
+	}
+	for i, r := range in.SrcRegs() {
+		if port < 3 {
+			c.rec(e, Component(int(RFRead0)+port), c.regs[r], pc, srcRole(i))
+			port++
+		}
+	}
+	// The IS/EX buses drive the execute stage one cycle after the RF
+	// read (the operands traverse the IS stage first), which is what
+	// separates the RF read-port activity from the bus activity in time.
+	ex := c.at(e + 1)
+	bus := 0
+	if slot == 1 {
+		for bus < 3 && ex.IsDriven(Component(int(ISBus0)+bus)) {
+			bus++
+		}
+	}
+	for i, v := range exBoundOperands(in, &c.regs) {
+		if bus < 3 {
+			role := srcRole(i)
+			if in.Op == isa.NOP {
+				role = RoleZero
+			}
+			c.rec(e+1, Component(int(ISBus0)+bus), v, pc, role)
+			bus++
+		}
+	}
+
+	lat := c.latencyOf(in)
+	wbPort := slot
+
+	switch {
+	case in.Op == isa.NOP:
+		if c.cfg.NopZeroesWB {
+			// The nop's zero-valued "result" resets the write-back buses
+			// (§4.1's inferred implementation choice behind the † border
+			// effects of Table 2). A real result retiring in the same
+			// cycle keeps its bus: the zero only claims idle ports.
+			s := c.at(e + 2)
+			for _, p := range []Component{WBBus0, WBBus1} {
+				if !s.IsDriven(p) {
+					c.rec(e+2, p, 0, pc, RoleZero)
+				}
+			}
+		}
+		return 0, false, 0
+
+	case in.Op.IsBranch():
+		if !passed {
+			return 0, false, 0
+		}
+		switch in.Op {
+		case isa.B:
+			return 0, true, in.Target
+		case isa.BL:
+			c.regs[isa.LR] = uint32(pc + 1)
+			c.ready[isa.LR] = e + int64(c.cfg.ALULatency)
+			return 0, true, in.Target
+		case isa.BX:
+			t := c.regs[in.Rm]
+			if t >= HaltTarget {
+				return 0, true, int(^uint(0) >> 1) // halt: beyond program end
+			}
+			return 0, true, int(t)
+		}
+		return 0, false, 0
+
+	case in.Op.IsMem():
+		return c.issueMem(in, pc, e, passed, wbPort)
+
+	case in.Op.IsMul():
+		if !passed {
+			if c.cfg.NopZeroesWB {
+				c.driveWB(e+lat+1, wbPort, 0, pc, RoleZero)
+			}
+			return 0, false, 0
+		}
+		a, b := c.regs[in.Rn], c.regs[in.Rm]
+		v := a * b
+		if in.Op == isa.MLA {
+			v += c.regs[in.Ra]
+		}
+		c.rec(e+1, ALUIn10, a, pc, RoleSrc0) // multiplier lives in pipe 1
+		c.rec(e+1, ALUIn11, b, pc, RoleSrc1)
+		c.rec(e+1, ALUOut1, v, pc, RoleResult)
+		c.writeBack(in.Rd, v, e, lat, wbPort, pc)
+		if in.SetFlags {
+			c.flags.N = v&(1<<31) != 0
+			c.flags.Z = v == 0
+			c.flagsReady = e + 1
+		}
+		return 0, false, 0
+
+	default: // data processing
+		a := uint32(0)
+		if in.Op.UsesRn() {
+			a = c.regs[in.Rn]
+		}
+		var sh isa.ShiftResult
+		if in.Op2.IsImm {
+			sh = isa.ShiftResult{Value: in.Op2.Imm, CarryOut: c.flags.C}
+		} else {
+			amt := uint32(in.Op2.ShiftAmt)
+			if in.Op2.ShiftByReg {
+				amt = c.regs[in.Op2.ShiftReg] & 0xFF
+			}
+			sh = isa.EvalShift(in.Op2.Shift, c.regs[in.Op2.Reg], amt, c.flags.C)
+		}
+		if !passed {
+			if c.cfg.NopZeroesWB && in.Op.HasDest() {
+				c.driveWB(e+lat+1, wbPort, 0, pc, RoleZero)
+			}
+			return 0, false, 0
+		}
+		r := isa.EvalDataProc(in.Op, a, sh.Value, sh.CarryOut, c.flags)
+		if in.UsesShifter() {
+			c.rec(e+1, ShiftBuf, sh.Value, pc, RoleShifted)
+		}
+		in0 := Component(int(ALUIn00) + 2*pipe)
+		if in.Op.UsesRn() {
+			c.rec(e+1, in0, a, pc, RoleSrc0)
+			c.rec(e+1, in0+1, sh.Value, pc, RoleSrc1)
+		} else {
+			c.rec(e+1, in0, sh.Value, pc, RoleSrc0)
+		}
+		c.rec(e+1, Component(int(ALUOut0)+pipe), r.Value, pc, RoleResult)
+		if in.Op.HasDest() {
+			c.writeBack(in.Rd, r.Value, e, lat, wbPort, pc)
+		}
+		if in.SetFlags || in.Op.IsCompare() {
+			c.flags = r.Flags
+			c.flagsReady = e + 1
+		}
+		return 0, false, 0
+	}
+}
+
+// issueMem performs a load or store: address generation through the AGU,
+// the cache access with its MDR and align-buffer leakage, and the
+// architectural memory effect.
+func (c *Core) issueMem(in isa.Instr, pc int, e int64, passed bool, wbPort int) (stall int64, taken bool, target int) {
+	base := c.regs[in.Mem.Base]
+	off := int32(0)
+	if in.Mem.HasOffReg {
+		off = int32(c.regs[in.Mem.OffReg])
+	} else if in.Mem.OffImm {
+		off = in.Mem.Imm
+	}
+	addr := base
+	if !in.Mem.PostIndex {
+		addr = uint32(int64(base) + int64(off))
+	}
+	c.rec(e, AGU, addr, pc, RoleAddress)
+	if !passed {
+		return 0, false, 0
+	}
+	if c.hier != nil {
+		stall = int64(c.hier.DataPenalty(addr))
+	}
+
+	width := in.Op.AccessBytes()
+	mdrCycle := e + 2 + stall
+
+	if in.Op.IsLoad() {
+		word := c.mem.Read32(addr)
+		var val uint32
+		switch width {
+		case 4:
+			val = word
+		case 2:
+			val = uint32(c.mem.Read16(addr))
+		case 1:
+			val = uint32(c.mem.Read8(addr))
+		}
+		c.rec(mdrCycle, MDR, word, pc, RoleLoadData) // the cache returns the full word
+		if width < 4 && c.cfg.AlignBuffer {
+			c.rec(mdrCycle+1, AlignBuf, val, pc, RoleLoadData)
+		}
+		c.regs[in.Rd] = val
+		c.ready[in.Rd] = e + int64(c.cfg.LoadLatency) + stall
+		c.driveWB(e+int64(c.cfg.LoadLatency)+stall+1, wbPort, val, pc, RoleLoadData)
+	} else {
+		data := c.regs[in.Rd]
+		var busWord uint32
+		switch width {
+		case 4:
+			busWord = data
+			c.mem.Write32(addr, data)
+		case 2:
+			h := data & 0xFFFF
+			busWord = h
+			if c.cfg.StoreLaneReplication {
+				busWord = h | h<<16
+			}
+			c.mem.Write16(addr, uint16(h))
+		case 1:
+			b := data & 0xFF
+			busWord = b
+			if c.cfg.StoreLaneReplication {
+				busWord = b | b<<8 | b<<16 | b<<24
+			}
+			c.mem.Write8(addr, uint8(b))
+		}
+		c.rec(mdrCycle, MDR, busWord, pc, RoleStoreData)
+		if width < 4 && c.cfg.AlignBuffer {
+			c.rec(mdrCycle+1, AlignBuf, data&((1<<(8*width))-1), pc, RoleStoreData)
+		}
+		// Store data traverses the EX/WB datapath on its way out.
+		c.driveWB(e+2, wbPort, data, pc, RoleStoreData)
+	}
+
+	if wb, ok := in.BaseWriteBack(); ok {
+		c.regs[wb] = uint32(int64(base) + int64(off))
+		c.ready[wb] = e + int64(c.cfg.ALULatency)
+	}
+	return stall, false, 0
+}
+
+// writeBack records an architectural register write: the result is
+// forwardable after the unit latency, and the EX/WB bus asserts it one
+// cycle later, in the separate write-back stage of the 8-stage pipeline.
+// That one-cycle gap is what lets measurements attribute EX-stage and
+// WB-stage leakage to different clock cycles (§4.1).
+func (c *Core) writeBack(rd isa.Reg, v uint32, e, lat int64, wbPort int, pc int) {
+	c.regs[rd] = v
+	c.ready[rd] = e + lat
+	c.driveWB(e+lat+1, wbPort, v, pc, RoleResult)
+}
+
+// finalizeTimeline forward-fills undriven components so that consecutive
+// snapshots can be compared directly: a component that was not re-driven
+// holds its previous value and thus contributes zero Hamming distance.
+func (c *Core) finalizeTimeline() Timeline {
+	var prev [NumComponents]uint32
+	for i := range c.tl {
+		s := &c.tl[i]
+		for comp := Component(0); comp < NumComponents; comp++ {
+			if s.IsDriven(comp) {
+				prev[comp] = s.Values[comp]
+			} else {
+				s.Values[comp] = prev[comp]
+			}
+		}
+	}
+	return c.tl
+}

@@ -1,0 +1,323 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// drivenValues extracts the sequence of values driven on one component
+// across the timeline, in cycle order.
+func drivenValues(tl Timeline, c Component) []uint32 {
+	var out []uint32
+	for i := range tl {
+		if tl[i].IsDriven(c) {
+			out = append(out, tl[i].Values[c])
+		}
+	}
+	return out
+}
+
+func TestISBusSharingSingleIssue(t *testing.T) {
+	// Two single-issued adds: same-position operands share a bus (§4.1).
+	// add r0, r1, r2 ; add r3, r4, r5 would dual-issue only with an
+	// immediate, so ALU+ALU is single-issued and shares buses.
+	c, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		add r3, r4, r5
+	`, func(c *Core) {
+		c.SetRegs(0, 0x11, 0x22, 0, 0x44, 0x55)
+	})
+	_ = c
+	bus0 := drivenValues(res.Timeline, ISBus0)
+	bus1 := drivenValues(res.Timeline, ISBus1)
+	if len(bus0) != 2 || bus0[0] != 0x11 || bus0[1] != 0x44 {
+		t.Errorf("ISBus0 = %#x, want [0x11 0x44] (rn values share bus0)", bus0)
+	}
+	if len(bus1) != 2 || bus1[0] != 0x22 || bus1[1] != 0x55 {
+		t.Errorf("ISBus1 = %#x, want [0x22 0x55] (op2 values share bus1)", bus1)
+	}
+}
+
+func TestISBusSeparationDualIssue(t *testing.T) {
+	// A dual-issued pair puts the younger's operand on the third bus, so
+	// the pair's source operands never share a resource (§4.1, Table 2
+	// row 3).
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		add r3, r4, #7
+	`, func(c *Core) {
+		c.SetRegs(0, 0x11, 0x22, 0, 0x44)
+	})
+	if !res.Issues[1].Dual {
+		t.Fatal("ALU + ALU-imm pair must dual-issue")
+	}
+	if got := drivenValues(res.Timeline, ISBus2); len(got) != 1 || got[0] != 0x44 {
+		t.Errorf("ISBus2 = %#x, want [0x44] (younger rn on its own bus)", got)
+	}
+}
+
+func TestNopDrivesZerosOnISBuses(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		mov r0, r1
+		nop
+		mov r2, r3
+	`, func(c *Core) {
+		c.SetRegs(0, 0xAA, 0, 0xBB)
+	})
+	bus0 := drivenValues(res.Timeline, ISBus0)
+	if len(bus0) != 3 || bus0[0] != 0xAA || bus0[1] != 0 || bus0[2] != 0xBB {
+		t.Errorf("ISBus0 = %#x, want [0xAA 0 0xBB] (nop drives zero)", bus0)
+	}
+}
+
+func TestALUInputLatchSkipsNop(t *testing.T) {
+	// §4.1: interleaving two movs with a nop forces them onto the same
+	// ALU; the nop never executes, so the ALU input latch combines the
+	// two mov operands directly (rB ⊕ rD leakage) even though the IS/EX
+	// bus saw a zero in between.
+	_, res := run(t, DefaultConfig(), `
+		mov r0, r1
+		nop
+		mov r2, r3
+	`, func(c *Core) {
+		c.SetRegs(0, 0xAA, 0, 0xBB)
+	})
+	latch := drivenValues(res.Timeline, ALUIn00)
+	if len(latch) != 2 || latch[0] != 0xAA || latch[1] != 0xBB {
+		t.Errorf("ALUIn00 = %#x, want [0xAA 0xBB] (nop does not clock the latch)", latch)
+	}
+}
+
+func TestALUOutCarriesResults(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		add r3, r4, r5
+	`, func(c *Core) {
+		c.SetRegs(0, 1, 2, 0, 10, 20)
+	})
+	out := drivenValues(res.Timeline, ALUOut0)
+	if len(out) != 2 || out[0] != 3 || out[1] != 30 {
+		t.Errorf("ALUOut0 = %v, want [3 30]", out)
+	}
+}
+
+func TestShiftBufferHoldsShiftedValue(t *testing.T) {
+	// Table 2 row 4: the barrel shifter buffer holds rC << n.
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2, lsl #4
+	`, func(c *Core) {
+		c.SetRegs(0, 0x3, 0x5)
+	})
+	sb := drivenValues(res.Timeline, ShiftBuf)
+	if len(sb) != 1 || sb[0] != 0x50 {
+		t.Errorf("ShiftBuf = %#x, want [0x50]", sb)
+	}
+}
+
+func TestWBBusTransitions(t *testing.T) {
+	// Successive single-issued results share WB bus 0 (§4.1 EX/WB).
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		add r3, r4, r5
+	`, func(c *Core) {
+		c.SetRegs(0, 1, 2, 0, 10, 20)
+	})
+	wb := drivenValues(res.Timeline, WBBus0)
+	if len(wb) != 2 || wb[0] != 3 || wb[1] != 30 {
+		t.Errorf("WBBus0 = %v, want [3 30]", wb)
+	}
+}
+
+func TestNopResetsWBBus(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		nop
+	`, func(c *Core) {
+		c.SetRegs(0, 1, 2)
+	})
+	wb := drivenValues(res.Timeline, WBBus0)
+	if len(wb) != 2 || wb[0] != 3 || wb[1] != 0 {
+		t.Errorf("WBBus0 = %v, want [3 0] (nop resets the WB bus)", wb)
+	}
+}
+
+func TestNopWBResetAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NopZeroesWB = false
+	prog := isa.MustAssemble("add r0, r1, r2\nnop")
+	c := MustNew(cfg, nil)
+	c.SetRegs(0, 1, 2)
+	res, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := drivenValues(res.Timeline, WBBus0)
+	if len(wb) != 1 || wb[0] != 3 {
+		t.Errorf("WBBus0 = %v, want [3] (no nop reset)", wb)
+	}
+}
+
+func TestMDRSequenceLoads(t *testing.T) {
+	// Table 2 row 5: consecutive loads leak HD(rA, rC) through the MDR.
+	_, res := run(t, DefaultConfig(), `
+		ldr r0, [r8]
+		ldr r1, [r9]
+	`, func(c *Core) {
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+		c.Mem().Write32(0x100, 0xAAAA5555)
+		c.Mem().Write32(0x200, 0x12345678)
+	})
+	mdr := drivenValues(res.Timeline, MDR)
+	if len(mdr) != 2 || mdr[0] != 0xAAAA5555 || mdr[1] != 0x12345678 {
+		t.Errorf("MDR = %#x, want loaded words", mdr)
+	}
+}
+
+func TestMDRByteStoreLaneReplication(t *testing.T) {
+	// A byte store drives the datum on all four byte lanes, so two
+	// consecutive byte stores leak 4*HD(b1, b2) — the Figure 4 model.
+	_, res := run(t, DefaultConfig(), `
+		strb r0, [r8]
+		strb r1, [r8, #1]
+	`, func(c *Core) {
+		c.SetRegs(0x5A, 0xC3)
+		c.SetReg(isa.R8, 0x300)
+	})
+	mdr := drivenValues(res.Timeline, MDR)
+	if len(mdr) != 2 || mdr[0] != 0x5A5A5A5A || mdr[1] != 0xC3C3C3C3 {
+		t.Errorf("MDR = %#x, want replicated byte lanes", mdr)
+	}
+}
+
+func TestAlignBufferRemanence(t *testing.T) {
+	// Table 2 row 7: byte loads update the align buffer; interleaved
+	// word loads do not, so the two byte values combine (rC ⊕ rG).
+	_, res := run(t, DefaultConfig(), `
+		ldr r0, [r8]
+		ldrb r1, [r9]
+		ldr r2, [r10]
+		ldrb r3, [r11]
+	`, func(c *Core) {
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+		c.SetReg(isa.R10, 0x300)
+		c.SetReg(isa.R11, 0x400)
+		c.Mem().Write32(0x100, 0x11111111)
+		c.Mem().Write8(0x200, 0xAB)
+		c.Mem().Write32(0x300, 0x22222222)
+		c.Mem().Write8(0x400, 0xCD)
+	})
+	ab := drivenValues(res.Timeline, AlignBuf)
+	if len(ab) != 2 || ab[0] != 0xAB || ab[1] != 0xCD {
+		t.Errorf("AlignBuf = %#x, want [0xAB 0xCD] (word loads skip it)", ab)
+	}
+}
+
+func TestAlignBufferAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlignBuffer = false
+	prog := isa.MustAssemble("ldrb r1, [r9]")
+	c := MustNew(cfg, nil)
+	c.SetReg(isa.R9, 0x200)
+	c.Mem().Write8(0x200, 0xAB)
+	res, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drivenValues(res.Timeline, AlignBuf); len(got) != 0 {
+		t.Errorf("AlignBuf driven %v with the buffer disabled", got)
+	}
+}
+
+func TestRFReadPortsRecordValues(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+	`, func(c *Core) {
+		c.SetRegs(0, 0x77, 0x88)
+	})
+	p0 := drivenValues(res.Timeline, RFRead0)
+	p1 := drivenValues(res.Timeline, RFRead1)
+	if len(p0) != 1 || p0[0] != 0x77 || len(p1) != 1 || p1[0] != 0x88 {
+		t.Errorf("RF ports = %#x / %#x, want 0x77 / 0x88", p0, p1)
+	}
+}
+
+func TestAGUSeesEffectiveAddress(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		ldr r0, [r8, #8]
+	`, func(c *Core) {
+		c.SetReg(isa.R8, 0x100)
+	})
+	agu := drivenValues(res.Timeline, AGU)
+	if len(agu) != 1 || agu[0] != 0x108 {
+		t.Errorf("AGU = %#x, want [0x108]", agu)
+	}
+}
+
+func TestStoreDataOnISBus(t *testing.T) {
+	// Table 2 row 6: str data values share an IS/EX bus (rA ⊕ rC).
+	_, res := run(t, DefaultConfig(), `
+		str r0, [r8]
+		str r1, [r9]
+	`, func(c *Core) {
+		c.SetRegs(0xDEAD, 0xBEEF)
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+	})
+	bus0 := drivenValues(res.Timeline, ISBus0)
+	if len(bus0) != 2 || bus0[0] != 0xDEAD || bus0[1] != 0xBEEF {
+		t.Errorf("ISBus0 = %#x, want store data values", bus0)
+	}
+}
+
+func TestLoadsDoNotTouchISBuses(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		ldr r0, [r8]
+		ldr r1, [r9]
+	`, func(c *Core) {
+		c.SetReg(isa.R8, 0x100)
+		c.SetReg(isa.R9, 0x200)
+	})
+	for _, comp := range []Component{ISBus0, ISBus1, ISBus2} {
+		if got := drivenValues(res.Timeline, comp); len(got) != 0 {
+			t.Errorf("%v driven %v by loads (addresses go through the AGU)", comp, got)
+		}
+	}
+}
+
+func TestTimelineForwardFill(t *testing.T) {
+	_, res := run(t, DefaultConfig(), `
+		add r0, r1, r2
+		nop
+		nop
+		nop
+	`, func(c *Core) {
+		c.SetRegs(0, 1, 2)
+	})
+	tl := res.Timeline
+	// Find the cycle where ALUOut0 was driven with 3; later snapshots
+	// must carry the value forward.
+	seen := false
+	for i := range tl {
+		if tl[i].IsDriven(ALUOut0) && tl[i].Values[ALUOut0] == 3 {
+			seen = true
+			continue
+		}
+		if seen && tl[i].Values[ALUOut0] != 3 {
+			t.Fatalf("cycle %d: ALUOut0 = %d, want forward-filled 3", i, tl[i].Values[ALUOut0])
+		}
+	}
+	if !seen {
+		t.Fatal("ALUOut0 never driven")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "" {
+			t.Errorf("component %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// table1 is the dual-issue pairing policy measured in §3.2 of the paper
+// (Table 1): table1[older][younger] reports whether the Cortex-A7
+// dual-issues the ordered pair of instruction classes. Entries involving
+// nop are absent because "nop instructions are not dual-issued by
+// Cortex-A7" (§3.2).
+var table1 = map[isa.Class]map[isa.Class]bool{
+	isa.ClassMov: {
+		isa.ClassMov: true, isa.ClassALU: true, isa.ClassALUImm: true,
+		isa.ClassMul: false, isa.ClassShift: true, isa.ClassBranch: true,
+		isa.ClassLoadStore: false,
+	},
+	isa.ClassALU: {
+		isa.ClassMov: true, isa.ClassALU: false, isa.ClassALUImm: true,
+		isa.ClassMul: false, isa.ClassShift: false, isa.ClassBranch: true,
+		isa.ClassLoadStore: false,
+	},
+	isa.ClassALUImm: {
+		isa.ClassMov: true, isa.ClassALU: true, isa.ClassALUImm: true,
+		isa.ClassMul: false, isa.ClassShift: true, isa.ClassBranch: true,
+		isa.ClassLoadStore: true,
+	},
+	isa.ClassBranch: {
+		isa.ClassMov: true, isa.ClassALU: true, isa.ClassALUImm: true,
+		isa.ClassMul: true, isa.ClassShift: true, isa.ClassBranch: false,
+		isa.ClassLoadStore: true,
+	},
+	isa.ClassLoadStore: {
+		isa.ClassMov: true, isa.ClassALU: false, isa.ClassALUImm: true,
+		isa.ClassMul: false, isa.ClassShift: false, isa.ClassBranch: true,
+		isa.ClassLoadStore: false,
+	},
+	isa.ClassMul: {
+		isa.ClassMov: false, isa.ClassALU: false, isa.ClassALUImm: false,
+		isa.ClassMul: false, isa.ClassShift: false, isa.ClassBranch: true,
+		isa.ClassLoadStore: false,
+	},
+	isa.ClassShift: {
+		isa.ClassMov: false, isa.ClassALU: false, isa.ClassALUImm: true,
+		isa.ClassMul: false, isa.ClassShift: false, isa.ClassBranch: true,
+		isa.ClassLoadStore: false,
+	},
+}
+
+// PolicyAllows reports whether the Table 1 policy dual-issues the ordered
+// class pair (older, younger).
+func PolicyAllows(older, younger isa.Class) bool {
+	row, ok := table1[older]
+	if !ok {
+		return false
+	}
+	return row[younger]
+}
+
+// pairBlock enumerates the reasons a pair cannot dual-issue; used by the
+// Explain API and the static analyzer in internal/core.
+type pairBlock uint8
+
+// Reasons a candidate pair is not dual-issued.
+const (
+	pairOK pairBlock = iota
+	pairPolicy
+	pairReadPorts
+	pairShifter
+	pairMultiplier
+	pairLSU
+	pairRAW
+	pairWAW
+	pairFlags
+	pairNop
+)
+
+var pairBlockNames = map[pairBlock]string{
+	pairOK:         "dual-issued",
+	pairPolicy:     "pairing policy (Table 1)",
+	pairReadPorts:  "register-file read ports exhausted",
+	pairShifter:    "single barrel shifter",
+	pairMultiplier: "single multiplier",
+	pairLSU:        "single load/store unit",
+	pairRAW:        "read-after-write dependence",
+	pairWAW:        "write-after-write dependence",
+	pairFlags:      "flag dependence",
+	pairNop:        "nops are never dual-issued",
+}
+
+func (b pairBlock) String() string { return pairBlockNames[b] }
+
+// classifyPair applies the structural and dependence constraints, and —
+// unless structuralOnly — the Table 1 policy, returning the first
+// blocking reason or pairOK.
+func classifyPair(older, younger isa.Instr, structuralOnly bool) pairBlock {
+	co, cy := isa.Classify(older), isa.Classify(younger)
+	if co == isa.ClassNop || cy == isa.ClassNop {
+		return pairNop
+	}
+	if co == isa.ClassOther || cy == isa.ClassOther {
+		return pairPolicy
+	}
+	// Dependences: the younger may not read or overwrite the older's
+	// destination, nor consume flags the older sets.
+	if d, ok := older.DstReg(); ok {
+		for _, s := range younger.SrcRegs() {
+			if s == d {
+				return pairRAW
+			}
+		}
+		if dy, oky := younger.DstReg(); oky && dy == d {
+			return pairWAW
+		}
+	}
+	if wb, ok := older.BaseWriteBack(); ok {
+		for _, s := range younger.SrcRegs() {
+			if s == wb {
+				return pairRAW
+			}
+		}
+	}
+	if older.SetFlags && younger.Cond != isa.AL {
+		return pairFlags
+	}
+	// Structural budgets: 3 RF read ports, one shifter, one multiplier,
+	// one LSU.
+	if len(older.SrcRegs())+len(younger.SrcRegs()) > 3 {
+		return pairReadPorts
+	}
+	// The shifter and the multiplier both live in execution pipe 1, so at
+	// most one of the pair may need either.
+	if (older.UsesShifter() || older.Op.IsMul()) && (younger.UsesShifter() || younger.Op.IsMul()) {
+		if older.Op.IsMul() && younger.Op.IsMul() {
+			return pairMultiplier
+		}
+		return pairShifter
+	}
+	if older.Op.IsMem() && younger.Op.IsMem() {
+		return pairLSU
+	}
+	if !structuralOnly && !PolicyAllows(co, cy) {
+		return pairPolicy
+	}
+	return pairOK
+}
+
+// CanPair reports whether the ordered instruction pair may dual-issue
+// under cfg, ignoring operand readiness (a timing property of a specific
+// execution, handled by the core loop).
+func (cfg Config) CanPair(older, younger isa.Instr) bool {
+	if !cfg.DualIssue {
+		return false
+	}
+	return classifyPair(older, younger, cfg.StructuralPolicyOnly) == pairOK
+}
+
+// ExplainPair returns a human-readable reason why the ordered pair does
+// or does not dual-issue under cfg.
+func (cfg Config) ExplainPair(older, younger isa.Instr) string {
+	if !cfg.DualIssue {
+		return "dual issue disabled"
+	}
+	return classifyPair(older, younger, cfg.StructuralPolicyOnly).String()
+}

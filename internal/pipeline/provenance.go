@@ -1,0 +1,79 @@
+package pipeline
+
+import "fmt"
+
+// Role names the architectural origin of a value driven onto a tracked
+// component.
+type Role string
+
+// Value roles.
+const (
+	// RoleSrc0..RoleSrc2 are source operands in position order.
+	RoleSrc0 Role = "src0"
+	RoleSrc1 Role = "src1"
+	RoleSrc2 Role = "src2"
+	// RoleResult is an execution result.
+	RoleResult Role = "result"
+	// RoleShifted is the barrel shifter output.
+	RoleShifted Role = "shifted"
+	// RoleLoadData and RoleStoreData are memory transfer values.
+	RoleLoadData  Role = "load-data"
+	RoleStoreData Role = "store-data"
+	// RoleAddress is an effective address.
+	RoleAddress Role = "address"
+	// RoleZero is the zero a nop (or an annulled conditional) drives.
+	RoleZero Role = "zero"
+)
+
+// srcRole returns the operand role for position i.
+func srcRole(i int) Role {
+	switch i {
+	case 0:
+		return RoleSrc0
+	case 1:
+		return RoleSrc1
+	default:
+		return RoleSrc2
+	}
+}
+
+// ValueTag identifies a value by the static instruction that produced or
+// consumed it and the role it played there.
+type ValueTag struct {
+	// PC is the static instruction index; -1 marks the initial state.
+	PC int
+	// Role is the value's role at that instruction.
+	Role Role
+}
+
+// String renders the tag as "pc:role".
+func (t ValueTag) String() string {
+	if t.PC < 0 {
+		return "initial"
+	}
+	return fmt.Sprintf("%d:%s", t.PC, t.Role)
+}
+
+// DriveEvent records one value assertion on a tracked component, with its
+// architectural provenance. The sequence of DriveEvents per component is
+// the raw material of the static leakage model in internal/core: two
+// consecutive drives of a component are a potential Hamming-distance
+// leakage between the two tagged values.
+type DriveEvent struct {
+	Cycle int64
+	Comp  Component
+	Value uint32
+	Tag   ValueTag
+}
+
+// EnableProvenance turns on drive-event recording for subsequent runs.
+func (c *Core) EnableProvenance(on bool) { c.recordProv = on }
+
+// rec drives v on comp at the given cycle and records provenance when
+// enabled.
+func (c *Core) rec(cycle int64, comp Component, v uint32, pc int, role Role) {
+	c.at(cycle).drive(comp, v)
+	if c.recordProv {
+		c.prov = append(c.prov, DriveEvent{Cycle: cycle, Comp: comp, Value: v, Tag: ValueTag{PC: pc, Role: role}})
+	}
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func runProv(t *testing.T, src string, setup func(*Core)) *Result {
+	t.Helper()
+	c := MustNew(DefaultConfig(), nil)
+	if setup != nil {
+		setup(c)
+	}
+	c.EnableProvenance(true)
+	res, err := c.Run(isa.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProvenanceDisabledByDefault(t *testing.T) {
+	c := MustNew(DefaultConfig(), nil)
+	res, err := c.Run(isa.MustAssemble("add r0, r1, r2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drives != nil {
+		t.Error("provenance must be off by default")
+	}
+}
+
+func TestProvenanceTagsRoles(t *testing.T) {
+	res := runProv(t, "add r0, r1, r2\nstr r0, [r8]", func(c *Core) {
+		c.SetRegs(0, 5, 7)
+		c.SetReg(isa.R8, 0x100)
+	})
+	want := map[ValueTag]bool{
+		{PC: 0, Role: RoleSrc0}:      false,
+		{PC: 0, Role: RoleSrc1}:      false,
+		{PC: 0, Role: RoleResult}:    false,
+		{PC: 1, Role: RoleStoreData}: false,
+		{PC: 1, Role: RoleAddress}:   false,
+	}
+	for _, d := range res.Drives {
+		if _, ok := want[d.Tag]; ok {
+			want[d.Tag] = true
+		}
+	}
+	for tag, seen := range want {
+		if !seen {
+			t.Errorf("missing drive tag %v", tag)
+		}
+	}
+}
+
+// Property: every drive event's value matches the timeline snapshot at
+// its cycle, and cycles are within the timeline.
+func TestProvenanceConsistentWithTimeline(t *testing.T) {
+	res := runProv(t, `
+		mov r0, #0xAB
+		add r1, r0, #1
+		eor r2, r1, r0
+		str r2, [r8]
+		ldr r3, [r8]
+		lsl r4, r3, #3
+		mul r5, r4, r1
+		nop
+	`, func(c *Core) {
+		c.SetReg(isa.R8, 0x200)
+	})
+	if len(res.Drives) == 0 {
+		t.Fatal("no drives recorded")
+	}
+	for _, d := range res.Drives {
+		if d.Cycle < 0 || d.Cycle >= int64(len(res.Timeline)) {
+			t.Fatalf("drive %v outside timeline (%d cycles)", d, len(res.Timeline))
+		}
+		snap := res.Timeline[d.Cycle]
+		if !snap.IsDriven(d.Comp) {
+			t.Fatalf("drive %v not marked driven in snapshot", d)
+		}
+	}
+}
+
+// Property: on random short straight-line programs, the number of
+// ALU-output drives equals the number of executed data-processing and
+// multiply instructions.
+func TestProvenanceALUCountProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		b := isa.NewBuilder()
+		n := int(seed%5) + 2
+		ops := []isa.Op{isa.ADD, isa.SUB, isa.EOR, isa.ORR, isa.AND}
+		for i := 0; i < n; i++ {
+			op := ops[(int(seed)+i)%len(ops)]
+			b.ALUImm(op, isa.Reg(i%6), isa.Reg((i+1)%6), uint32(i*3+1))
+		}
+		prog := b.MustBuild()
+		c := MustNew(DefaultConfig(), nil)
+		c.EnableProvenance(true)
+		res, err := c.Run(prog)
+		if err != nil {
+			return false
+		}
+		aluOuts := 0
+		for _, d := range res.Drives {
+			if d.Comp == ALUOut0 || d.Comp == ALUOut1 {
+				aluOuts++
+			}
+		}
+		return aluOuts == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueTagString(t *testing.T) {
+	if got := (ValueTag{PC: -1}).String(); got != "initial" {
+		t.Errorf("initial tag = %q", got)
+	}
+	if got := (ValueTag{PC: 3, Role: RoleSrc1}).String(); got != "3:src1" {
+		t.Errorf("tag = %q", got)
+	}
+}
+
+func TestRunResetsProvenance(t *testing.T) {
+	c := MustNew(DefaultConfig(), nil)
+	c.EnableProvenance(true)
+	prog := isa.MustAssemble("add r0, r1, r2")
+	r1, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Drives) != len(r2.Drives) {
+		t.Errorf("provenance accumulated across runs: %d vs %d", len(r1.Drives), len(r2.Drives))
+	}
+}

@@ -1,0 +1,198 @@
+package sca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CPA is an incremental correlation power analysis engine: it accumulates
+// traces one at a time and computes, for every key hypothesis and every
+// sample point, the Pearson correlation between the hypothesized leakage
+// and the measured power. Memory is O(hypotheses × samples); each Add is
+// one pass over the trace per hypothesis.
+type CPA struct {
+	nHyp    int
+	samples int
+	count   int
+
+	sumH  []float64 // per hypothesis: Σh
+	sumHH []float64 // per hypothesis: Σh²
+	sumT  []float64 // per sample: Σt
+	sumTT []float64 // per sample: Σt²
+	sumHT []float64 // [hyp*samples + s]: Σh·t
+}
+
+// NewCPA returns an engine for nHyp key hypotheses over traces of the
+// given sample count.
+func NewCPA(nHyp, samples int) (*CPA, error) {
+	if nHyp < 2 {
+		return nil, fmt.Errorf("sca: need at least 2 hypotheses, got %d", nHyp)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("sca: need at least 1 sample, got %d", samples)
+	}
+	return &CPA{
+		nHyp:    nHyp,
+		samples: samples,
+		sumH:    make([]float64, nHyp),
+		sumHH:   make([]float64, nHyp),
+		sumT:    make([]float64, samples),
+		sumTT:   make([]float64, samples),
+		sumHT:   make([]float64, nHyp*samples),
+	}, nil
+}
+
+// MustNewCPA is NewCPA that panics on bad dimensions.
+func MustNewCPA(nHyp, samples int) *CPA {
+	c, err := NewCPA(nHyp, samples)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Add accumulates one trace with its per-hypothesis leakage predictions
+// (len(hyp) == hypotheses, len(t) == samples).
+func (c *CPA) Add(t []float64, hyp []float64) error {
+	if len(t) != c.samples {
+		return fmt.Errorf("sca: trace has %d samples, want %d", len(t), c.samples)
+	}
+	if len(hyp) != c.nHyp {
+		return fmt.Errorf("sca: %d hypotheses, want %d", len(hyp), c.nHyp)
+	}
+	for s, v := range t {
+		c.sumT[s] += v
+		c.sumTT[s] += v * v
+	}
+	for k, h := range hyp {
+		c.sumH[k] += h
+		c.sumHH[k] += h * h
+		row := c.sumHT[k*c.samples : (k+1)*c.samples]
+		for s, v := range t {
+			row[s] += h * v
+		}
+	}
+	c.count++
+	return nil
+}
+
+// Count returns the number of accumulated traces.
+func (c *CPA) Count() int { return c.count }
+
+// Corr returns the correlation of hypothesis k at sample s.
+func (c *CPA) Corr(k, s int) float64 {
+	n := float64(c.count)
+	if c.count < 2 {
+		return 0
+	}
+	num := n*c.sumHT[k*c.samples+s] - c.sumH[k]*c.sumT[s]
+	dh := n*c.sumHH[k] - c.sumH[k]*c.sumH[k]
+	dt := n*c.sumTT[s] - c.sumT[s]*c.sumT[s]
+	den := math.Sqrt(dh) * math.Sqrt(dt)
+	if den == 0 || math.IsNaN(den) {
+		return 0
+	}
+	return num / den
+}
+
+// CorrTrace returns the correlation-vs-time curve of hypothesis k — the
+// curve plotted in the paper's Figures 3 and 4.
+func (c *CPA) CorrTrace(k int) []float64 {
+	out := make([]float64, c.samples)
+	for s := range out {
+		out[s] = c.Corr(k, s)
+	}
+	return out
+}
+
+// Peak returns the maximum absolute correlation of hypothesis k and the
+// sample where it occurs.
+func (c *CPA) Peak(k int) (corr float64, sample int) {
+	best, idx := 0.0, 0
+	for s := 0; s < c.samples; s++ {
+		r := c.Corr(k, s)
+		if math.Abs(r) > math.Abs(best) {
+			best, idx = r, s
+		}
+	}
+	return best, idx
+}
+
+// Attack summarizes a finished CPA: per-hypothesis peak correlations
+// sorted into a ranking.
+type Attack struct {
+	// Peaks holds each hypothesis's maximum absolute correlation.
+	Peaks []float64
+	// PeakSamples holds the sample index of each hypothesis's peak.
+	PeakSamples []int
+	// Ranking lists hypotheses from strongest to weakest peak.
+	Ranking []int
+	// Traces is the number of traces accumulated.
+	Traces int
+}
+
+// Result computes the attack summary.
+func (c *CPA) Result() *Attack {
+	a := &Attack{
+		Peaks:       make([]float64, c.nHyp),
+		PeakSamples: make([]int, c.nHyp),
+		Ranking:     make([]int, c.nHyp),
+		Traces:      c.count,
+	}
+	for k := 0; k < c.nHyp; k++ {
+		r, s := c.Peak(k)
+		a.Peaks[k] = r
+		a.PeakSamples[k] = s
+		a.Ranking[k] = k
+	}
+	// Insertion sort by |peak| descending: nHyp is small (256).
+	for i := 1; i < len(a.Ranking); i++ {
+		for j := i; j > 0; j-- {
+			x, y := a.Ranking[j-1], a.Ranking[j]
+			if math.Abs(a.Peaks[y]) > math.Abs(a.Peaks[x]) {
+				a.Ranking[j-1], a.Ranking[j] = y, x
+			} else {
+				break
+			}
+		}
+	}
+	return a
+}
+
+// Best returns the top-ranked hypothesis and its peak correlation.
+func (a *Attack) Best() (hyp int, corr float64) {
+	h := a.Ranking[0]
+	return h, a.Peaks[h]
+}
+
+// RankOf returns the 0-based rank of a hypothesis (0 = best).
+func (a *Attack) RankOf(hyp int) int {
+	for i, k := range a.Ranking {
+		if k == hyp {
+			return i
+		}
+	}
+	return -1
+}
+
+// Margin returns the peak correlations of the best and second-best
+// hypotheses.
+func (a *Attack) Margin() (best, second float64) {
+	if len(a.Ranking) < 2 {
+		return math.Abs(a.Peaks[a.Ranking[0]]), 0
+	}
+	return math.Abs(a.Peaks[a.Ranking[0]]), math.Abs(a.Peaks[a.Ranking[1]])
+}
+
+// DistinguishConfidence returns the confidence with which the top-ranked
+// hypothesis beats the runner-up, per the Fisher z difference test the
+// paper applies in §5 ("the correct key is distinguishable from the best
+// wrong guess with a statistical confidence > 99%").
+func (a *Attack) DistinguishConfidence() float64 {
+	best, second := a.Margin()
+	return CorrDifferenceConfidence(best, second, a.Traces)
+}
+
+// ErrNoTraces reports an attack evaluated without any accumulated trace.
+var ErrNoTraces = errors.New("sca: no traces accumulated")

@@ -1,0 +1,178 @@
+// Package sca provides the side-channel analysis toolkit used to evaluate
+// the simulated target: Pearson-correlation CPA (the distinguisher the
+// paper justifies via [9]), statistical confidence tests for declaring a
+// leak (Fisher z-transform, the ">99.5% confidence" criterion of §4), a
+// Welch t-test for fixed-vs-random leakage assessment, and key-ranking
+// utilities.
+package sca
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// HW returns the Hamming weight of v, the paper's baseline power model
+// for intermediate values.
+func HW(v uint32) int { return bits.OnesCount32(v) }
+
+// HD returns the Hamming distance between a and b, the transition model
+// for buses and registers.
+func HD(a, b uint32) int { return bits.OnesCount32(a ^ b) }
+
+// HW8 returns the Hamming weight of a byte.
+func HW8(v uint8) int { return bits.OnesCount8(v) }
+
+// HD8 returns the Hamming distance between two bytes.
+func HD8(a, b uint8) int { return bits.OnesCount8(a ^ b) }
+
+// Pearson returns the sample correlation coefficient of x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("sca: length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, errors.New("sca: need at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	num := n*sxy - sx*sy
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// erf is math.Erf; aliased for readability in the confidence formulas.
+func erf(x float64) float64 { return math.Erf(x) }
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 { return 0.5 * (1 + erf(z/math.Sqrt2)) }
+
+// FisherZ applies the variance-stabilizing transform atanh(r).
+func FisherZ(r float64) float64 {
+	switch {
+	case r >= 1:
+		return math.Inf(1)
+	case r <= -1:
+		return math.Inf(-1)
+	}
+	return math.Atanh(r)
+}
+
+// CorrConfidence returns the two-sided confidence with which a sample
+// correlation r over n traces is distinguishable from zero: the Fisher
+// statistic z = atanh(r)·sqrt(n-3) is standard normal under the null
+// hypothesis of no correlation.
+func CorrConfidence(r float64, n int) float64 {
+	if n <= 3 {
+		return 0
+	}
+	z := math.Abs(FisherZ(r)) * math.Sqrt(float64(n-3))
+	return 2*normalCDF(z) - 1
+}
+
+// SignificantAt reports whether correlation r over n traces is
+// distinguishable from zero with at least the given confidence
+// (e.g. 0.995 for the paper's §4 criterion).
+func SignificantAt(r float64, n int, confidence float64) bool {
+	return CorrConfidence(r, n) > confidence
+}
+
+// CorrDifferenceConfidence returns the confidence with which two
+// correlations measured over n traces each differ, via the Fisher
+// z difference test. It is the paper's §5 criterion for declaring the
+// correct key distinguishable from the best wrong guess (>99%).
+func CorrDifferenceConfidence(r1, r2 float64, n int) float64 {
+	if n <= 3 {
+		return 0
+	}
+	z := (FisherZ(r1) - FisherZ(r2)) / math.Sqrt(2/float64(n-3))
+	return 2*normalCDF(math.Abs(z)) - 1
+}
+
+// WelchT computes Welch's t statistic between two sample groups described
+// by their count, mean and variance. It is the TVLA-style leakage
+// assessment statistic, included as an extension to the paper's CPA
+// methodology.
+func WelchT(n1 int, mean1, var1 float64, n2 int, mean2, var2 float64) float64 {
+	if n1 < 2 || n2 < 2 {
+		return 0
+	}
+	den := math.Sqrt(var1/float64(n1) + var2/float64(n2))
+	if den == 0 {
+		return 0
+	}
+	return (mean1 - mean2) / den
+}
+
+// Welch accumulates the two-group statistics for a t-test over traces.
+type Welch struct {
+	n      [2]int
+	mean   [2][]float64
+	m2     [2][]float64
+	points int
+}
+
+// NewWelch returns a Welch accumulator over traces of the given length.
+func NewWelch(samples int) *Welch {
+	w := &Welch{points: samples}
+	for g := 0; g < 2; g++ {
+		w.mean[g] = make([]float64, samples)
+		w.m2[g] = make([]float64, samples)
+	}
+	return w
+}
+
+// Add accumulates one trace into group g (0 or 1) using Welford's online
+// algorithm.
+func (w *Welch) Add(g int, t []float64) error {
+	if g != 0 && g != 1 {
+		return errors.New("sca: group must be 0 or 1")
+	}
+	if len(t) != w.points {
+		return errors.New("sca: trace length mismatch")
+	}
+	w.n[g]++
+	n := float64(w.n[g])
+	for i, v := range t {
+		d := v - w.mean[g][i]
+		w.mean[g][i] += d / n
+		w.m2[g][i] += d * (v - w.mean[g][i])
+	}
+	return nil
+}
+
+// T returns the per-sample Welch t statistics.
+func (w *Welch) T() []float64 {
+	out := make([]float64, w.points)
+	for i := range out {
+		var v [2]float64
+		for g := 0; g < 2; g++ {
+			if w.n[g] > 1 {
+				v[g] = w.m2[g][i] / float64(w.n[g]-1)
+			}
+		}
+		out[i] = WelchT(w.n[0], w.mean[0][i], v[0], w.n[1], w.mean[1][i], v[1])
+	}
+	return out
+}
+
+// MaxAbs returns the maximum absolute value in xs and its index.
+func MaxAbs(xs []float64) (float64, int) {
+	best, idx := 0.0, -1
+	for i, v := range xs {
+		if a := math.Abs(v); a > best {
+			best, idx = a, i
+		}
+	}
+	return best, idx
+}

@@ -1,0 +1,124 @@
+// Package scope models the acquisition front-end of the paper's setup: a
+// Picoscope 5203 fed by a loop probe through two amplifier stages,
+// triggered by a GPIO the target asserts around the benchmarked code.
+// The model covers amplifier gain and offset, ADC quantization, trigger
+// jitter and on-scope averaging.
+package scope
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Config describes the acquisition chain.
+type Config struct {
+	// Gain and Offset map power values to ADC input volts.
+	Gain   float64
+	Offset float64
+	// Bits is the ADC resolution (the Picoscope 5203 runs 8-bit at
+	// 500 MS/s); 0 disables quantization.
+	Bits int
+	// FullScale is the ADC full-scale input after gain.
+	FullScale float64
+	// Averages is the number of on-scope averaged acquisitions per
+	// stored trace (the paper uses 16).
+	Averages int
+	// JitterSamples is the maximum absolute trigger jitter, in samples,
+	// applied uniformly at random to each acquisition. Zero disables it.
+	JitterSamples int
+}
+
+// DefaultConfig mirrors the paper's acquisition: 8-bit quantization,
+// 16-fold averaging, no jitter on the bare-metal setup.
+func DefaultConfig() Config {
+	return Config{Gain: 1, Offset: 0, Bits: 8, FullScale: 64, Averages: 16}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Averages < 1:
+		return fmt.Errorf("scope: averages must be >= 1, got %d", c.Averages)
+	case c.Bits < 0 || c.Bits > 24:
+		return fmt.Errorf("scope: bits must be in [0,24], got %d", c.Bits)
+	case c.Bits > 0 && c.FullScale <= 0:
+		return fmt.Errorf("scope: full scale must be positive, got %g", c.FullScale)
+	case c.JitterSamples < 0:
+		return fmt.Errorf("scope: jitter must be >= 0, got %d", c.JitterSamples)
+	}
+	return nil
+}
+
+// Scope couples a power model with an acquisition configuration.
+type Scope struct {
+	Model power.Model
+	Cfg   Config
+}
+
+// New returns a scope over the given power model.
+func New(m power.Model, cfg Config) (*Scope, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scope{Model: m, Cfg: cfg}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(m power.Model, cfg Config) *Scope {
+	s, err := New(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// quantize snaps v to the ADC grid.
+func (s *Scope) quantize(v float64) float64 {
+	if s.Cfg.Bits == 0 {
+		return v
+	}
+	levels := float64(int64(1) << s.Cfg.Bits)
+	step := s.Cfg.FullScale / levels
+	q := math.Round(v/step) * step
+	if q > s.Cfg.FullScale {
+		q = s.Cfg.FullScale
+	}
+	if q < -s.Cfg.FullScale {
+		q = -s.Cfg.FullScale
+	}
+	return q
+}
+
+// Capture acquires one stored trace of the timeline: Averages noisy
+// syntheses, each independently jittered, averaged and quantized.
+func (s *Scope) Capture(tl pipeline.Timeline, rng *rand.Rand) trace.Trace {
+	var acc trace.Trace
+	for i := 0; i < s.Cfg.Averages; i++ {
+		t := s.Model.Synthesize(tl, rng)
+		if s.Cfg.JitterSamples > 0 && rng != nil {
+			k := rng.Intn(2*s.Cfg.JitterSamples+1) - s.Cfg.JitterSamples
+			t = t.Shift(k)
+		}
+		if acc == nil {
+			acc = t
+		} else {
+			if len(t) != len(acc) {
+				t = t.Resize(len(acc))
+			}
+			_ = acc.AddInPlace(t)
+		}
+	}
+	acc.Scale(1 / float64(s.Cfg.Averages))
+	for i, v := range acc {
+		acc[i] = s.quantize(v*s.Cfg.Gain + s.Cfg.Offset)
+	}
+	return acc
+}

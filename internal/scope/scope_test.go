@@ -1,0 +1,141 @@
+package scope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+func timeline(t *testing.T) pipeline.Timeline {
+	t.Helper()
+	c := pipeline.MustNew(pipeline.DefaultConfig(), nil)
+	c.SetRegs(0, 0xFF, 0x0F)
+	res, err := c.Run(isa.MustAssemble("add r0, r1, r2\nadd r3, r1, r2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Timeline
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Averages: 0},
+		{Averages: 1, Bits: -1},
+		{Averages: 1, Bits: 30},
+		{Averages: 1, Bits: 8, FullScale: 0},
+		{Averages: 1, JitterSamples: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v must be rejected", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadModel(t *testing.T) {
+	m := power.DefaultModel()
+	m.SamplesPerCycle = 0
+	if _, err := New(m, DefaultConfig()); err == nil {
+		t.Error("invalid model must be rejected")
+	}
+	if _, err := New(power.DefaultModel(), Config{Averages: 0}); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}
+
+func TestCaptureAveragingReducesNoise(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	m.NoiseSigma = 2
+
+	single := MustNew(m, Config{Averages: 1, Bits: 0, Gain: 1})
+	avg16 := MustNew(m, Config{Averages: 16, Bits: 0, Gain: 1})
+
+	noiseless := m
+	noiseless.NoiseSigma = 0
+	ref := noiseless.Synthesize(tl, nil)
+
+	rng := rand.New(rand.NewSource(1))
+	var e1, e16 float64
+	const reps = 200
+	for i := 0; i < reps; i++ {
+		t1 := single.Capture(tl, rng)
+		t16 := avg16.Capture(tl, rng)
+		e1 += math.Abs(t1[0] - ref[0])
+		e16 += math.Abs(t16[0] - ref[0])
+	}
+	if e16 >= e1 {
+		t.Errorf("16-fold averaging must reduce error: avg16 %v vs single %v", e16/reps, e1/reps)
+	}
+}
+
+func TestCaptureQuantization(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	m.NoiseSigma = 0
+	s := MustNew(m, Config{Averages: 1, Bits: 8, FullScale: 64, Gain: 1})
+	tr := s.Capture(tl, nil)
+	step := 64.0 / 256.0
+	for i, v := range tr {
+		q := math.Round(v/step) * step
+		if math.Abs(v-q) > 1e-9 {
+			t.Fatalf("sample %d (%v) not on the ADC grid", i, v)
+		}
+	}
+}
+
+func TestCaptureGainOffset(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	m.NoiseSigma = 0
+	plain := MustNew(m, Config{Averages: 1, Bits: 0, Gain: 1}).Capture(tl, nil)
+	scaled := MustNew(m, Config{Averages: 1, Bits: 0, Gain: 2, Offset: 5}).Capture(tl, nil)
+	for i := range plain {
+		want := plain[i]*2 + 5
+		if math.Abs(scaled[i]-want) > 1e-9 {
+			t.Fatalf("sample %d: %v, want %v", i, scaled[i], want)
+		}
+	}
+}
+
+func TestCaptureClipsAtFullScale(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	m.NoiseSigma = 0
+	s := MustNew(m, Config{Averages: 1, Bits: 8, FullScale: 1, Gain: 100})
+	tr := s.Capture(tl, nil)
+	for i, v := range tr {
+		if v > 1+1e-9 {
+			t.Fatalf("sample %d = %v exceeds full scale", i, v)
+		}
+	}
+}
+
+func TestCaptureJitterShiftsTraces(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	m.NoiseSigma = 0
+	s := MustNew(m, Config{Averages: 1, Bits: 0, Gain: 1, JitterSamples: 3})
+	rng := rand.New(rand.NewSource(2))
+	ref := MustNew(m, Config{Averages: 1, Bits: 0, Gain: 1}).Capture(tl, nil)
+	diff := false
+	for i := 0; i < 16 && !diff; i++ {
+		tr := s.Capture(tl, rng)
+		for j := range tr {
+			if tr[j] != ref[j] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("jitter never shifted a trace in 16 captures")
+	}
+}

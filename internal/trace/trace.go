@@ -1,0 +1,220 @@
+// Package trace provides power-trace containers for the side-channel
+// tool-chain: single traces, trace sets with per-trace auxiliary data
+// (plaintexts, key bytes), averaging, alignment helpers and a binary
+// serialization format.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace is one power trace: a sequence of samples.
+type Trace []float64
+
+// Clone returns an independent copy.
+func (t Trace) Clone() Trace {
+	c := make(Trace, len(t))
+	copy(c, t)
+	return c
+}
+
+// Resize returns the trace truncated or zero-padded to n samples.
+func (t Trace) Resize(n int) Trace {
+	if len(t) == n {
+		return t
+	}
+	out := make(Trace, n)
+	copy(out, t)
+	return out
+}
+
+// Shift returns the trace delayed by k samples (k may be negative for an
+// advance); vacated positions are zero-filled. It models trigger jitter.
+func (t Trace) Shift(k int) Trace {
+	out := make(Trace, len(t))
+	for i := range t {
+		j := i - k
+		if j >= 0 && j < len(t) {
+			out[i] = t[j]
+		}
+	}
+	return out
+}
+
+// AddInPlace accumulates o into t; both must have equal length.
+func (t Trace) AddInPlace(o Trace) error {
+	if len(t) != len(o) {
+		return fmt.Errorf("trace: length mismatch %d vs %d", len(t), len(o))
+	}
+	for i := range t {
+		t[i] += o[i]
+	}
+	return nil
+}
+
+// Scale multiplies every sample in place and returns t.
+func (t Trace) Scale(f float64) Trace {
+	for i := range t {
+		t[i] *= f
+	}
+	return t
+}
+
+// Mean returns the sample mean.
+func (t Trace) Mean() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range t {
+		s += v
+	}
+	return s / float64(len(t))
+}
+
+// Std returns the population standard deviation.
+func (t Trace) Std() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	m := t.Mean()
+	s := 0.0
+	for _, v := range t {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(t)))
+}
+
+// Average returns the point-wise mean of the traces, which must share a
+// length. It reproduces the paper's acquisition averaging ("each one
+// obtained as the average of 16 executions").
+func Average(ts []Trace) (Trace, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("trace: no traces to average")
+	}
+	out := make(Trace, len(ts[0]))
+	for _, t := range ts {
+		if err := out.AddInPlace(t); err != nil {
+			return nil, err
+		}
+	}
+	return out.Scale(1 / float64(len(ts))), nil
+}
+
+// Set is a collection of equal-length traces with per-trace auxiliary
+// data, typically the input (plaintext) that produced each trace.
+type Set struct {
+	samples []Trace
+	aux     [][]byte
+	n       int // trace length
+}
+
+// NewSet returns an empty set accepting traces of length n.
+func NewSet(n int) *Set { return &Set{n: n} }
+
+// Add appends a trace with its auxiliary record; the trace is resized to
+// the set's sample count, so slightly jittered lengths are tolerated.
+func (s *Set) Add(t Trace, aux []byte) {
+	s.samples = append(s.samples, t.Resize(s.n))
+	a := make([]byte, len(aux))
+	copy(a, aux)
+	s.aux = append(s.aux, a)
+}
+
+// Len returns the number of traces.
+func (s *Set) Len() int { return len(s.samples) }
+
+// Samples returns the number of samples per trace.
+func (s *Set) Samples() int { return s.n }
+
+// Trace returns the i-th trace (not a copy).
+func (s *Set) Trace(i int) Trace { return s.samples[i] }
+
+// Aux returns the i-th auxiliary record (not a copy).
+func (s *Set) Aux(i int) []byte { return s.aux[i] }
+
+// MeanTrace returns the point-wise mean over all traces in the set.
+func (s *Set) MeanTrace() (Trace, error) { return Average(s.samples) }
+
+const setMagic = 0x53435452 // "RTCS" little-endian: Repro Trace Container Set
+
+// WriteTo serializes the set: header (magic, count, samples), then per
+// trace the aux length, aux bytes and float64 samples, little-endian.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(setMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(s.samples))); err != nil {
+		return n, err
+	}
+	if err := write(uint32(s.n)); err != nil {
+		return n, err
+	}
+	for i, t := range s.samples {
+		if err := write(uint32(len(s.aux[i]))); err != nil {
+			return n, err
+		}
+		if err := write(s.aux[i]); err != nil {
+			return n, err
+		}
+		if err := write([]float64(t)); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadSet deserializes a set written by WriteTo.
+func ReadSet(r io.Reader) (*Set, error) {
+	var magic, count, samples uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != setMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &samples); err != nil {
+		return nil, err
+	}
+	const limit = 1 << 28
+	if uint64(count)*uint64(samples) > limit {
+		return nil, fmt.Errorf("trace: unreasonable set size %dx%d", count, samples)
+	}
+	s := NewSet(int(samples))
+	for i := uint32(0); i < count; i++ {
+		var auxLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &auxLen); err != nil {
+			return nil, err
+		}
+		if auxLen > 1<<16 {
+			return nil, fmt.Errorf("trace: unreasonable aux length %d", auxLen)
+		}
+		aux := make([]byte, auxLen)
+		if _, err := io.ReadFull(r, aux); err != nil {
+			return nil, err
+		}
+		t := make(Trace, samples)
+		if err := binary.Read(r, binary.LittleEndian, []float64(t)); err != nil {
+			return nil, err
+		}
+		s.samples = append(s.samples, t)
+		s.aux = append(s.aux, aux)
+	}
+	return s, nil
+}
