@@ -387,6 +387,75 @@ func BenchmarkPowerSynthesis(b *testing.B) {
 	}
 }
 
+// benchEngineCPA10k runs the engine's full 10k-trace streaming CPA —
+// the DESIGN.md §6 scaling experiment — against the one-round AES
+// target with the given pool size.
+func benchEngineCPA10k(b *testing.B, workers int) {
+	opt := attack.DefaultFig3Options()
+	opt.Traces = 10000
+	opt.Rounds = 1
+	opt.Averages = 1
+	opt.Workers = workers
+	var res *attack.Fig3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = attack.RunFigure3(benchKey, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opt.Traces)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+	b.ReportMetric(b2f(res.Success()), "key_recovered")
+}
+
+// BenchmarkEngineCPA10kSerial is the one-worker baseline of the 10k-trace
+// streaming CPA; divide its time by BenchmarkEngineCPA10kParallel's for
+// the core-scaling factor (≥ 2x expected on ≥ 4 cores).
+func BenchmarkEngineCPA10kSerial(b *testing.B) { benchEngineCPA10k(b, 1) }
+
+// BenchmarkEngineCPA10kParallel runs the same attack with one worker per
+// core. The result is bit-identical to the serial run — only faster.
+func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0) }
+
+// BenchmarkEngineFullKey measures the sixteen-bank streaming recovery of
+// the complete first-round key from one shared trace stream.
+func BenchmarkEngineFullKey(b *testing.B) {
+	opt := attack.DefaultFig3Options()
+	opt.Traces = 700
+	opt.Rounds = 1
+	var res *attack.FullKeyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = attack.RecoverFullKey(benchKey, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.BytesRecovered()), "bytes_recovered")
+}
+
+// BenchmarkCPAMerge measures the chunk-reduction step: folding one
+// 256-hypothesis x 1000-sample partial accumulator into another.
+func BenchmarkCPAMerge(b *testing.B) {
+	dst := sca.MustNewCPA(256, 1000)
+	src := sca.MustNewCPA(256, 1000)
+	tr := make([]float64, 1000)
+	hyp := make([]float64, 256)
+	for i := range hyp {
+		hyp[i] = float64(i % 9)
+	}
+	if err := src.Add(tr, hyp); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCPAUpdate measures the incremental CPA engine with 256
 // hypotheses over a 1000-sample trace.
 func BenchmarkCPAUpdate(b *testing.B) {

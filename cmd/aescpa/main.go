@@ -4,10 +4,13 @@
 // attack with the HD-between-consecutive-SubBytes-stores model
 // (Figure 4).
 //
+// Trace synthesis and CPA accumulation stream across all cores by
+// default (-workers); results are identical for any worker count.
+//
 // Usage:
 //
-//	aescpa -fig3 [-traces N] [-keybyte B] [-rounds R]
-//	aescpa -fig4 [-traces N] [-keybyte B] [-avg A]
+//	aescpa -fig3 [-traces N] [-keybyte B] [-rounds R] [-workers W]
+//	aescpa -fig4 [-traces N] [-keybyte B] [-avg A] [-workers W]
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	rounds := flag.Int("rounds", 0, "simulated cipher rounds (0: default)")
 	avg := flag.Int("avg", 0, "per-acquisition averaging (0: default)")
 	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
+	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
 	flag.Parse()
 
 	key := defaultKey
@@ -60,6 +64,7 @@ func main() {
 		if *avg > 0 {
 			opt.Averages = *avg
 		}
+		opt.Workers = *workers
 		res, err := attack.RunFigure3(key, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aescpa:", err)
@@ -91,6 +96,7 @@ func main() {
 		if *avg > 0 {
 			opt.Averages = *avg
 		}
+		opt.Workers = *workers
 		res, err := attack.RunFigure4(key, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aescpa:", err)

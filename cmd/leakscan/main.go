@@ -3,9 +3,12 @@
 // measurement chain, and every per-component power-model expression is
 // tested for a statistically sound correlation in its clock-cycle window.
 //
+// Acquisitions stream across all cores by default (-workers); verdicts
+// are identical for any worker count.
+//
 // Usage:
 //
-//	leakscan [-traces N] [-row K] [-noalign] [-nonopreset] [-scalar]
+//	leakscan [-traces N] [-row K] [-workers W] [-noalign] [-nonopreset] [-scalar]
 package main
 
 import (
@@ -23,9 +26,11 @@ func main() {
 	noAlign := flag.Bool("noalign", false, "ablation: remove the LSU align buffer")
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
+	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
 	flag.Parse()
 
 	opt.Traces = *traces
+	opt.Workers = *workers
 	if *noAlign {
 		opt.Core.AlignBuffer = false
 	}

@@ -3,12 +3,18 @@
 // auxiliary records — to a binary trace-set file that other tools (or
 // external SCA software) can consume.
 //
+// Synthesis fans out across all cores (-workers) while the file is
+// written strictly in trace order with bounded memory: finished traces
+// stream to disk as their turn comes up, so -n is limited by disk, not
+// RAM. The output is byte-identical for any worker count.
+//
 // Usage:
 //
-//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-o traces.bin]
+//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-o traces.bin]
 package main
 
 import (
+	"bufio"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/attack"
+	"repro/internal/engine"
 	"repro/internal/osnoise"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -31,6 +38,7 @@ func main() {
 	out := flag.String("o", "traces.bin", "output file")
 	keyHex := flag.String("key", "2b7e151628aed2a6abf7158809cf4f3c", "AES-128 key (32 hex digits)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
 	flag.Parse()
 
 	raw, err := hex.DecodeString(*keyHex)
@@ -51,25 +59,13 @@ func main() {
 	if *noisy {
 		env = osnoise.LoadedLinux()
 	}
-	rng := rand.New(rand.NewSource(*seed))
 
 	cal, _, err := tgt.Run([16]byte{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	set := trace.NewSet(len(cal.Timeline) * model.SamplesPerCycle)
-
-	var pt [16]byte
-	for i := 0; i < *n; i++ {
-		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
-		set.Add(env.Acquire(res.Timeline, &model, rng, *avg), pt[:])
-	}
+	samples := len(cal.Timeline) * model.SamplesPerCycle
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -77,13 +73,37 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	written, err := set.WriteTo(f)
+	bw := bufio.NewWriter(f)
+	sw, err := trace.NewSetWriter(bw, *n, samples)
+
+	// -n 0 is a valid request for a header-only (empty) set.
+	if err == nil && *n > 0 {
+		err = engine.Stream(engine.Config{Workers: *workers}, *n, *seed,
+			func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
+				var pt [16]byte
+				rng.Read(pt[:])
+				res, _, err := tgt.Run(pt)
+				if err != nil {
+					return nil, nil, err
+				}
+				return env.Acquire(res.Timeline, &model, rng, *avg), pt[:], nil
+			},
+			func(i int, tr trace.Trace, aux []byte) error {
+				return sw.Append(tr, aux)
+			})
+	}
+	if err == nil {
+		err = sw.Close()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d traces x %d samples (%d bytes) to %s\n",
-		set.Len(), set.Samples(), written, *out)
+		*n, samples, sw.Written(), *out)
 	fmt.Printf("clock %g MHz, %d samples/cycle; aux record = 16-byte plaintext\n",
 		attack.ClockMHz, model.SamplesPerCycle)
 }

@@ -10,6 +10,11 @@
 // packages the paper's contribution — the micro-architectural leakage
 // model — as a static analyzer with share-recombination checking.
 //
+// The trace-heavy experiments run on internal/engine, a worker-pool
+// trace-synthesis and streaming-CPA subsystem that uses every core in
+// bounded memory while producing bit-identical results for any worker
+// count.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmark
 // harness in bench_test.go regenerates every table and figure:

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/aes"
+	"repro/internal/engine"
 	"repro/internal/osnoise"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -45,10 +46,14 @@ type Fig3Options struct {
 	// Rounds truncates the simulated cipher (1 suffices for a
 	// first-round attack and keeps runs fast; 10 is the full cipher).
 	Rounds int
-	// Seed drives plaintexts and noise.
+	// Seed drives plaintexts and noise: trace i draws everything from a
+	// private stream derived from (Seed, i), so results are identical
+	// for any worker count.
 	Seed  int64
 	Model power.Model
 	Core  pipeline.Config
+	// Workers sizes the synthesis pool (0: one per core).
+	Workers int
 }
 
 // DefaultFig3Options returns a configuration resolving the key in
@@ -92,7 +97,9 @@ type Fig3Result struct {
 func (r *Fig3Result) Success() bool { return r.Recovered == r.TrueKey }
 
 // RunFigure3 performs the §5 bare-metal attack: CPA with the
-// non-microarchitecture-aware model HW(SubBytes output byte).
+// non-microarchitecture-aware model HW(SubBytes output byte). Trace
+// synthesis fans out across opt.Workers cores; the streaming-CPA
+// accumulators keep memory bounded regardless of opt.Traces.
 func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	if opt.Traces < 8 {
 		return nil, fmt.Errorf("attack: need at least 8 traces, got %d", opt.Traces)
@@ -107,7 +114,6 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	// Calibration run fixes the trace length and the region windows
 	// (timing is input-independent).
@@ -133,26 +139,14 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 		})
 	}
 
-	cpa, err := sca.NewCPA(256, nSamples)
+	banks, err := engine.Run(
+		engine.Config{Workers: opt.Workers},
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed},
+		fig3Generate(tgt, opt))
 	if err != nil {
 		return nil, err
 	}
-	hyp := make([]float64, 256)
-	var pt [aes.BlockSize]byte
-	for n := 0; n < opt.Traces; n++ {
-		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
-		if err != nil {
-			return nil, err
-		}
-		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
-		for k := 0; k < 256; k++ {
-			hyp[k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
-		}
-		if err := cpa.Add(tr, hyp); err != nil {
-			return nil, err
-		}
-	}
+	cpa := banks[0]
 
 	att := cpa.Result()
 	trueKey := key[opt.KeyByte]
@@ -181,6 +175,26 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	return out, nil
 }
 
+// fig3Generate synthesizes one bare-metal acquisition with the
+// HW(SubBytes out) predictions for the attacked key byte. Each trace's
+// plaintext and noise come from its private rng, so the acquisition is
+// identical no matter which worker runs it.
+func fig3Generate(tgt *aes.Target, opt Fig3Options) engine.Generate {
+	return func(i int, rng *rand.Rand, s *engine.Sample) error {
+		var pt [aes.BlockSize]byte
+		rng.Read(pt[:])
+		res, _, err := tgt.Run(pt)
+		if err != nil {
+			return err
+		}
+		s.Trace = opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+		for k := 0; k < 256; k++ {
+			s.Hyps[0][k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
+		}
+		return nil
+	}
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x
@@ -201,10 +215,13 @@ type Fig4Options struct {
 	KeyByte int
 	// Rounds truncates the simulated cipher.
 	Rounds int
-	Seed   int64
-	Env    osnoise.Environment
-	Model  power.Model
-	Core   pipeline.Config
+	// Seed drives plaintexts and noise through per-trace private streams.
+	Seed  int64
+	Env   osnoise.Environment
+	Model power.Model
+	Core  pipeline.Config
+	// Workers sizes the synthesis pool (0: one per core).
+	Workers int
 }
 
 // DefaultFig4Options mirrors the paper's Figure 4 acquisition: 100
@@ -262,7 +279,6 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
@@ -270,32 +286,33 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 	}
 	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
 
-	cpa, err := sca.NewCPA(256, nSamples)
+	prevByte := opt.KeyByte - 1
+	kPrev := key[prevByte]
+	banks, err := engine.Run(
+		engine.Config{Workers: opt.Workers},
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed},
+		func(i int, rng *rand.Rand, s *engine.Sample) error {
+			var pt [aes.BlockSize]byte
+			rng.Read(pt[:])
+			res, _, err := tgt.Run(pt)
+			if err != nil {
+				return err
+			}
+			tr := opt.Env.Acquire(res.Timeline, &opt.Model, rng, opt.Averages)
+			if len(tr) != nSamples {
+				tr = tr.Resize(nSamples)
+			}
+			s.Trace = tr
+			sPrev := aes.SubBytesOut(pt[prevByte], kPrev)
+			for k := 0; k < 256; k++ {
+				s.Hyps[0][k] = float64(sca.HD8(sPrev, aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	prevByte := opt.KeyByte - 1
-	kPrev := key[prevByte]
-	hyp := make([]float64, 256)
-	var pt [aes.BlockSize]byte
-	for n := 0; n < opt.Traces; n++ {
-		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
-		if err != nil {
-			return nil, err
-		}
-		tr := opt.Env.Acquire(res.Timeline, &opt.Model, rng, opt.Averages)
-		if len(tr) != nSamples {
-			tr = tr.Resize(nSamples)
-		}
-		sPrev := aes.SubBytesOut(pt[prevByte], kPrev)
-		for k := 0; k < 256; k++ {
-			hyp[k] = float64(sca.HD8(sPrev, aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
-		}
-		if err := cpa.Add(tr, hyp); err != nil {
-			return nil, err
-		}
-	}
+	cpa := banks[0]
 
 	att := cpa.Result()
 	trueKey := key[opt.KeyByte]

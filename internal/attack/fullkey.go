@@ -3,8 +3,10 @@ package attack
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/aes"
+	"repro/internal/engine"
 	"repro/internal/sca"
 )
 
@@ -41,9 +43,10 @@ func (r *FullKeyResult) GuessingEntropy() float64 {
 }
 
 // RecoverFullKey runs sixteen parallel CPA instances — one per key byte,
-// each with the Figure 3 model — over one shared set of acquisitions,
+// each with the Figure 3 model — over one shared stream of acquisitions,
 // recovering the complete first-round key. This is the practical endgame
-// of the paper's §5 attack.
+// of the paper's §5 attack. Each synthesized trace feeds all sixteen
+// accumulator banks, so the trace set is never materialized.
 func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, error) {
 	if opt.Traces < 8 {
 		return nil, fmt.Errorf("attack: need at least 8 traces, got %d", opt.Traces)
@@ -55,7 +58,6 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
@@ -63,91 +65,78 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 	}
 	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
 
-	engines := make([]*sca.CPA, aes.BlockSize)
-	for b := range engines {
-		if engines[b], err = sca.NewCPA(256, nSamples); err != nil {
-			return nil, err
-		}
+	bankSizes := make([]int, aes.BlockSize)
+	for b := range bankSizes {
+		bankSizes[b] = 256
 	}
-	hyp := make([]float64, 256)
-	var pt [aes.BlockSize]byte
-	for n := 0; n < opt.Traces; n++ {
-		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
-		if err != nil {
-			return nil, err
-		}
-		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
-		for b := 0; b < aes.BlockSize; b++ {
-			for k := 0; k < 256; k++ {
-				hyp[k] = float64(sca.HW8(aes.SubBytesOut(pt[b], byte(k))))
+	banks, err := engine.Run(
+		engine.Config{Workers: opt.Workers},
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: bankSizes, Seed: opt.Seed},
+		func(i int, rng *rand.Rand, s *engine.Sample) error {
+			var pt [aes.BlockSize]byte
+			rng.Read(pt[:])
+			res, _, err := tgt.Run(pt)
+			if err != nil {
+				return err
 			}
-			if err := engines[b].Add(tr, hyp); err != nil {
-				return nil, err
+			s.Trace = opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
+			for b := 0; b < aes.BlockSize; b++ {
+				for k := 0; k < 256; k++ {
+					s.Hyps[b][k] = float64(sca.HW8(aes.SubBytesOut(pt[b], byte(k))))
+				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &FullKeyResult{Key: key, Traces: opt.Traces}
 	for b := 0; b < aes.BlockSize; b++ {
-		att := engines[b].Result()
+		att := banks[b].Result()
 		out.Recovered[b] = byte(att.Ranking[0])
 		out.Ranks[b] = att.RankOf(int(key[b]))
 	}
 	return out, nil
 }
 
-// RankEvolution attacks one key byte repeatedly at increasing trace
-// counts and returns the rank curve — the attack-efficiency plot
-// complementing Figure 3.
+// RankEvolution attacks one key byte at increasing trace counts and
+// returns the rank curve — the attack-efficiency plot complementing
+// Figure 3. The counts become checkpoints of a single streaming run, so
+// the trace stream is synthesized exactly once.
 func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.RankCurve, error) {
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("attack: no trace counts")
 	}
-	max := 0
-	for _, c := range counts {
-		if c > max {
-			max = c
-		}
-	}
+	sorted := append([]int(nil), counts...)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	max := sorted[len(sorted)-1]
 	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
 		return nil, err
 	}
 	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
-	cpa, err := sca.NewCPA(256, nSamples)
-	if err != nil {
-		return nil, err
-	}
 
 	curve := &sca.RankCurve{}
-	next := 0
-	hyp := make([]float64, 256)
-	var pt [aes.BlockSize]byte
-	for n := 1; n <= max; n++ {
-		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
-		if err != nil {
-			return nil, err
-		}
-		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
-		for k := 0; k < 256; k++ {
-			hyp[k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
-		}
-		if err := cpa.Add(tr, hyp); err != nil {
-			return nil, err
-		}
-		if next < len(counts) && n == counts[next] {
-			att := cpa.Result()
-			curve.TraceCounts = append(curve.TraceCounts, n)
-			curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
-			next++
-		}
+	_, err = engine.Run(
+		engine.Config{Workers: opt.Workers},
+		engine.Spec{
+			Traces: max, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed,
+			Checkpoints: sorted,
+			OnCheckpoint: func(n int, banks []*sca.CPA) {
+				att := banks[0].Result()
+				curve.TraceCounts = append(curve.TraceCounts, n)
+				curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
+			},
+		},
+		fig3Generate(tgt, opt))
+	if err != nil {
+		return nil, err
 	}
 	return curve, nil
 }

@@ -1,0 +1,249 @@
+// Package engine is the parallel trace-synthesis and streaming-CPA
+// subsystem. It fans trace generation — pipeline simulation, power-model
+// synthesis, hypothesis evaluation — out across a pool of workers in
+// fixed-size chunks, and folds each chunk's partial correlation
+// accumulators into the global ones in chunk order, so the whole attack
+// runs in bounded memory at full core utilization while producing
+// bit-identical results for any worker count.
+//
+// Determinism contract. Every trace index i owns a private random stream
+// derived from (Seed, i) by a SplitMix64 mix (TraceRNG), so the data a
+// trace sees never depends on which worker synthesized it or when.
+// Chunk partials are merged in ascending chunk order; since each partial
+// is itself accumulated serially over its trace range, the global
+// floating-point summation order is a pure function of (Traces,
+// ChunkSize, Checkpoints) — never of Workers or scheduling. Run with one
+// worker and with sixteen produce bit-identical accumulators.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sca"
+)
+
+// DefaultChunkSize is the number of traces a worker synthesizes between
+// merges. It is part of the determinism contract: changing it changes
+// the floating-point merge order (not the statistics).
+const DefaultChunkSize = 64
+
+// Config sizes the worker pool.
+type Config struct {
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// ChunkSize is the per-chunk trace count; <= 0 selects
+	// DefaultChunkSize.
+	ChunkSize int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) chunkSize() int {
+	if c.ChunkSize > 0 {
+		return c.ChunkSize
+	}
+	return DefaultChunkSize
+}
+
+// Sample is one synthesized acquisition handed from a Generate callback
+// to the accumulators: the power trace plus, for every accumulator bank,
+// the per-hypothesis leakage predictions. The engine owns the Hyps
+// buffers (sized from Spec.Banks); Generate assigns Trace.
+type Sample struct {
+	// Trace is the synthesized power trace; its length must equal
+	// Spec.Samples.
+	Trace []float64
+	// Hyps holds one prediction vector per bank: Hyps[b][k] is the
+	// hypothesized leakage of hypothesis k in bank b.
+	Hyps [][]float64
+}
+
+// Generate synthesizes trace i into s using the trace's private rng.
+// It is called concurrently from multiple workers with distinct i and
+// distinct s, and must not retain s or rng across calls.
+type Generate func(i int, rng *rand.Rand, s *Sample) error
+
+// Spec describes one streaming-CPA run.
+type Spec struct {
+	// Traces is the total number of acquisitions to synthesize.
+	Traces int
+	// Samples is the trace length, fixed by a calibration run.
+	Samples int
+	// Banks gives the hypothesis count of each accumulator bank. A
+	// single-byte CPA uses one bank of 256; full-key recovery uses
+	// sixteen banks sharing each trace.
+	Banks []int
+	// Seed derives every trace's private random stream via TraceRNG.
+	Seed int64
+	// Checkpoints lists trace counts at which OnCheckpoint observes the
+	// merged accumulators (ascending, each in [1, Traces]). Chunks are
+	// split at checkpoints, so the observation covers exactly the first
+	// n traces.
+	Checkpoints []int
+	// OnCheckpoint, if set, is called from the reducer — in ascending
+	// checkpoint order — with the global accumulators after exactly n
+	// traces. The banks must be treated as read-only and not retained.
+	OnCheckpoint func(n int, banks []*sca.CPA)
+}
+
+func (s *Spec) validate() error {
+	if s.Traces < 1 {
+		return fmt.Errorf("engine: need at least 1 trace, got %d", s.Traces)
+	}
+	if s.Samples < 1 {
+		return fmt.Errorf("engine: need at least 1 sample, got %d", s.Samples)
+	}
+	if len(s.Banks) == 0 {
+		return fmt.Errorf("engine: need at least one accumulator bank")
+	}
+	for b, n := range s.Banks {
+		if n < 2 {
+			return fmt.Errorf("engine: bank %d needs at least 2 hypotheses, got %d", b, n)
+		}
+	}
+	for i, n := range s.Checkpoints {
+		if n < 1 || n > s.Traces {
+			return fmt.Errorf("engine: checkpoint %d out of [1,%d]", n, s.Traces)
+		}
+		if i > 0 && n <= s.Checkpoints[i-1] {
+			return fmt.Errorf("engine: checkpoints must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+// chunk is a half-open trace-index range.
+type chunk struct{ start, end int }
+
+// chunks cuts [0, traces) at every multiple of size and at every
+// checkpoint, so merged prefixes land exactly on checkpoint boundaries.
+func chunks(traces, size int, checkpoints []int) []chunk {
+	cuts := map[int]bool{}
+	for b := size; b < traces; b += size {
+		cuts[b] = true
+	}
+	for _, n := range checkpoints {
+		if n < traces {
+			cuts[n] = true
+		}
+	}
+	bounds := make([]int, 0, len(cuts)+2)
+	bounds = append(bounds, 0)
+	for b := range cuts {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, traces)
+	sort.Ints(bounds)
+	out := make([]chunk, 0, len(bounds)-1)
+	for i := 1; i < len(bounds); i++ {
+		out = append(out, chunk{bounds[i-1], bounds[i]})
+	}
+	return out
+}
+
+// newBanks allocates one accumulator per bank.
+func newBanks(banks []int, samples int) ([]*sca.CPA, error) {
+	out := make([]*sca.CPA, len(banks))
+	for b, n := range banks {
+		var err error
+		if out[b], err = sca.NewCPA(n, samples); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Run executes the streaming CPA described by spec: gen synthesizes each
+// trace on some worker, per-chunk partial accumulators absorb it, and
+// the reducer merges the partials in chunk order. It returns the global
+// accumulator banks after all traces.
+func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	global, err := newBanks(spec.Banks, spec.Samples)
+	if err != nil {
+		return nil, err
+	}
+	cs := chunks(spec.Traces, cfg.chunkSize(), spec.Checkpoints)
+
+	samples := sync.Pool{New: func() any {
+		s := &Sample{Hyps: make([][]float64, len(spec.Banks))}
+		for b, n := range spec.Banks {
+			s.Hyps[b] = make([]float64, n)
+		}
+		return s
+	}}
+	// Partial accumulators are large (banks x hypotheses x samples);
+	// recycle them through the reducer instead of allocating per chunk.
+	partials := sync.Pool{New: func() any {
+		banks, err := newBanks(spec.Banks, spec.Samples)
+		if err != nil {
+			panic(err) // dimensions already validated above
+		}
+		return banks
+	}}
+	work := func(idx int) ([]*sca.CPA, error) {
+		banks := partials.Get().([]*sca.CPA)
+		s := samples.Get().(*Sample)
+		defer samples.Put(s)
+		for i := cs[idx].start; i < cs[idx].end; i++ {
+			if err := oneTrace(i, spec, gen, s, banks); err != nil {
+				return nil, err
+			}
+		}
+		return banks, nil
+	}
+
+	ckpt := 0
+	reduce := func(idx int, banks []*sca.CPA) error {
+		for b := range global {
+			if err := global[b].Merge(banks[b]); err != nil {
+				return err
+			}
+		}
+		for _, b := range banks {
+			b.Reset()
+		}
+		partials.Put(banks)
+		merged := cs[idx].end
+		if ckpt < len(spec.Checkpoints) && merged == spec.Checkpoints[ckpt] {
+			if spec.OnCheckpoint != nil {
+				spec.OnCheckpoint(merged, global)
+			}
+			ckpt++
+		}
+		return nil
+	}
+
+	if err := orderedChunks(cfg.workers(), len(cs), work, reduce); err != nil {
+		return nil, err
+	}
+	return global, nil
+}
+
+// oneTrace synthesizes trace i and feeds it to the chunk accumulators.
+func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []*sca.CPA) error {
+	s.Trace = nil
+	if err := gen(i, TraceRNG(spec.Seed, i), s); err != nil {
+		return fmt.Errorf("engine: trace %d: %w", i, err)
+	}
+	if len(s.Trace) != spec.Samples {
+		return fmt.Errorf("engine: trace %d has %d samples, want %d", i, len(s.Trace), spec.Samples)
+	}
+	for b := range banks {
+		if err := banks[b].Add(s.Trace, s.Hyps[b]); err != nil {
+			return fmt.Errorf("engine: trace %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package engine
+
+import "math/rand"
+
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mix with
+// full avalanche, the standard generator for seeding parallel random
+// streams from a counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// splitMixSource is a SplitMix64 rand.Source64. math/rand's default
+// source folds its seed into a ~2^31 space, which would collide distinct
+// trace streams at realistic trace counts (birthday bound ~2^16); this
+// source keeps the full 64-bit stream identity.
+type splitMixSource struct{ state uint64 }
+
+func (s *splitMixSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// TraceRNG returns trace i's private random stream under the given base
+// seed. Deriving the stream from (seed, i) — rather than splitting one
+// sequential stream — is what lets workers synthesize traces in any
+// order while every trace sees exactly the same plaintext and noise.
+// Distinct (seed, i) pairs map to distinct 64-bit stream states.
+func TraceRNG(seed int64, i int) *rand.Rand {
+	return rand.New(&splitMixSource{state: splitmix64(splitmix64(uint64(seed)) + uint64(i))})
+}

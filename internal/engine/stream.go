@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Produce synthesizes trace i under its private rng and returns the
+// trace with its auxiliary record (typically the plaintext that produced
+// it). Called concurrently with distinct i.
+type Produce func(i int, rng *rand.Rand) (trace.Trace, []byte, error)
+
+// Emit receives trace i in strict index order on the reducer; it
+// typically appends to a file. Returning an error aborts the stream.
+type Emit func(i int, t trace.Trace, aux []byte) error
+
+// Stream synthesizes n traces across the worker pool and hands them to
+// emit in trace-index order. It shares Run's windowed scheduler, so at
+// most ~workers chunks of traces are ever in memory — the parallel
+// producer behind tools that write trace sets without materializing
+// them.
+func Stream(cfg Config, n int, seed int64, produce Produce, emit Emit) error {
+	if n < 1 {
+		return fmt.Errorf("engine: need at least 1 trace, got %d", n)
+	}
+	type item struct {
+		t   trace.Trace
+		aux []byte
+	}
+	cs := chunks(n, cfg.chunkSize(), nil)
+
+	work := func(idx int) ([]item, error) {
+		c := cs[idx]
+		items := make([]item, 0, c.end-c.start)
+		for i := c.start; i < c.end; i++ {
+			t, aux, err := produce(i, TraceRNG(seed, i))
+			if err != nil {
+				return nil, fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+			items = append(items, item{t, aux})
+		}
+		return items, nil
+	}
+	reduce := func(idx int, items []item) error {
+		for j, it := range items {
+			if err := emit(cs[idx].start+j, it.t, it.aux); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return orderedChunks(cfg.workers(), len(cs), work, reduce)
+}

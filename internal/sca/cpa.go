@@ -80,6 +80,72 @@ func (c *CPA) Add(t []float64, hyp []float64) error {
 // Count returns the number of accumulated traces.
 func (c *CPA) Count() int { return c.count }
 
+// Merge folds the accumulated sums of o into c, as if every trace added
+// to o had been added to c after c's own traces. It is the reduction step
+// of chunked streaming CPA: partial accumulators built over disjoint
+// trace subsets merge into the whole-set accumulator. Merging partials in
+// a fixed order yields bit-identical sums regardless of how the chunks
+// were scheduled across workers.
+func (c *CPA) Merge(o *CPA) error {
+	if o.nHyp != c.nHyp || o.samples != c.samples {
+		return fmt.Errorf("sca: merge dimension mismatch %dx%d vs %dx%d",
+			o.nHyp, o.samples, c.nHyp, c.samples)
+	}
+	for k := range c.sumH {
+		c.sumH[k] += o.sumH[k]
+		c.sumHH[k] += o.sumHH[k]
+	}
+	for s := range c.sumT {
+		c.sumT[s] += o.sumT[s]
+		c.sumTT[s] += o.sumTT[s]
+	}
+	for i := range c.sumHT {
+		c.sumHT[i] += o.sumHT[i]
+	}
+	c.count += o.count
+	return nil
+}
+
+// Reset clears the accumulator for reuse.
+func (c *CPA) Reset() {
+	clear(c.sumH)
+	clear(c.sumHH)
+	clear(c.sumT)
+	clear(c.sumTT)
+	clear(c.sumHT)
+	c.count = 0
+}
+
+// Clone returns an independent deep copy of the accumulator state.
+func (c *CPA) Clone() *CPA {
+	o := MustNewCPA(c.nHyp, c.samples)
+	o.count = c.count
+	copy(o.sumH, c.sumH)
+	copy(o.sumHH, c.sumHH)
+	copy(o.sumT, c.sumT)
+	copy(o.sumTT, c.sumTT)
+	copy(o.sumHT, c.sumHT)
+	return o
+}
+
+// Equal reports whether two accumulators hold bit-identical state — the
+// strict equivalence the streaming engine's determinism tests assert.
+func (c *CPA) Equal(o *CPA) bool {
+	if c.nHyp != o.nHyp || c.samples != o.samples || c.count != o.count {
+		return false
+	}
+	eq := func(a, b []float64) bool {
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(c.sumH, o.sumH) && eq(c.sumHH, o.sumHH) &&
+		eq(c.sumT, o.sumT) && eq(c.sumTT, o.sumTT) && eq(c.sumHT, o.sumHT)
+}
+
 // Corr returns the correlation of hypothesis k at sample s.
 func (c *CPA) Corr(k, s int) float64 {
 	n := float64(c.count)

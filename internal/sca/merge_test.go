@@ -1,0 +1,59 @@
+package sca
+
+import "testing"
+
+func TestCPAMergeMatchesSequentialAdds(t *testing.T) {
+	whole := MustNewCPA(4, 3)
+	a, b := MustNewCPA(4, 3), MustNewCPA(4, 3)
+	traces := [][]float64{{1, 2, 3}, {2, 0, 1}, {5, 4, 3}, {0, 1, 0}}
+	hyps := [][]float64{{1, 0, 2, 3}, {0, 1, 1, 2}, {3, 2, 0, 1}, {1, 1, 1, 0}}
+	for i := range traces {
+		part := a
+		if i >= 2 {
+			part = b
+		}
+		for _, c := range []*CPA{whole, part} {
+			if err := c.Add(traces[i], hyps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Integer-valued data sums exactly, so the merged accumulator matches
+	// the sequentially built one bit for bit.
+	if !a.Equal(whole) {
+		t.Fatal("merged accumulator differs from sequential accumulation")
+	}
+	if a.Count() != 4 {
+		t.Fatalf("merged count %d, want 4", a.Count())
+	}
+}
+
+func TestCPAMergeRejectsDimensionMismatch(t *testing.T) {
+	if err := MustNewCPA(4, 3).Merge(MustNewCPA(4, 5)); err == nil {
+		t.Error("sample mismatch must be rejected")
+	}
+	if err := MustNewCPA(4, 3).Merge(MustNewCPA(8, 3)); err == nil {
+		t.Error("hypothesis mismatch must be rejected")
+	}
+}
+
+func TestCPACloneAndReset(t *testing.T) {
+	c := MustNewCPA(2, 2)
+	if err := c.Add([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Reset()
+	if c.Count() != 0 || d.Equal(c) {
+		t.Fatal("reset did not clear the accumulator")
+	}
+	if !d.Equal(d.Clone()) {
+		t.Fatal("clone of clone differs")
+	}
+}

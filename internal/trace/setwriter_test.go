@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSetWriterMatchesSetWriteTo(t *testing.T) {
+	set := NewSet(3)
+	set.Add(Trace{1, 2, 3}, []byte{0xAA})
+	set.Add(Trace{4, 5}, []byte{0xBB, 0xCC}) // resized to 3
+	set.Add(Trace{6, 7, 8, 9}, nil)          // truncated to 3
+
+	var whole bytes.Buffer
+	if _, err := set.WriteTo(&whole); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	sw, err := NewSetWriter(&streamed, set.Len(), set.Samples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < set.Len(); i++ {
+		if err := sw.Append(set.Trace(i), set.Aux(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed bytes differ from Set.WriteTo bytes")
+	}
+	if sw.Written() != int64(streamed.Len()) {
+		t.Fatalf("Written() = %d, buffer holds %d", sw.Written(), streamed.Len())
+	}
+
+	back, err := ReadSet(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Samples() != 3 {
+		t.Fatalf("round trip %dx%d, want 3x3", back.Len(), back.Samples())
+	}
+	if back.Trace(1)[2] != 0 || back.Trace(0)[1] != 2 {
+		t.Fatal("round-tripped samples corrupted")
+	}
+	if string(back.Aux(1)) != "\xBB\xCC" {
+		t.Fatal("round-tripped aux corrupted")
+	}
+}
+
+func TestSetWriterEnforcesCount(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSetWriter(&buf, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("short set must fail Close")
+	}
+	if err := sw.Append(Trace{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(Trace{3, 4}, nil); err == nil {
+		t.Error("overfull set must be rejected")
+	}
+	if err := sw.Close(); err != nil {
+		t.Errorf("complete set must close cleanly: %v", err)
+	}
+}

@@ -146,35 +146,81 @@ const setMagic = 0x53435452 // "RTCS" little-endian: Repro Trace Container Set
 // WriteTo serializes the set: header (magic, count, samples), then per
 // trace the aux length, aux bytes and float64 samples, little-endian.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
-	var n int64
-	write := func(v any) error {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		n += int64(binary.Size(v))
-		return nil
-	}
-	if err := write(uint32(setMagic)); err != nil {
-		return n, err
-	}
-	if err := write(uint32(len(s.samples))); err != nil {
-		return n, err
-	}
-	if err := write(uint32(s.n)); err != nil {
-		return n, err
+	sw, err := NewSetWriter(w, len(s.samples), s.n)
+	if err != nil {
+		return sw.Written(), err
 	}
 	for i, t := range s.samples {
-		if err := write(uint32(len(s.aux[i]))); err != nil {
-			return n, err
-		}
-		if err := write(s.aux[i]); err != nil {
-			return n, err
-		}
-		if err := write([]float64(t)); err != nil {
-			return n, err
+		if err := sw.Append(t, s.aux[i]); err != nil {
+			return sw.Written(), err
 		}
 	}
-	return n, nil
+	return sw.Written(), sw.Close()
+}
+
+// SetWriter serializes a trace set incrementally in the Set format, so
+// producers can stream traces straight to disk without materializing
+// the whole set. The trace count is fixed up front by the header.
+type SetWriter struct {
+	w       io.Writer
+	count   int
+	samples int
+	written int64
+	added   int
+}
+
+// NewSetWriter writes the set header for count traces of the given
+// sample length and returns the writer for the trace records.
+func NewSetWriter(w io.Writer, count, samples int) (*SetWriter, error) {
+	sw := &SetWriter{w: w, count: count, samples: samples}
+	if count < 0 || samples < 0 {
+		return sw, fmt.Errorf("trace: negative set dimensions %dx%d", count, samples)
+	}
+	for _, v := range []uint32{setMagic, uint32(count), uint32(samples)} {
+		if err := sw.write(v); err != nil {
+			return sw, err
+		}
+	}
+	return sw, nil
+}
+
+func (sw *SetWriter) write(v any) error {
+	if err := binary.Write(sw.w, binary.LittleEndian, v); err != nil {
+		return err
+	}
+	sw.written += int64(binary.Size(v))
+	return nil
+}
+
+// Append writes the next trace record. The trace is resized to the
+// declared sample count, mirroring Set.Add.
+func (sw *SetWriter) Append(t Trace, aux []byte) error {
+	if sw.added >= sw.count {
+		return fmt.Errorf("trace: set already holds the declared %d traces", sw.count)
+	}
+	if err := sw.write(uint32(len(aux))); err != nil {
+		return err
+	}
+	if err := sw.write(aux); err != nil {
+		return err
+	}
+	if err := sw.write([]float64(t.Resize(sw.samples))); err != nil {
+		return err
+	}
+	sw.added++
+	return nil
+}
+
+// Written returns the number of bytes written so far.
+func (sw *SetWriter) Written() int64 { return sw.written }
+
+// Close verifies that exactly the declared number of traces was written;
+// it does not close the underlying writer.
+func (sw *SetWriter) Close() error {
+	if sw.added != sw.count {
+		return fmt.Errorf("trace: wrote %d traces, header declares %d", sw.added, sw.count)
+	}
+	return nil
 }
 
 // ReadSet deserializes a set written by WriteTo.
