@@ -17,6 +17,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/cpi"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/leakscan"
 	"repro/internal/masking"
@@ -389,13 +390,14 @@ func BenchmarkPowerSynthesis(b *testing.B) {
 
 // benchEngineCPA10k runs the engine's full 10k-trace streaming CPA —
 // the DESIGN.md §6 scaling experiment — against the one-round AES
-// target with the given pool size.
-func benchEngineCPA10k(b *testing.B, workers int) {
+// target with the given pool size and synthesis mode.
+func benchEngineCPA10k(b *testing.B, workers int, mode engine.Mode) {
 	opt := attack.DefaultFig3Options()
 	opt.Traces = 10000
 	opt.Rounds = 1
 	opt.Averages = 1
 	opt.Workers = workers
+	opt.Synth = mode
 	var res *attack.Fig3Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -407,16 +409,48 @@ func benchEngineCPA10k(b *testing.B, workers int) {
 	}
 	b.ReportMetric(float64(opt.Traces)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 	b.ReportMetric(b2f(res.Success()), "key_recovered")
+	b.ReportMetric(b2f(res.Replayed), "replayed")
 }
 
-// BenchmarkEngineCPA10kSerial is the one-worker baseline of the 10k-trace
-// streaming CPA; divide its time by BenchmarkEngineCPA10kParallel's for
-// the core-scaling factor (≥ 2x expected on ≥ 4 cores).
-func BenchmarkEngineCPA10kSerial(b *testing.B) { benchEngineCPA10k(b, 1) }
+// BenchmarkEngineCPA10kSerial is the one-worker full-simulation
+// baseline of the 10k-trace streaming CPA — the shape of the attack
+// before compiled replay existed. Divide its time by the parallel
+// benchmarks' for the scaling factors.
+func BenchmarkEngineCPA10kSerial(b *testing.B) { benchEngineCPA10k(b, 1, engine.ModeSimulate) }
 
-// BenchmarkEngineCPA10kParallel runs the same attack with one worker per
-// core. The result is bit-identical to the serial run — only faster.
-func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0) }
+// BenchmarkEngineCPA10kSimulate runs the attack with one worker per
+// core under full simulation — the modern simulate path, against which
+// BenchmarkEngineCPA10kParallel isolates the replay speedup at equal
+// worker count.
+func BenchmarkEngineCPA10kSimulate(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeSimulate) }
+
+// BenchmarkEngineCPA10kParallel runs the attack with one worker per
+// core and replay enabled (the auto default). The result is
+// bit-identical to both simulate benchmarks — only faster.
+func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto) }
+
+// BenchmarkReplayVM measures the compiled-replay VM alone on the
+// one-round AES schedule — the per-trace synthesis floor, to compare
+// against BenchmarkPipelineSimulation's per-execution cost.
+func BenchmarkReplayVM(b *testing.B) {
+	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), benchKey, aes.ProgramOptions{Rounds: 1, PadNops: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	synth, err := engine.NewSynthesizer(engine.ModeReplay, pipeline.DefaultConfig(), tgt.Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	use := func(pipeline.Timeline, *pipeline.Core) error { return nil }
+	var pt [16]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt[0], pt[1] = byte(i), byte(i>>8)
+		if err := synth.Run(func(core *pipeline.Core) { tgt.InitCore(core, pt) }, use); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEngineFullKey measures the sixteen-bank streaming recovery of
 // the complete first-round key from one shared trace stream.

@@ -9,8 +9,8 @@
 //
 // Usage:
 //
-//	aescpa -fig3 [-traces N] [-keybyte B] [-rounds R] [-workers W]
-//	aescpa -fig4 [-traces N] [-keybyte B] [-avg A] [-workers W]
+//	aescpa -fig3 [-traces N] [-keybyte B] [-rounds R] [-workers W] [-replay auto|replay|simulate]
+//	aescpa -fig4 [-traces N] [-keybyte B] [-avg A] [-workers W] [-replay auto|replay|simulate]
 package main
 
 import (
@@ -21,10 +21,17 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/aes"
 	"repro/internal/attack"
+	"repro/internal/engine"
 )
 
 var defaultKey = [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "aescpa:", msg)
+	os.Exit(1)
+}
 
 func main() {
 	fig3 := flag.Bool("fig3", false, "run the Figure 3 bare-metal attack")
@@ -35,19 +42,39 @@ func main() {
 	avg := flag.Int("avg", 0, "per-acquisition averaging (0: default)")
 	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
+
+	mode, err := engine.ParseMode(*replayFlag)
+	if err != nil {
+		fail(err.Error())
+	}
+	switch {
+	case *traces < 0:
+		fail(fmt.Sprintf("-traces must be >= 0, got %d", *traces))
+	case *rounds < 0 || *rounds > aes.Rounds:
+		fail(fmt.Sprintf("-rounds must be in 0..%d, got %d", aes.Rounds, *rounds))
+	case *avg < 0:
+		fail(fmt.Sprintf("-avg must be >= 0, got %d", *avg))
+	case *workers < 0:
+		fail(fmt.Sprintf("-workers must be >= 0, got %d", *workers))
+	case *keyByte < -1 || *keyByte >= aes.BlockSize:
+		fail(fmt.Sprintf("-keybyte must be in 0..%d (or -1 for the default), got %d", aes.BlockSize-1, *keyByte))
+	}
 
 	key := defaultKey
 	if *keyHex != "" {
 		raw, err := hex.DecodeString(*keyHex)
 		if err != nil || len(raw) != 16 {
-			fmt.Fprintln(os.Stderr, "aescpa: key must be 32 hex digits")
-			os.Exit(1)
+			fail("key must be 32 hex digits")
 		}
 		copy(key[:], raw)
 	}
 	if !*fig3 && !*fig4 {
 		*fig3, *fig4 = true, true
+	}
+	if *fig4 && *keyByte == 0 {
+		fail("-keybyte 0 is not attackable with the Figure 4 model (it needs the preceding store; use 1..15)")
 	}
 
 	if *fig3 {
@@ -65,12 +92,14 @@ func main() {
 			opt.Averages = *avg
 		}
 		opt.Workers = *workers
+		opt.Synth = mode
 		res, err := attack.RunFigure3(key, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aescpa:", err)
 			os.Exit(1)
 		}
 		fmt.Println("=== Figure 3: CPA vs AES on the bare metal, model HW(SubBytes out) ===")
+		fmt.Println("synthesis:", synthDesc(mode, res.Replayed, res.FallbackReason))
 		fmt.Printf("key byte %d: true %#02x, recovered %#02x (rank %d) over %d traces; confidence %.4f\n",
 			res.KeyByte, res.TrueKey, res.Recovered, res.Rank, res.Traces, res.Confidence)
 		fmt.Println("\nprimitive regions and their peak correlation (correct key):")
@@ -97,17 +126,33 @@ func main() {
 			opt.Averages = *avg
 		}
 		opt.Workers = *workers
+		opt.Synth = mode
 		res, err := attack.RunFigure4(key, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aescpa:", err)
 			os.Exit(1)
 		}
 		fmt.Println("\n=== Figure 4: CPA vs AES on loaded Linux, model HD(consecutive SubBytes stores) ===")
+		fmt.Println("synthesis:", synthDesc(mode, res.Replayed, res.FallbackReason))
 		fmt.Printf("key byte %d: true %#02x, recovered %#02x (rank %d) over %d averaged-%d traces\n",
 			res.KeyByte, res.TrueKey, res.Recovered, res.Rank, res.Traces, opt.Averages)
 		fmt.Printf("best |r| %.4f vs runner-up %.4f; distinguishing confidence %.4f (paper: > 0.99)\n",
 			res.BestCorr, res.SecondCorr, res.Confidence)
 	}
+}
+
+// synthDesc describes how the traces were synthesized. Only auto mode
+// runs the verification window; forced replay trusts the schedule.
+func synthDesc(mode engine.Mode, replayed bool, reason string) string {
+	switch {
+	case replayed && mode == engine.ModeReplay:
+		return "compiled replay (forced, schedule invariance not verified)"
+	case replayed:
+		return "compiled replay (bit-verified against full simulation)"
+	case reason != "":
+		return "full simulation (replay fell back: " + reason + ")"
+	}
+	return "full simulation"
 }
 
 // asciiPlot renders a |corr|-vs-time sparkline over width columns.

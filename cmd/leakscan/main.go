@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	leakscan [-traces N] [-row K] [-workers W] [-noalign] [-nonopreset] [-scalar]
+//	leakscan [-traces N] [-row K] [-workers W] [-replay auto|replay|simulate] [-noalign] [-nonopreset] [-scalar]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/leakscan"
 )
 
@@ -27,10 +28,25 @@ func main() {
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
+	mode, err := engine.ParseMode(*replayFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(1)
+	}
+	if *traces < 8 {
+		fmt.Fprintf(os.Stderr, "leakscan: -traces must be >= 8, got %d\n", *traces)
+		os.Exit(1)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "leakscan: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(1)
+	}
 	opt.Traces = *traces
 	opt.Workers = *workers
+	opt.Synth = mode
 	if *noAlign {
 		opt.Core.AlignBuffer = false
 	}
@@ -45,7 +61,7 @@ func main() {
 	if *row != 0 {
 		all := leakscan.Benchmarks()
 		if *row < 1 || *row > len(all) {
-			fmt.Fprintf(os.Stderr, "leakscan: row must be in 1..%d\n", len(all))
+			fmt.Fprintf(os.Stderr, "leakscan: -row must be in 1..%d, got %d\n", len(all), *row)
 			os.Exit(1)
 		}
 		b := all[*row-1]

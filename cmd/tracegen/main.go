@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-o traces.bin]
+//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-replay auto|replay|simulate] [-o traces.bin]
 package main
 
 import (
@@ -30,6 +30,11 @@ import (
 	"repro/internal/trace"
 )
 
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "tracegen:", msg)
+	os.Exit(1)
+}
+
 func main() {
 	n := flag.Int("n", 1000, "number of traces")
 	rounds := flag.Int("rounds", 1, "simulated AES rounds")
@@ -39,20 +44,38 @@ func main() {
 	keyHex := flag.String("key", "2b7e151628aed2a6abf7158809cf4f3c", "AES-128 key (32 hex digits)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
+
+	mode, err := engine.ParseMode(*replayFlag)
+	if err != nil {
+		fail(err.Error())
+	}
+	switch {
+	case *n < 0:
+		fail(fmt.Sprintf("-n must be >= 0, got %d", *n))
+	case *rounds < 1 || *rounds > aes.Rounds:
+		fail(fmt.Sprintf("-rounds must be in 1..%d, got %d", aes.Rounds, *rounds))
+	case *avg < 1:
+		fail(fmt.Sprintf("-avg must be >= 1, got %d", *avg))
+	case *workers < 0:
+		fail(fmt.Sprintf("-workers must be >= 0, got %d", *workers))
+	}
 
 	raw, err := hex.DecodeString(*keyHex)
 	if err != nil || len(raw) != 16 {
-		fmt.Fprintln(os.Stderr, "tracegen: key must be 32 hex digits")
-		os.Exit(1)
+		fail("key must be 32 hex digits")
 	}
 	var key [16]byte
 	copy(key[:], raw)
 
 	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), key, aes.ProgramOptions{Rounds: *rounds, PadNops: 8})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fail(err.Error())
+	}
+	synth, err := engine.NewSynthesizer(mode, pipeline.DefaultConfig(), tgt.Program())
+	if err != nil {
+		fail(err.Error())
 	}
 	model := power.DefaultModel()
 	env := osnoise.Quiet()
@@ -82,11 +105,20 @@ func main() {
 			func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
 				var pt [16]byte
 				rng.Read(pt[:])
-				res, _, err := tgt.Run(pt)
+				var tr trace.Trace
+				err := synth.Run(
+					func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+					func(tl pipeline.Timeline, core *pipeline.Core) error {
+						if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+							return err
+						}
+						tr = env.Acquire(tl, &model, rng, *avg)
+						return nil
+					})
 				if err != nil {
 					return nil, nil, err
 				}
-				return env.Acquire(res.Timeline, &model, rng, *avg), pt[:], nil
+				return tr, pt[:], nil
 			},
 			func(i int, tr trace.Trace, aux []byte) error {
 				return sw.Append(tr, aux)

@@ -52,40 +52,60 @@ func (t *Target) Layout() *Layout { return t.layout }
 // Ref returns the functional oracle.
 func (t *Target) Ref() *Ref { return t.ref }
 
-// Run encrypts one block on the simulated core and returns the pipeline
-// result (with its leakage timeline) and the output state.
-func (t *Target) Run(pt [BlockSize]byte) (*pipeline.Result, [BlockSize]byte, error) {
-	m := mem.NewMemory()
+// InitCore prepares core for one encryption of pt: it writes the S-box,
+// the expanded key and the plaintext state into the core's memory and
+// points the argument registers at them — the per-run setup Run
+// performs before executing. The core's architectural state must be
+// freshly reset (or pooled and wiped); InitCore only adds to it.
+func (t *Target) InitCore(core *pipeline.Core, pt [BlockSize]byte) {
+	m := core.Mem()
 	m.WriteBytes(t.layout.SboxAddr, Sbox[:])
 	m.WriteBytes(t.layout.KeyAddr, t.rk[:])
 	m.WriteBytes(t.layout.StateAddr, pt[:])
-
-	core := pipeline.MustNew(t.cfg, m)
 	core.SetReg(regState, t.layout.StateAddr)
 	core.SetReg(regKeys, t.layout.KeyAddr)
 	core.SetReg(regSbox, t.layout.SboxAddr)
 	core.SetReg(isa.SP, t.layout.StackAddr)
+}
 
+// VerifyOutput reads the encrypted state back from m after an execution
+// prepared by InitCore(_, pt) and, unless Verify is off, checks it
+// against the reference implementation. It is the functional oracle of
+// every synthesized acquisition — simulated or replayed alike.
+func (t *Target) VerifyOutput(m *mem.Memory, pt [BlockSize]byte) ([BlockSize]byte, error) {
+	var out [BlockSize]byte
+	copy(out[:], m.ReadBytes(t.layout.StateAddr, BlockSize))
+	if !t.Verify {
+		return out, nil
+	}
+	var want [BlockSize]byte
+	var err error
+	if t.rounds == Rounds {
+		want = t.ref.Encrypt(pt)
+	} else {
+		want, err = t.ref.EncryptPartial(pt, t.rounds)
+		if err != nil {
+			return out, err
+		}
+	}
+	if out != want {
+		return out, fmt.Errorf("aes: simulator output %x disagrees with reference %x", out, want)
+	}
+	return out, nil
+}
+
+// Run encrypts one block on the simulated core and returns the pipeline
+// result (with its leakage timeline) and the output state.
+func (t *Target) Run(pt [BlockSize]byte) (*pipeline.Result, [BlockSize]byte, error) {
+	core := pipeline.MustNew(t.cfg, mem.NewMemory())
+	t.InitCore(core, pt)
 	res, err := core.Run(t.prog)
 	if err != nil {
 		return nil, [BlockSize]byte{}, err
 	}
-	var out [BlockSize]byte
-	copy(out[:], m.ReadBytes(t.layout.StateAddr, BlockSize))
-
-	if t.Verify {
-		var want [BlockSize]byte
-		if t.rounds == Rounds {
-			want = t.ref.Encrypt(pt)
-		} else {
-			want, err = t.ref.EncryptPartial(pt, t.rounds)
-			if err != nil {
-				return nil, out, err
-			}
-		}
-		if out != want {
-			return nil, out, fmt.Errorf("aes: simulator output %x disagrees with reference %x", out, want)
-		}
+	out, err := t.VerifyOutput(core.Mem(), pt)
+	if err != nil {
+		return nil, out, err
 	}
 	return res, out, nil
 }

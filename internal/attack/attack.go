@@ -54,6 +54,10 @@ type Fig3Options struct {
 	Core  pipeline.Config
 	// Workers sizes the synthesis pool (0: one per core).
 	Workers int
+	// Synth selects the trace-synthesis strategy. The zero value,
+	// engine.ModeAuto, compiles the AES schedule once and replays it per
+	// trace, bit-verified against full simulation on the first chunk.
+	Synth engine.Mode
 }
 
 // DefaultFig3Options returns a configuration resolving the key in
@@ -91,6 +95,12 @@ type Fig3Result struct {
 	Confidence float64
 	// Traces is the number of acquisitions used.
 	Traces int
+	// Replayed reports that compiled replay synthesized the traces (it
+	// is false under engine.ModeSimulate or after an auto-mode fallback,
+	// whose reason is then in FallbackReason).
+	Replayed bool
+	// FallbackReason explains an auto-mode fallback, "" otherwise.
+	FallbackReason string
 }
 
 // Success reports whether the attack recovered the true key byte.
@@ -111,6 +121,10 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 		return nil, err
 	}
 	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
+	if err != nil {
+		return nil, err
+	}
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +156,7 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	banks, err := engine.Run(
 		engine.Config{Workers: opt.Workers},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed},
-		fig3Generate(tgt, opt))
+		fig3Generate(tgt, synth, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +173,8 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 		SamplePeriodUs: usPerSample,
 		Confidence:     att.DistinguishConfidence(),
 		Traces:         opt.Traces,
+		Replayed:       opt.Synth != engine.ModeSimulate && !synth.FellBack(),
+		FallbackReason: synth.FallbackReason(),
 	}
 	for i := range regions {
 		reg := &regions[i]
@@ -178,16 +194,25 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 // fig3Generate synthesizes one bare-metal acquisition with the
 // HW(SubBytes out) predictions for the attacked key byte. Each trace's
 // plaintext and noise come from its private rng, so the acquisition is
-// identical no matter which worker runs it.
-func fig3Generate(tgt *aes.Target, opt Fig3Options) engine.Generate {
+// identical no matter which worker runs it. The timeline comes from the
+// synthesizer — compiled replay on the hot path — and every run's
+// output is still checked against the functional reference.
+func fig3Generate(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.Generate {
 	return func(i int, rng *rand.Rand, s *engine.Sample) error {
 		var pt [aes.BlockSize]byte
 		rng.Read(pt[:])
-		res, _, err := tgt.Run(pt)
+		err := synth.Run(
+			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+			func(tl pipeline.Timeline, core *pipeline.Core) error {
+				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					return err
+				}
+				s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
-		s.Trace = opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
 		for k := 0; k < 256; k++ {
 			s.Hyps[0][k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
 		}
@@ -222,6 +247,9 @@ type Fig4Options struct {
 	Core  pipeline.Config
 	// Workers sizes the synthesis pool (0: one per core).
 	Workers int
+	// Synth selects the trace-synthesis strategy (engine.ModeAuto by
+	// default: compiled replay, bit-verified on the first chunk).
+	Synth engine.Mode
 }
 
 // DefaultFig4Options mirrors the paper's Figure 4 acquisition: 100
@@ -253,6 +281,10 @@ type Fig4Result struct {
 	// CorrTrace is the correct hypothesis's correlation curve.
 	CorrTrace []float64
 	Traces    int
+	// Replayed reports that compiled replay synthesized the traces;
+	// FallbackReason explains an auto-mode fallback, "" otherwise.
+	Replayed       bool
+	FallbackReason string
 }
 
 // Success reports whether the correct key byte ranked first.
@@ -279,6 +311,10 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
+	if err != nil {
+		return nil, err
+	}
 
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
@@ -294,15 +330,22 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 		func(i int, rng *rand.Rand, s *engine.Sample) error {
 			var pt [aes.BlockSize]byte
 			rng.Read(pt[:])
-			res, _, err := tgt.Run(pt)
+			err := synth.Run(
+				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+				func(tl pipeline.Timeline, core *pipeline.Core) error {
+					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+						return err
+					}
+					tr := opt.Env.Acquire(tl, &opt.Model, rng, opt.Averages)
+					if len(tr) != nSamples {
+						tr = tr.Resize(nSamples)
+					}
+					s.Trace = tr
+					return nil
+				})
 			if err != nil {
 				return err
 			}
-			tr := opt.Env.Acquire(res.Timeline, &opt.Model, rng, opt.Averages)
-			if len(tr) != nSamples {
-				tr = tr.Resize(nSamples)
-			}
-			s.Trace = tr
 			sPrev := aes.SubBytesOut(pt[prevByte], kPrev)
 			for k := 0; k < 256; k++ {
 				s.Hyps[0][k] = float64(sca.HD8(sPrev, aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
@@ -318,14 +361,16 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 	trueKey := key[opt.KeyByte]
 	best, second := att.Margin()
 	return &Fig4Result{
-		KeyByte:    opt.KeyByte,
-		TrueKey:    trueKey,
-		Recovered:  byte(att.Ranking[0]),
-		Rank:       att.RankOf(int(trueKey)),
-		BestCorr:   best,
-		SecondCorr: second,
-		Confidence: att.DistinguishConfidence(),
-		CorrTrace:  cpa.CorrTrace(int(trueKey)),
-		Traces:     opt.Traces,
+		KeyByte:        opt.KeyByte,
+		TrueKey:        trueKey,
+		Recovered:      byte(att.Ranking[0]),
+		Rank:           att.RankOf(int(trueKey)),
+		BestCorr:       best,
+		SecondCorr:     second,
+		Confidence:     att.DistinguishConfidence(),
+		CorrTrace:      cpa.CorrTrace(int(trueKey)),
+		Traces:         opt.Traces,
+		Replayed:       opt.Synth != engine.ModeSimulate && !synth.FellBack(),
+		FallbackReason: synth.FallbackReason(),
 	}, nil
 }

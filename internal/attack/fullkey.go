@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/engine"
+	"repro/internal/pipeline"
 	"repro/internal/sca"
 )
 
@@ -58,6 +59,10 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 	if err != nil {
 		return nil, err
 	}
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
+	if err != nil {
+		return nil, err
+	}
 
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
@@ -75,11 +80,18 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 		func(i int, rng *rand.Rand, s *engine.Sample) error {
 			var pt [aes.BlockSize]byte
 			rng.Read(pt[:])
-			res, _, err := tgt.Run(pt)
+			err := synth.Run(
+				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+				func(tl pipeline.Timeline, core *pipeline.Core) error {
+					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+						return err
+					}
+					s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
+					return nil
+				})
 			if err != nil {
 				return err
 			}
-			s.Trace = opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
 			for b := 0; b < aes.BlockSize; b++ {
 				for k := 0; k < 256; k++ {
 					s.Hyps[b][k] = float64(sca.HW8(aes.SubBytesOut(pt[b], byte(k))))
@@ -116,6 +128,10 @@ func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.R
 	if err != nil {
 		return nil, err
 	}
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
+	if err != nil {
+		return nil, err
+	}
 	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
 	if err != nil {
 		return nil, err
@@ -134,7 +150,7 @@ func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.R
 				curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
 			},
 		},
-		fig3Generate(tgt, opt))
+		fig3Generate(tgt, synth, opt))
 	if err != nil {
 		return nil, err
 	}

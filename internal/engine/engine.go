@@ -60,11 +60,18 @@ func (c Config) chunkSize() int {
 // buffers (sized from Spec.Banks); Generate assigns Trace.
 type Sample struct {
 	// Trace is the synthesized power trace; its length must equal
-	// Spec.Samples.
+	// Spec.Samples. The engine hands it back truncated to length zero
+	// with its previous capacity intact, so Generate may synthesize
+	// allocation-free into the recycled storage (e.g. via
+	// power.Model.SynthesizeInto) — or simply assign a fresh slice.
 	Trace []float64
 	// Hyps holds one prediction vector per bank: Hyps[b][k] is the
 	// hypothesized leakage of hypothesis k in bank b.
 	Hyps [][]float64
+	// Scratch is a spare buffer the engine preserves alongside the
+	// sample for Generate's own temporaries (averaging scratch and the
+	// like); the engine never reads it.
+	Scratch []float64
 }
 
 // Generate synthesizes trace i into s using the trace's private rng.
@@ -176,12 +183,35 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 	}
 	cs := chunks(spec.Traces, cfg.chunkSize(), spec.Checkpoints)
 
-	samples := sync.Pool{New: func() any {
-		s := &Sample{Hyps: make([][]float64, len(spec.Banks))}
-		for b, n := range spec.Banks {
-			s.Hyps[b] = make([]float64, n)
+	// Each worker synthesizes a whole chunk into a pooled batch — one
+	// Sample slot and one private rng per trace — and folds it into the
+	// partial accumulators with one cache-blocked AddBatch per bank,
+	// which is bit-identical to per-trace Add calls in trace order.
+	chunkCap := cfg.chunkSize()
+	for _, c := range cs {
+		if n := c.end - c.start; n > chunkCap {
+			chunkCap = n
 		}
-		return s
+	}
+	batches := sync.Pool{New: func() any {
+		bb := &batchBuf{
+			samples: make([]Sample, chunkCap),
+			traces:  make([][]float64, chunkCap),
+			hyps:    make([][][]float64, len(spec.Banks)),
+			rngs:    make([]*rand.Rand, chunkCap),
+		}
+		for j := range bb.samples {
+			s := &bb.samples[j]
+			s.Hyps = make([][]float64, len(spec.Banks))
+			for b, n := range spec.Banks {
+				s.Hyps[b] = make([]float64, n)
+			}
+			bb.rngs[j] = rand.New(&splitMixSource{})
+		}
+		for b := range bb.hyps {
+			bb.hyps[b] = make([][]float64, chunkCap)
+		}
+		return bb
 	}}
 	// Partial accumulators are large (banks x hypotheses x samples);
 	// recycle them through the reducer instead of allocating per chunk.
@@ -194,11 +224,28 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 	}}
 	work := func(idx int) ([]*sca.CPA, error) {
 		banks := partials.Get().([]*sca.CPA)
-		s := samples.Get().(*Sample)
-		defer samples.Put(s)
-		for i := cs[idx].start; i < cs[idx].end; i++ {
-			if err := oneTrace(i, spec, gen, s, banks); err != nil {
-				return nil, err
+		bb := batches.Get().(*batchBuf)
+		defer batches.Put(bb)
+		n := cs[idx].end - cs[idx].start
+		for j := 0; j < n; j++ {
+			i := cs[idx].start + j
+			s := &bb.samples[j]
+			s.Trace = s.Trace[:0]
+			reseedTraceRNG(bb.rngs[j], spec.Seed, i)
+			if err := gen(i, bb.rngs[j], s); err != nil {
+				return nil, fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+			if len(s.Trace) != spec.Samples {
+				return nil, fmt.Errorf("engine: trace %d has %d samples, want %d", i, len(s.Trace), spec.Samples)
+			}
+			bb.traces[j] = s.Trace
+			for b := range bb.hyps {
+				bb.hyps[b][j] = s.Hyps[b]
+			}
+		}
+		for b := range banks {
+			if err := banks[b].AddBatch(bb.traces[:n], bb.hyps[b][:n]); err != nil {
+				return nil, fmt.Errorf("engine: chunk %d: %w", idx, err)
 			}
 		}
 		return banks, nil
@@ -231,9 +278,22 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 	return global, nil
 }
 
-// oneTrace synthesizes trace i and feeds it to the chunk accumulators.
+// batchBuf is one worker's chunk of in-flight acquisitions: Sample
+// slots with their per-trace private rngs, plus the view slices handed
+// to AddBatch.
+type batchBuf struct {
+	samples []Sample
+	traces  [][]float64
+	hyps    [][][]float64 // [bank][trace] prediction vectors
+	rngs    []*rand.Rand
+}
+
+// oneTrace synthesizes trace i and feeds it to the accumulators — the
+// reference serial semantics the chunk-batched work loop reproduces
+// bit-identically (AddBatch applies per-element contributions in the
+// same trace order).
 func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []*sca.CPA) error {
-	s.Trace = nil
+	s.Trace = s.Trace[:0]
 	if err := gen(i, TraceRNG(spec.Seed, i), s); err != nil {
 		return fmt.Errorf("engine: trace %d: %w", i, err)
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation assertions are meaningless under it (it defeats pooling).
+const raceEnabled = false

@@ -30,11 +30,24 @@ func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 func (s *splitMixSource) Seed(seed int64) { s.state = uint64(seed) }
 
+// traceState derives trace i's private 64-bit stream state from the
+// base seed. Distinct (seed, i) pairs map to distinct states.
+func traceState(seed int64, i int) uint64 {
+	return splitmix64(splitmix64(uint64(seed)) + uint64(i))
+}
+
 // TraceRNG returns trace i's private random stream under the given base
 // seed. Deriving the stream from (seed, i) — rather than splitting one
 // sequential stream — is what lets workers synthesize traces in any
 // order while every trace sees exactly the same plaintext and noise.
-// Distinct (seed, i) pairs map to distinct 64-bit stream states.
 func TraceRNG(seed int64, i int) *rand.Rand {
-	return rand.New(&splitMixSource{state: splitmix64(splitmix64(uint64(seed)) + uint64(i))})
+	return rand.New(&splitMixSource{state: traceState(seed, i)})
+}
+
+// reseedTraceRNG repoints a pooled TraceRNG at trace i's stream,
+// yielding draws bit-identical to a fresh TraceRNG(seed, i): Rand.Seed
+// resets the buffered-byte state and our source's Seed installs the
+// stream state verbatim.
+func reseedTraceRNG(r *rand.Rand, seed int64, i int) {
+	r.Seed(int64(traceState(seed, i)))
 }

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/replay"
+)
+
+// copyTimeline snapshots the borrowed timeline a Run hands to use.
+func copyTimeline(tl pipeline.Timeline) pipeline.Timeline {
+	return append(pipeline.Timeline(nil), tl...)
+}
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runSeries synthesizes n runs with the given per-run init and returns
+// the collected timelines.
+func runSeries(t *testing.T, s *Synthesizer, n int, init func(i int, core *pipeline.Core)) []pipeline.Timeline {
+	t.Helper()
+	out := make([]pipeline.Timeline, n)
+	for i := 0; i < n; i++ {
+		i := i
+		err := s.Run(
+			func(core *pipeline.Core) { init(i, core) },
+			func(tl pipeline.Timeline, _ *pipeline.Core) error {
+				out[i] = copyTimeline(tl)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func timelinesMatch(t *testing.T, a, b []pipeline.Timeline) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("series length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("run %d: timeline length %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				t.Fatalf("run %d cycle %d differs", i, c)
+			}
+		}
+	}
+}
+
+// TestSynthesizerModesAgree pins the three modes against each other on
+// a schedule-invariant program: bit-identical timelines everywhere.
+func TestSynthesizerModesAgree(t *testing.T) {
+	prog := mustAssemble(t, "add r0, r1, r2\nldr r3, [r8]\nstr r0, [r9]\neor r4, r3, r0")
+	init := func(i int, core *pipeline.Core) {
+		core.SetRegs(0, uint32(i)*0x1111, 0xBEEF)
+		core.SetReg(isa.R8, 0x100)
+		core.SetReg(isa.R9, 0x200)
+		core.Mem().Write32(0x100, uint32(i)*7)
+	}
+	var series [][]pipeline.Timeline
+	for _, mode := range []Mode{ModeSimulate, ModeAuto, ModeReplay} {
+		s, err := NewSynthesizer(mode, pipeline.DefaultConfig(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series = append(series, runSeries(t, s, VerifyRuns+16, init))
+		if mode != ModeSimulate && s.FellBack() {
+			t.Fatalf("%v fell back: %s", mode, s.FallbackReason())
+		}
+	}
+	timelinesMatch(t, series[0], series[1])
+	timelinesMatch(t, series[0], series[2])
+}
+
+// TestSynthesizerAutoFallsBackOnColdCaches breaks schedule invariance
+// the way the paper's warmed-cache protocol exists to avoid: a cold
+// cache hierarchy per acquisition. The auto guard must detect the
+// timing divergence in its verification window, fall back, and still
+// deliver output bit-identical to pure simulation.
+func TestSynthesizerAutoFallsBackOnColdCaches(t *testing.T) {
+	prog := mustAssemble(t, "ldr r0, [r8]\nadd r1, r0, r2\nldr r3, [r9]\nstr r1, [r9]")
+	init := func(i int, core *pipeline.Core) {
+		core.SetHierarchy(mem.DefaultHierarchy()) // cold every run
+		core.SetReg(isa.R8, 0x100)
+		core.SetReg(isa.R9, 0x400)
+		core.Mem().Write32(0x100, uint32(i))
+	}
+	auto, err := NewSynthesizer(ModeAuto, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSynthesizer(ModeSimulate, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runSeries(t, auto, 12, init)
+	want := runSeries(t, sim, 12, init)
+	if !auto.FellBack() {
+		t.Fatal("auto mode did not fall back despite cold caches")
+	}
+	t.Logf("fallback reason: %s", auto.FallbackReason())
+	timelinesMatch(t, want, got)
+}
+
+// TestSynthesizerAutoRecoversFromLateDivergence flips a pinned
+// conditional only after the verification window has closed: the VM's
+// per-step guard must catch it mid-replay, restore the snapshotted
+// initial state, re-run the trace under the simulator, and keep the
+// whole series bit-identical to pure simulation.
+func TestSynthesizerAutoRecoversFromLateDivergence(t *testing.T) {
+	prog := mustAssemble(t, "cmp r0, #1\nmuleq r3, r1, r2\nstr r3, [r8]")
+	flip := VerifyRuns + 5
+	init := func(i int, core *pipeline.Core) {
+		r0 := uint32(1)
+		if i >= flip {
+			r0 = 0 // the conditional multiplier no longer executes
+		}
+		core.SetRegs(r0, uint32(i)+3, 7)
+		core.SetReg(isa.R8, 0x100)
+	}
+	auto, err := NewSynthesizer(ModeAuto, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSynthesizer(ModeSimulate, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := flip + 8
+	got := runSeries(t, auto, n, init)
+	want := runSeries(t, sim, n, init)
+	if !auto.FellBack() {
+		t.Fatal("auto mode did not fall back on the late divergence")
+	}
+	timelinesMatch(t, want, got)
+}
+
+// TestSynthesizerConcurrentFallbackStaysSimulationIdentical hammers the
+// verification window from many goroutines against a schedule-variant
+// setup (cold caches). The fast path must never open while a failing
+// dual-run is still in flight, so every produced trace — whatever the
+// interleaving — equals pure simulation of the same initial state.
+func TestSynthesizerConcurrentFallbackStaysSimulationIdentical(t *testing.T) {
+	prog := mustAssemble(t, "ldr r0, [r8]\nadd r1, r0, r2\nldr r3, [r9]\nstr r1, [r9]")
+	init := func(i int, core *pipeline.Core) {
+		core.SetHierarchy(mem.DefaultHierarchy()) // cold every run
+		core.SetReg(isa.R8, 0x100)
+		core.SetReg(isa.R9, 0x400)
+		core.Mem().Write32(0x100, uint32(i))
+	}
+	auto, err := NewSynthesizer(ModeAuto, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSynthesizer(ModeSimulate, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 40
+	got := make([]pipeline.Timeline, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				i := g*per + j
+				err := auto.Run(
+					func(core *pipeline.Core) { init(i, core) },
+					func(tl pipeline.Timeline, _ *pipeline.Core) error {
+						got[i] = copyTimeline(tl)
+						return nil
+					})
+				if err != nil {
+					t.Errorf("run %d: %v", i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if !auto.FellBack() {
+		t.Fatal("auto mode did not fall back despite cold caches")
+	}
+	want := runSeries(t, sim, goroutines*per, init)
+	timelinesMatch(t, want, got)
+}
+
+// TestSynthesizerForcedReplayFailsHard is ModeReplay's contract: a
+// divergence is an error, not a silent repair.
+func TestSynthesizerForcedReplayFailsHard(t *testing.T) {
+	prog := mustAssemble(t, "cmp r0, #1\nmuleq r3, r1, r2")
+	s, err := NewSynthesizer(ModeReplay, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := func(pipeline.Timeline, *pipeline.Core) error { return nil }
+	if err := s.Run(func(c *pipeline.Core) { c.SetRegs(1, 2, 3) }, use); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(c *pipeline.Core) { c.SetRegs(0, 2, 3) }, use)
+	if !errors.Is(err, replay.ErrDiverged) {
+		t.Fatalf("forced replay on diverging input: got %v, want ErrDiverged", err)
+	}
+}
+
+// TestSynthesizerSteadyStateAllocs is the pooled-scratch assertion: a
+// steady-state replay run allocates nothing (the engine's per-trace rng
+// and accumulators live outside the Synthesizer).
+func TestSynthesizerSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool caching")
+	}
+	prog := mustAssemble(t, "add r0, r1, r2\nldr r3, [r8]\neor r4, r3, r0\nstr r4, [r9]")
+	s, err := NewSynthesizer(ModeAuto, pipeline.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := func(core *pipeline.Core) {
+		core.SetRegs(4, 5, 6)
+		core.SetReg(isa.R8, 0x100)
+		core.SetReg(isa.R9, 0x200)
+	}
+	use := func(pipeline.Timeline, *pipeline.Core) error { return nil }
+	// Pass the verification window first.
+	for i := 0; i < VerifyRuns+4; i++ {
+		if err := s.Run(init, use); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FellBack() {
+		t.Fatalf("fell back: %s", s.FallbackReason())
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := s.Run(init, use); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("steady-state replay allocates %.1f objects per run, want <= 1", avg)
+	}
+}

@@ -41,15 +41,27 @@ func Nop() Instr {
 	return Instr{Op: NOP, Cond: NV, Op2: Imm(0)}
 }
 
+// MaxSrcRegs is the most registers any instruction of the subset reads:
+// MLA reads three, as do stores with a register offset and
+// register-shifted data-processing operands.
+const MaxSrcRegs = 3
+
 // SrcRegs returns the architectural registers the instruction reads, in
 // operand-position order. Position matters to the leakage model: the
 // paper's §4.1 shows that only same-position operands of successively
 // issued instructions share an IS/EX bus.
 func (in Instr) SrcRegs() []Reg {
-	var rs []Reg
+	return in.AppendSrcRegs(nil)
+}
+
+// AppendSrcRegs appends the source registers to dst and returns the
+// result — the allocation-free form of SrcRegs for hot paths, which
+// pass a stack buffer of capacity MaxSrcRegs.
+func (in Instr) AppendSrcRegs(dst []Reg) []Reg {
+	rs := dst
 	switch {
 	case in.Op == NOP:
-		return nil
+		return rs
 	case in.Op.IsMul():
 		rs = append(rs, in.Rn, in.Rm)
 		if in.Op == MLA {
@@ -66,7 +78,7 @@ func (in Instr) SrcRegs() []Reg {
 	case in.Op == BX:
 		rs = append(rs, in.Rm)
 	case in.Op.IsBranch():
-		return nil
+		return rs
 	default: // data processing
 		if in.Op.UsesRn() {
 			rs = append(rs, in.Rn)

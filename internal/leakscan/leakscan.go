@@ -161,6 +161,10 @@ type Options struct {
 	Core  pipeline.Config
 	// Workers sizes the synthesis pool (0: one per core).
 	Workers int
+	// Synth selects the trace-synthesis strategy (engine.ModeAuto by
+	// default: compiled replay of each benchmark's schedule, bit-verified
+	// against full simulation on the first chunk).
+	Synth engine.Mode
 }
 
 // DefaultOptions returns the paper's §4 methodology scaled to the
@@ -286,25 +290,29 @@ func RunBenchmark(b *Benchmark, opt Options) (*BenchResult, error) {
 		windows[i] = window{lo, hi}
 	}
 
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, prog)
+	if err != nil {
+		return nil, err
+	}
 	banks, err := engine.Run(
 		engine.Config{Workers: opt.Workers},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{len(b.Exprs)}, Seed: opt.Seed},
 		func(n int, rng *rand.Rand, s *engine.Sample) error {
-			core, err := pipeline.New(opt.Core, nil)
+			var vals Values
+			err := synth.Run(
+				func(core *pipeline.Core) { vals = b.Setup(rng, core) },
+				func(tl pipeline.Timeline, _ *pipeline.Core) error {
+					tr, scratch := opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
+					s.Trace, s.Scratch = tr, scratch
+					if len(tr) != nSamples {
+						return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
+							b.Name, len(tr), nSamples)
+					}
+					return nil
+				})
 			if err != nil {
 				return err
 			}
-			vals := b.Setup(rng, core)
-			res, err := core.Run(prog)
-			if err != nil {
-				return err
-			}
-			tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
-			if len(tr) != nSamples {
-				return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
-					b.Name, len(tr), nSamples)
-			}
-			s.Trace = tr
 			for i, e := range b.Exprs {
 				s.Hyps[0][i] = e.Eval(vals)
 			}

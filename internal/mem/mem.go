@@ -78,20 +78,22 @@ func (m *Memory) Write16(addr uint32, v uint16) {
 	m.Write8(addr+1, uint8(v>>8))
 }
 
-// Read32 returns the little-endian word at addr (aligned down).
+// Read32 returns the little-endian word at addr (aligned down). The
+// aligned word never straddles a page, so a single page lookup serves
+// all four bytes.
 func (m *Memory) Read32(addr uint32) uint32 {
 	addr &^= 3
-	return uint32(m.Read8(addr)) | uint32(m.Read8(addr+1))<<8 |
-		uint32(m.Read8(addr+2))<<16 | uint32(m.Read8(addr+3))<<24
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p[addr&(pageSize-1):])
 }
 
 // Write32 stores a little-endian word (addr aligned down).
 func (m *Memory) Write32(addr uint32, v uint32) {
 	addr &^= 3
-	m.Write8(addr, uint8(v))
-	m.Write8(addr+1, uint8(v>>8))
-	m.Write8(addr+2, uint8(v>>16))
-	m.Write8(addr+3, uint8(v>>24))
+	binary.LittleEndian.PutUint32(m.page(addr, true)[addr&(pageSize-1):], v)
 }
 
 // WriteBytes copies b into memory starting at addr.
@@ -134,6 +136,37 @@ func (m *Memory) Clone() *Memory {
 // Reset drops all contents.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*[pageSize]byte)
+}
+
+// Wipe zeroes every mapped page in place, keeping the pages allocated.
+// Reads are indistinguishable from a fresh memory, but pooled reuse
+// (cores recycled between measured executions) produces no garbage.
+func (m *Memory) Wipe() {
+	for _, p := range m.pages {
+		*p = [pageSize]byte{}
+	}
+}
+
+// CopyFrom makes m's contents identical to src's, reusing m's already
+// mapped pages where possible. Pages mapped in m but absent from src
+// are zeroed in place, which reads the same as their absence.
+func (m *Memory) CopyFrom(src *Memory) {
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[pageSize]byte, len(src.pages))
+	}
+	for k, p := range m.pages {
+		if _, ok := src.pages[k]; !ok {
+			*p = [pageSize]byte{}
+		}
+	}
+	for k, sp := range src.pages {
+		mp := m.pages[k]
+		if mp == nil {
+			mp = new([pageSize]byte)
+			m.pages[k] = mp
+		}
+		*mp = *sp
+	}
 }
 
 // Footprint returns the number of mapped pages and the sorted list of

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+// TestWipeReadsLikeFresh: a wiped memory is indistinguishable from a
+// new one while keeping its pages mapped.
+func TestWipeReadsLikeFresh(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x100, 0xDEADBEEF)
+	m.Write8(0x5000, 0x7F)
+	m.Wipe()
+	if v := m.Read32(0x100); v != 0 {
+		t.Errorf("Read32 after Wipe = %#x, want 0", v)
+	}
+	if v := m.Read8(0x5000); v != 0 {
+		t.Errorf("Read8 after Wipe = %#x, want 0", v)
+	}
+	if pages, _ := m.Footprint(); pages != 2 {
+		t.Errorf("Wipe dropped pages: %d mapped, want 2", pages)
+	}
+}
+
+// TestCopyFromMatchesClone: CopyFrom must produce the same observable
+// contents as Clone, including zeroing destination pages the source
+// does not have.
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := NewMemory()
+	src.Write32(0x100, 0x01020304)
+	src.WriteBytes(0x2000, []byte{9, 8, 7})
+
+	dst := NewMemory()
+	dst.Write32(0x9000, 0xFFFFFFFF) // page absent from src: must read 0 after copy
+	dst.Write32(0x100, 0x55555555)  // page shared with src: must be overwritten
+	dst.CopyFrom(src)
+
+	if v := dst.Read32(0x100); v != 0x01020304 {
+		t.Errorf("shared page = %#x, want 0x01020304", v)
+	}
+	if got := dst.ReadBytes(0x2000, 3); got[0] != 9 || got[1] != 8 || got[2] != 7 {
+		t.Errorf("copied bytes = %v", got)
+	}
+	if v := dst.Read32(0x9000); v != 0 {
+		t.Errorf("stale page reads %#x, want 0", v)
+	}
+
+	// Mutating the copy must not touch the source.
+	dst.Write32(0x100, 7)
+	if v := src.Read32(0x100); v != 0x01020304 {
+		t.Errorf("CopyFrom aliased pages: src now %#x", v)
+	}
+}
+
+// TestWordAccessorsSinglePage: the fast word path must agree with the
+// byte path across alignment and page boundaries.
+func TestWordAccessorsSinglePage(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0xFFC, 0x11223344) // last word of page 0
+	m.Write32(0x1000, 0xAABBCCDD)
+	if v := m.Read32(0xFFD); v != 0x11223344 {
+		t.Errorf("aligned-down read = %#x", v)
+	}
+	for i, want := range []uint8{0x44, 0x33, 0x22, 0x11} {
+		if v := m.Read8(0xFFC + uint32(i)); v != want {
+			t.Errorf("byte %d = %#x, want %#x", i, v, want)
+		}
+	}
+	if v := m.Read32(0x1000); v != 0xAABBCCDD {
+		t.Errorf("next page word = %#x", v)
+	}
+	if v := m.Read32(0x8000); v != 0 {
+		t.Errorf("unmapped read = %#x, want 0", v)
+	}
+}

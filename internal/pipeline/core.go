@@ -79,23 +79,34 @@ func (r *Result) CPIBetween(startPC, endPC int) float64 {
 	return float64(last-first+1) / float64(n)
 }
 
+// DriveObserver observes every component drive of a run, in emission
+// order: instr is the index of the driving instruction in the run's
+// Issues. The replay compiler uses it to record the structural schedule
+// of a reference execution.
+type DriveObserver func(instr int, cycle int64, comp Component, v uint32, role Role)
+
 // Core is one Cortex-A7-style CPU core. A Core is not safe for concurrent
 // use; independent measurement runs should each construct their own.
 type Core struct {
 	cfg  Config
-	mem  *mem.Memory
+	st   ExecState
 	hier *mem.Hierarchy // nil means ideal (always-warm) memory
 
-	regs       [isa.NumRegs]uint32
-	flags      isa.Flags
 	ready      [isa.NumRegs]int64
 	flagsReady int64
 
 	tl     Timeline
 	issues []IssueRecord
+	reuse  bool
 
 	recordProv bool
 	prov       []DriveEvent
+	obs        DriveObserver
+
+	// validated memoizes the last program that passed Validate, so
+	// repeated runs of one program (the synthesis hot path) skip the
+	// per-instruction walk and its allocations.
+	validated *isa.Program
 }
 
 // New returns a core with the given configuration and data memory. A nil
@@ -108,7 +119,7 @@ func New(cfg Config, m *mem.Memory) (*Core, error) {
 	if m == nil {
 		m = mem.NewMemory()
 	}
-	return &Core{cfg: cfg, mem: m}, nil
+	return &Core{cfg: cfg, st: ExecState{Mem: m}}, nil
 }
 
 // MustNew is New that panics on configuration errors.
@@ -123,14 +134,25 @@ func MustNew(cfg Config, m *mem.Memory) *Core {
 // SetHierarchy attaches a cache timing model; nil restores ideal timing.
 func (c *Core) SetHierarchy(h *mem.Hierarchy) { c.hier = h }
 
+// Hierarchy returns the attached cache timing model, nil when ideal.
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
 // Mem returns the core's data memory.
-func (c *Core) Mem() *mem.Memory { return c.mem }
+func (c *Core) Mem() *mem.Memory { return c.st.Mem }
+
+// State returns the core's architectural state. It is the seam the
+// replay VM executes against: mutating it stands in for running
+// instructions. Holders must not retain it across core reconfiguration.
+func (c *Core) State() *ExecState { return &c.st }
 
 // SetReg sets an architectural register before a run.
-func (c *Core) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
+func (c *Core) SetReg(r isa.Reg, v uint32) { c.st.Regs[r] = v }
 
 // Reg reads an architectural register.
-func (c *Core) Reg(r isa.Reg) uint32 { return c.regs[r] }
+func (c *Core) Reg(r isa.Reg) uint32 { return c.st.Regs[r] }
 
 // SetRegs sets r0..r(n-1) from vals.
 func (c *Core) SetRegs(vals ...uint32) {
@@ -138,19 +160,41 @@ func (c *Core) SetRegs(vals ...uint32) {
 		if i >= isa.NumRegs {
 			break
 		}
-		c.regs[i] = v
+		c.st.Regs[i] = v
 	}
 }
+
+// SetReuseBuffers lets subsequent runs recycle the core's timeline and
+// issue-record storage instead of allocating fresh slices. With reuse
+// enabled, a Result's Timeline and Issues are only valid until the next
+// Run or ResetState — the mode for pooled cores on the synthesis hot
+// path, where each result is consumed before the core is reused.
+func (c *Core) SetReuseBuffers(on bool) { c.reuse = on }
+
+// SetDriveObserver registers fn to observe every drive of subsequent
+// runs; nil removes it.
+func (c *Core) SetDriveObserver(fn DriveObserver) { c.obs = fn }
 
 // ResetState clears registers, flags and recorded history, keeping memory
 // and configuration.
 func (c *Core) ResetState() {
-	c.regs = [isa.NumRegs]uint32{}
-	c.flags = isa.Flags{}
+	c.st.Regs = [isa.NumRegs]uint32{}
+	c.st.Flags = isa.Flags{}
 	c.ready = [isa.NumRegs]int64{}
 	c.flagsReady = 0
-	c.tl = nil
-	c.issues = nil
+	c.resetHistory()
+}
+
+// resetHistory clears the timeline and issue records, recycling their
+// storage when buffer reuse is enabled.
+func (c *Core) resetHistory() {
+	if c.reuse {
+		c.tl = c.tl[:0]
+		c.issues = c.issues[:0]
+	} else {
+		c.tl = nil
+		c.issues = nil
+	}
 }
 
 // at returns the snapshot for the given cycle, growing the timeline.
@@ -181,41 +225,6 @@ func (c *Core) driveWB(cycle int64, port int, v uint32, pc int, role Role) {
 	}
 }
 
-// exBoundOperands lists the operand values an instruction sends to the
-// execute stage over the IS/EX buses, in position order. Memory addresses
-// travel through the Issue-stage AGU instead ([12], §3.2), so loads
-// contribute none and stores contribute only their data.
-func exBoundOperands(in isa.Instr, regs *[isa.NumRegs]uint32) []uint32 {
-	switch {
-	case in.Op == isa.NOP:
-		// Condition-never instruction with zero-valued operands (§4.1).
-		return []uint32{0, 0}
-	case in.Op.IsMul():
-		vals := []uint32{regs[in.Rn], regs[in.Rm]}
-		if in.Op == isa.MLA {
-			vals = append(vals, regs[in.Ra])
-		}
-		return vals
-	case in.Op.IsStore():
-		return []uint32{regs[in.Rd]}
-	case in.Op.IsLoad(), in.Op.IsBranch():
-		return nil
-	case in.Op.IsDataProc():
-		var vals []uint32
-		if in.Op.UsesRn() {
-			vals = append(vals, regs[in.Rn])
-		}
-		if !in.Op2.IsImm {
-			vals = append(vals, regs[in.Op2.Reg])
-			if in.Op2.ShiftByReg {
-				vals = append(vals, regs[in.Op2.ShiftReg])
-			}
-		}
-		return vals
-	}
-	return nil
-}
-
 // needsPipe1 reports whether the instruction must execute on pipe 1, the
 // only pipe equipped with the barrel shifter and the multiplier (§3.2).
 func needsPipe1(in isa.Instr) bool {
@@ -241,7 +250,7 @@ func assignPipes(older isa.Instr, younger *isa.Instr) (pOlder, pYounger int) {
 }
 
 // latencyOf returns issue-to-result latency in cycles.
-func (c *Core) latencyOf(in isa.Instr) int64 {
+func (c *Core) latencyOf(in *isa.Instr) int64 {
 	switch {
 	case in.Op.IsMul():
 		return int64(c.cfg.MulLatency)
@@ -256,9 +265,10 @@ func (c *Core) latencyOf(in isa.Instr) int64 {
 
 // readyCycle returns the earliest cycle at which every operand of in is
 // available, not before lower.
-func (c *Core) readyCycle(in isa.Instr, lower int64) int64 {
+func (c *Core) readyCycle(in *isa.Instr, lower int64) int64 {
 	e := lower
-	for _, s := range in.SrcRegs() {
+	var buf [isa.MaxSrcRegs]isa.Reg
+	for _, s := range in.AppendSrcRegs(buf[:0]) {
 		if c.ready[s] > e {
 			e = c.ready[s]
 		}
@@ -272,16 +282,20 @@ func (c *Core) readyCycle(in isa.Instr, lower int64) int64 {
 // Run executes prog to completion and returns the run's Result. The core
 // keeps its architectural state afterwards, so callers can inspect
 // registers and memory; call ResetState between independent measurements.
+// Validation is memoized per program value: mutating a program's
+// instructions between runs on the same core is not supported.
 func (c *Core) Run(prog *isa.Program) (*Result, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
+	if prog != c.validated {
+		if err := prog.Validate(); err != nil {
+			return nil, err
+		}
+		c.validated = prog
 	}
-	c.tl = nil
-	c.issues = nil
+	c.resetHistory()
 	c.prov = nil
 	c.ready = [isa.NumRegs]int64{}
 	c.flagsReady = 0
-	c.regs[isa.LR] = HaltTarget
+	c.st.Regs[isa.LR] = HaltTarget
 
 	var cycle int64
 	pc := 0
@@ -290,7 +304,7 @@ func (c *Core) Run(prog *isa.Program) (*Result, error) {
 			return nil, fmt.Errorf("pipeline: exceeded %d cycles (runaway program?)", c.cfg.MaxCycles)
 		}
 		in := prog.Instrs[pc]
-		e := c.readyCycle(in, cycle)
+		e := c.readyCycle(&in, cycle)
 		if c.hier != nil {
 			if fp := c.hier.FetchPenalty(pc); fp > 0 {
 				e += int64(fp)
@@ -302,9 +316,9 @@ func (c *Core) Run(prog *isa.Program) (*Result, error) {
 		var younger isa.Instr
 		if c.cfg.DualIssue && pc+1 < len(prog.Instrs) && (!c.cfg.AlignedPairs || pc%2 == 0) {
 			younger = prog.Instrs[pc+1]
-			if c.cfg.CanPair(in, younger) && c.readyCycle(younger, e) == e {
+			if c.cfg.CanPair(in, younger) && c.readyCycle(&younger, e) == e {
 				// A taken branch in slot 0 squashes the younger.
-				if !(in.Op.IsBranch() && in.Cond.Passed(c.flags)) {
+				if !(in.Op.IsBranch() && in.Cond.Passed(c.st.Flags)) {
 					dual = true
 				}
 			}
@@ -316,10 +330,10 @@ func (c *Core) Run(prog *isa.Program) (*Result, error) {
 		} else {
 			pOlder, _ = assignPipes(in, nil)
 		}
-		stall, taken, target := c.issueOne(in, pc, e, 0, dual, pOlder)
+		stall, taken, target := c.issueOne(&in, pc, e, 0, dual, pOlder)
 		next := pc + 1
 		if dual {
-			s2, t2, tgt2 := c.issueOne(younger, pc+1, e, 1, true, pYounger)
+			s2, t2, tgt2 := c.issueOne(&younger, pc+1, e, 1, true, pYounger)
 			if s2 > stall {
 				stall = s2
 			}
@@ -340,8 +354,8 @@ func (c *Core) Run(prog *isa.Program) (*Result, error) {
 	res := &Result{
 		Issues:   c.issues,
 		Timeline: c.finalizeTimeline(),
-		Regs:     c.regs,
-		Flags:    c.flags,
+		Regs:     c.st.Regs,
+		Flags:    c.st.Flags,
 		Drives:   c.prov,
 	}
 	if n := len(c.issues); n > 0 {
@@ -350,258 +364,155 @@ func (c *Core) Run(prog *isa.Program) (*Result, error) {
 	return res, nil
 }
 
-// issueOne issues a single instruction at cycle e in the given slot,
-// performing its architectural effects and recording its leakage events.
-// It returns extra stall cycles (memory penalties), whether a branch was
-// taken, and the branch target.
-func (c *Core) issueOne(in isa.Instr, pc int, e int64, slot int, dual bool, pipe int) (stall int64, taken bool, target int) {
-	passed := in.Cond.Passed(c.flags)
+// issueOne issues a single instruction at cycle e in the given slot. The
+// work splits into the schedule half — slot availability, memory stalls,
+// result-readiness bookkeeping — and the value half, delegated to
+// ExecValues, which performs the architectural effects and yields the
+// driven values that place then maps onto components. It returns extra
+// stall cycles (memory penalties), whether a branch was taken, and the
+// branch target.
+func (c *Core) issueOne(in *isa.Instr, pc int, e int64, slot int, dual bool, pipe int) (stall int64, taken bool, target int) {
+	passed := in.Cond.Passed(c.st.Flags)
 	c.issues = append(c.issues, IssueRecord{PC: pc, Cycle: e, Slot: slot, Dual: dual, Executed: passed})
 
-	// Register-file read ports and IS/EX buses at the issue cycle.
-	s := c.at(e)
-	port := 0
+	lim, rfPort, busPort, nopPorts := c.scheduleLimits(in, e, slot)
+	var dv DriveValues
+	ExecValues(&c.cfg, in, pc, passed, lim, &c.st, &dv)
+
+	if passed && in.Op.IsMem() && c.hier != nil {
+		stall = int64(c.hier.DataPenalty(dv.Addr))
+	}
+	c.place(in, pc, e, slot, pipe, stall, rfPort, busPort, nopPorts, &dv)
+	c.retire(in, e, passed, stall, &dv)
+	return stall, dv.Taken, dv.Target
+}
+
+// scheduleLimits computes the drive-class capacities available to an
+// instruction issuing at cycle e in the given slot: the register-file
+// read ports and IS/EX buses left over by an older dual-issued partner,
+// and the idle write-back buses a nop's zero drive may claim.
+func (c *Core) scheduleLimits(in *isa.Instr, e int64, slot int) (lim Limits, rfPort, busPort int, nopPorts [2]Component) {
 	if slot == 1 {
 		// The younger instruction's reads use the remaining ports.
-		for port < 3 && s.IsDriven(Component(int(RFRead0)+port)) {
-			port++
+		s := c.at(e)
+		for rfPort < 3 && s.IsDriven(Component(int(RFRead0)+rfPort)) {
+			rfPort++
+		}
+		ex := c.at(e + 1)
+		for busPort < 3 && ex.IsDriven(Component(int(ISBus0)+busPort)) {
+			busPort++
 		}
 	}
-	for i, r := range in.SrcRegs() {
-		if port < 3 {
-			c.rec(e, Component(int(RFRead0)+port), c.regs[r], pc, srcRole(i))
-			port++
-		}
-	}
-	// The IS/EX buses drive the execute stage one cycle after the RF
-	// read (the operands traverse the IS stage first), which is what
-	// separates the RF read-port activity from the bus activity in time.
-	ex := c.at(e + 1)
-	bus := 0
-	if slot == 1 {
-		for bus < 3 && ex.IsDriven(Component(int(ISBus0)+bus)) {
-			bus++
-		}
-	}
-	for i, v := range exBoundOperands(in, &c.regs) {
-		if bus < 3 {
-			role := srcRole(i)
-			if in.Op == isa.NOP {
-				role = RoleZero
+	lim.RF = 3 - rfPort
+	lim.Bus = 3 - busPort
+	if in.Op == isa.NOP && c.cfg.NopZeroesWB {
+		// The zero only claims idle ports: a real result retiring in the
+		// same cycle keeps its bus.
+		s := c.at(e + 2)
+		for _, p := range [2]Component{WBBus0, WBBus1} {
+			if !s.IsDriven(p) {
+				nopPorts[lim.NopWB] = p
+				lim.NopWB++
 			}
-			c.rec(e+1, Component(int(ISBus0)+bus), v, pc, role)
-			bus++
 		}
 	}
+	return lim, rfPort, busPort, nopPorts
+}
 
-	lat := c.latencyOf(in)
+// place maps an instruction's DriveValues onto components and cycles —
+// the schedule half of a drive. The kind of each value selects its slot
+// rule; the emission order is ExecValues' canonical order, so the two
+// halves cannot disagree about structure.
+func (c *Core) place(in *isa.Instr, pc int, e int64, slot, pipe int, stall int64, rfPort, busPort int, nopPorts [2]Component, dv *DriveValues) {
 	wbPort := slot
+	nopIdx := 0
+	in0 := Component(int(ALUIn00) + 2*pipe)
+	for i := 0; i < dv.N; i++ {
+		v, role := dv.Vals[i], dv.Roles[i]
+		switch dv.Kinds[i] {
+		case DriveRF:
+			c.rec(e, Component(int(RFRead0)+rfPort), v, pc, role)
+			rfPort++
+		case DriveBus:
+			// The IS/EX buses drive the execute stage one cycle after the
+			// RF read (the operands traverse the IS stage first), which is
+			// what separates the RF read-port activity from the bus
+			// activity in time.
+			c.rec(e+1, Component(int(ISBus0)+busPort), v, pc, role)
+			busPort++
+		case DriveNopWB:
+			c.rec(e+2, nopPorts[nopIdx], v, pc, role)
+			nopIdx++
+		case DriveAGU:
+			c.rec(e, AGU, v, pc, role)
+		case DriveMDR:
+			c.rec(e+2+stall, MDR, v, pc, role)
+		case DriveAlign:
+			c.rec(e+3+stall, AlignBuf, v, pc, role)
+		case DriveShift:
+			c.rec(e+1, ShiftBuf, v, pc, role)
+		case DriveALUIn0:
+			c.rec(e+1, in0, v, pc, role)
+		case DriveALUIn1:
+			c.rec(e+1, in0+1, v, pc, role)
+		case DriveALUOut:
+			c.rec(e+1, Component(int(ALUOut0)+pipe), v, pc, role)
+		case DriveWB:
+			c.driveWB(e+c.latencyOf(in)+1, wbPort, v, pc, role)
+		case DriveWBLoad:
+			c.driveWB(e+int64(c.cfg.LoadLatency)+stall+1, wbPort, v, pc, role)
+		case DriveWBStore:
+			c.driveWB(e+2, wbPort, v, pc, role)
+		}
+	}
+}
 
+// retire updates result-readiness bookkeeping after an issue: the cycle
+// each written register becomes forwardable and the flag-ready cycle.
+// Pure schedule state — the replay VM skips it entirely.
+func (c *Core) retire(in *isa.Instr, e int64, passed bool, stall int64, dv *DriveValues) {
+	if !passed {
+		return
+	}
 	switch {
 	case in.Op == isa.NOP:
-		if c.cfg.NopZeroesWB {
-			// The nop's zero-valued "result" resets the write-back buses
-			// (§4.1's inferred implementation choice behind the † border
-			// effects of Table 2). A real result retiring in the same
-			// cycle keeps its bus: the zero only claims idle ports.
-			s := c.at(e + 2)
-			for _, p := range []Component{WBBus0, WBBus1} {
-				if !s.IsDriven(p) {
-					c.rec(e+2, p, 0, pc, RoleZero)
-				}
-			}
-		}
-		return 0, false, 0
-
+	case in.Op == isa.BL:
+		c.ready[isa.LR] = e + int64(c.cfg.ALULatency)
 	case in.Op.IsBranch():
-		if !passed {
-			return 0, false, 0
-		}
-		switch in.Op {
-		case isa.B:
-			return 0, true, in.Target
-		case isa.BL:
-			c.regs[isa.LR] = uint32(pc + 1)
-			c.ready[isa.LR] = e + int64(c.cfg.ALULatency)
-			return 0, true, in.Target
-		case isa.BX:
-			t := c.regs[in.Rm]
-			if t >= HaltTarget {
-				return 0, true, int(^uint(0) >> 1) // halt: beyond program end
-			}
-			return 0, true, int(t)
-		}
-		return 0, false, 0
-
 	case in.Op.IsMem():
-		return c.issueMem(in, pc, e, passed, wbPort)
-
-	case in.Op.IsMul():
-		if !passed {
-			if c.cfg.NopZeroesWB {
-				c.driveWB(e+lat+1, wbPort, 0, pc, RoleZero)
-			}
-			return 0, false, 0
+		if in.Op.IsLoad() {
+			c.ready[in.Rd] = e + int64(c.cfg.LoadLatency) + stall
 		}
-		a, b := c.regs[in.Rn], c.regs[in.Rm]
-		v := a * b
-		if in.Op == isa.MLA {
-			v += c.regs[in.Ra]
+		if wb, ok := in.BaseWriteBack(); ok {
+			c.ready[wb] = e + int64(c.cfg.ALULatency)
 		}
-		c.rec(e+1, ALUIn10, a, pc, RoleSrc0) // multiplier lives in pipe 1
-		c.rec(e+1, ALUIn11, b, pc, RoleSrc1)
-		c.rec(e+1, ALUOut1, v, pc, RoleResult)
-		c.writeBack(in.Rd, v, e, lat, wbPort, pc)
-		if in.SetFlags {
-			c.flags.N = v&(1<<31) != 0
-			c.flags.Z = v == 0
-			c.flagsReady = e + 1
-		}
-		return 0, false, 0
-
-	default: // data processing
-		a := uint32(0)
-		if in.Op.UsesRn() {
-			a = c.regs[in.Rn]
-		}
-		var sh isa.ShiftResult
-		if in.Op2.IsImm {
-			sh = isa.ShiftResult{Value: in.Op2.Imm, CarryOut: c.flags.C}
-		} else {
-			amt := uint32(in.Op2.ShiftAmt)
-			if in.Op2.ShiftByReg {
-				amt = c.regs[in.Op2.ShiftReg] & 0xFF
-			}
-			sh = isa.EvalShift(in.Op2.Shift, c.regs[in.Op2.Reg], amt, c.flags.C)
-		}
-		if !passed {
-			if c.cfg.NopZeroesWB && in.Op.HasDest() {
-				c.driveWB(e+lat+1, wbPort, 0, pc, RoleZero)
-			}
-			return 0, false, 0
-		}
-		r := isa.EvalDataProc(in.Op, a, sh.Value, sh.CarryOut, c.flags)
-		if in.UsesShifter() {
-			c.rec(e+1, ShiftBuf, sh.Value, pc, RoleShifted)
-		}
-		in0 := Component(int(ALUIn00) + 2*pipe)
-		if in.Op.UsesRn() {
-			c.rec(e+1, in0, a, pc, RoleSrc0)
-			c.rec(e+1, in0+1, sh.Value, pc, RoleSrc1)
-		} else {
-			c.rec(e+1, in0, sh.Value, pc, RoleSrc0)
-		}
-		c.rec(e+1, Component(int(ALUOut0)+pipe), r.Value, pc, RoleResult)
+	default:
 		if in.Op.HasDest() {
-			c.writeBack(in.Rd, r.Value, e, lat, wbPort, pc)
+			c.ready[in.Rd] = e + c.latencyOf(in)
 		}
-		if in.SetFlags || in.Op.IsCompare() {
-			c.flags = r.Flags
+		if dv.FlagsSet {
+			// The result is forwardable after the unit latency, but flags
+			// resolve a conditional successor one cycle after issue.
 			c.flagsReady = e + 1
 		}
-		return 0, false, 0
 	}
 }
 
-// issueMem performs a load or store: address generation through the AGU,
-// the cache access with its MDR and align-buffer leakage, and the
-// architectural memory effect.
-func (c *Core) issueMem(in isa.Instr, pc int, e int64, passed bool, wbPort int) (stall int64, taken bool, target int) {
-	base := c.regs[in.Mem.Base]
-	off := int32(0)
-	if in.Mem.HasOffReg {
-		off = int32(c.regs[in.Mem.OffReg])
-	} else if in.Mem.OffImm {
-		off = in.Mem.Imm
-	}
-	addr := base
-	if !in.Mem.PostIndex {
-		addr = uint32(int64(base) + int64(off))
-	}
-	c.rec(e, AGU, addr, pc, RoleAddress)
-	if !passed {
-		return 0, false, 0
-	}
-	if c.hier != nil {
-		stall = int64(c.hier.DataPenalty(addr))
-	}
-
-	width := in.Op.AccessBytes()
-	mdrCycle := e + 2 + stall
-
-	if in.Op.IsLoad() {
-		word := c.mem.Read32(addr)
-		var val uint32
-		switch width {
-		case 4:
-			val = word
-		case 2:
-			val = uint32(c.mem.Read16(addr))
-		case 1:
-			val = uint32(c.mem.Read8(addr))
-		}
-		c.rec(mdrCycle, MDR, word, pc, RoleLoadData) // the cache returns the full word
-		if width < 4 && c.cfg.AlignBuffer {
-			c.rec(mdrCycle+1, AlignBuf, val, pc, RoleLoadData)
-		}
-		c.regs[in.Rd] = val
-		c.ready[in.Rd] = e + int64(c.cfg.LoadLatency) + stall
-		c.driveWB(e+int64(c.cfg.LoadLatency)+stall+1, wbPort, val, pc, RoleLoadData)
-	} else {
-		data := c.regs[in.Rd]
-		var busWord uint32
-		switch width {
-		case 4:
-			busWord = data
-			c.mem.Write32(addr, data)
-		case 2:
-			h := data & 0xFFFF
-			busWord = h
-			if c.cfg.StoreLaneReplication {
-				busWord = h | h<<16
-			}
-			c.mem.Write16(addr, uint16(h))
-		case 1:
-			b := data & 0xFF
-			busWord = b
-			if c.cfg.StoreLaneReplication {
-				busWord = b | b<<8 | b<<16 | b<<24
-			}
-			c.mem.Write8(addr, uint8(b))
-		}
-		c.rec(mdrCycle, MDR, busWord, pc, RoleStoreData)
-		if width < 4 && c.cfg.AlignBuffer {
-			c.rec(mdrCycle+1, AlignBuf, data&((1<<(8*width))-1), pc, RoleStoreData)
-		}
-		// Store data traverses the EX/WB datapath on its way out.
-		c.driveWB(e+2, wbPort, data, pc, RoleStoreData)
-	}
-
-	if wb, ok := in.BaseWriteBack(); ok {
-		c.regs[wb] = uint32(int64(base) + int64(off))
-		c.ready[wb] = e + int64(c.cfg.ALULatency)
-	}
-	return stall, false, 0
+// finalizeTimeline forward-fills the run's timeline so that consecutive
+// snapshots can be compared directly.
+func (c *Core) finalizeTimeline() Timeline {
+	FillForward(c.tl)
+	return c.tl
 }
 
-// writeBack records an architectural register write: the result is
-// forwardable after the unit latency, and the EX/WB bus asserts it one
-// cycle later, in the separate write-back stage of the 8-stage pipeline.
-// That one-cycle gap is what lets measurements attribute EX-stage and
-// WB-stage leakage to different clock cycles (§4.1).
-func (c *Core) writeBack(rd isa.Reg, v uint32, e, lat int64, wbPort int, pc int) {
-	c.regs[rd] = v
-	c.ready[rd] = e + lat
-	c.driveWB(e+lat+1, wbPort, v, pc, RoleResult)
-}
-
-// finalizeTimeline forward-fills undriven components so that consecutive
+// FillForward forward-fills undriven components so that consecutive
 // snapshots can be compared directly: a component that was not re-driven
 // holds its previous value and thus contributes zero Hamming distance.
-func (c *Core) finalizeTimeline() Timeline {
+// Shared by the simulator and the replay VM.
+func FillForward(tl Timeline) {
 	var prev [NumComponents]uint32
-	for i := range c.tl {
-		s := &c.tl[i]
+	for i := range tl {
+		s := &tl[i]
 		for comp := Component(0); comp < NumComponents; comp++ {
 			if s.IsDriven(comp) {
 				prev[comp] = s.Values[comp]
@@ -610,5 +521,4 @@ func (c *Core) finalizeTimeline() Timeline {
 			}
 		}
 	}
-	return c.tl
 }

@@ -101,8 +101,10 @@ func classifyPair(older, younger isa.Instr, structuralOnly bool) pairBlock {
 	}
 	// Dependences: the younger may not read or overwrite the older's
 	// destination, nor consume flags the older sets.
+	var yBuf, oBuf [isa.MaxSrcRegs]isa.Reg
+	ySrcs := younger.AppendSrcRegs(yBuf[:0])
 	if d, ok := older.DstReg(); ok {
-		for _, s := range younger.SrcRegs() {
+		for _, s := range ySrcs {
 			if s == d {
 				return pairRAW
 			}
@@ -112,7 +114,7 @@ func classifyPair(older, younger isa.Instr, structuralOnly bool) pairBlock {
 		}
 	}
 	if wb, ok := older.BaseWriteBack(); ok {
-		for _, s := range younger.SrcRegs() {
+		for _, s := range ySrcs {
 			if s == wb {
 				return pairRAW
 			}
@@ -123,7 +125,7 @@ func classifyPair(older, younger isa.Instr, structuralOnly bool) pairBlock {
 	}
 	// Structural budgets: 3 RF read ports, one shifter, one multiplier,
 	// one LSU.
-	if len(older.SrcRegs())+len(younger.SrcRegs()) > 3 {
+	if len(older.AppendSrcRegs(oBuf[:0]))+len(ySrcs) > 3 {
 		return pairReadPorts
 	}
 	// The shifter and the multiplier both live in execution pipe 1, so at

@@ -69,11 +69,14 @@ type DriveEvent struct {
 // EnableProvenance turns on drive-event recording for subsequent runs.
 func (c *Core) EnableProvenance(on bool) { c.recordProv = on }
 
-// rec drives v on comp at the given cycle and records provenance when
-// enabled.
+// rec drives v on comp at the given cycle, records provenance when
+// enabled and notifies the drive observer when one is registered.
 func (c *Core) rec(cycle int64, comp Component, v uint32, pc int, role Role) {
 	c.at(cycle).drive(comp, v)
 	if c.recordProv {
 		c.prov = append(c.prov, DriveEvent{Cycle: cycle, Comp: comp, Value: v, Tag: ValueTag{PC: pc, Role: role}})
+	}
+	if c.obs != nil {
+		c.obs(len(c.issues)-1, cycle, comp, v, role)
 	}
 }

@@ -128,37 +128,105 @@ func pulse(k, n int) float64 {
 // Synthesize renders the timeline into a power trace using rng for the
 // measurement noise. A nil rng yields a noiseless trace.
 func (m *Model) Synthesize(tl pipeline.Timeline, rng *rand.Rand) trace.Trace {
+	return m.SynthesizeInto(nil, tl, rng)
+}
+
+// SynthesizeInto is Synthesize writing into dst's storage when its
+// capacity suffices (every sample is overwritten), the allocation-free
+// form for pooled buffers on the synthesis hot path. It returns the
+// trace, which aliases dst when no growth was needed, and is
+// bit-identical to Synthesize for the same rng stream.
+func (m *Model) SynthesizeInto(dst trace.Trace, tl pipeline.Timeline, rng *rand.Rand) trace.Trace {
 	n := m.SamplesPerCycle
 	if n < 1 {
 		n = 1
 	}
-	out := make(trace.Trace, len(tl)*n)
-	for i := range tl {
-		p := m.CyclePower(tl, i)
-		for k := 0; k < n; k++ {
-			v := m.Baseline + (p-m.Baseline)*pulse(k, n)
-			if rng != nil && m.NoiseSigma > 0 {
-				v += rng.NormFloat64() * m.NoiseSigma
-			}
-			out[i*n+k] = v
+	need := len(tl) * n
+	if cap(dst) < need {
+		dst = make(trace.Trace, need)
+	} else {
+		dst = dst[:need]
+	}
+
+	// The pulse shape and the set of leaking components are loop
+	// constants; hoisting them off the per-cycle path changes no values.
+	var shapeBuf [16]float64
+	shape := shapeBuf[:0]
+	if n > len(shapeBuf) {
+		shape = make([]float64, 0, n)
+	}
+	for k := 0; k < n; k++ {
+		shape = append(shape, pulse(k, n))
+	}
+	var active [pipeline.NumComponents]pipeline.Component
+	na := 0
+	for c := pipeline.Component(0); c < pipeline.NumComponents; c++ {
+		if m.HDWeights[c] != 0 || m.HWWeights[c] != 0 {
+			active[na] = c
+			na++
 		}
 	}
-	return out
+
+	noise := rng != nil && m.NoiseSigma > 0
+	var prev *pipeline.Snapshot
+	for i := range tl {
+		cur := &tl[i]
+		// The same sum CyclePower computes, restricted to components
+		// with a nonzero weight — the skipped terms contributed nothing,
+		// so the floating-point result is identical.
+		p := m.Baseline
+		for _, c := range active[:na] {
+			if !cur.IsDriven(c) {
+				continue
+			}
+			if w := m.HDWeights[c]; w != 0 {
+				var before uint32
+				if prev != nil {
+					before = prev.Values[c]
+				}
+				p += w * float64(HD(before, cur.Values[c]))
+			}
+			if w := m.HWWeights[c]; w != 0 {
+				p += w * float64(HW(cur.Values[c]))
+			}
+		}
+		prev = cur
+
+		base := i * n
+		for k := 0; k < n; k++ {
+			v := m.Baseline + (p-m.Baseline)*shape[k]
+			if noise {
+				v += rng.NormFloat64() * m.NoiseSigma
+			}
+			dst[base+k] = v
+		}
+	}
+	return dst
 }
 
 // SynthesizeAveraged renders the timeline avg times with independent
 // noise and returns the point-wise mean, reproducing the oscilloscope
 // averaging of the paper's acquisitions.
 func (m *Model) SynthesizeAveraged(tl pipeline.Timeline, rng *rand.Rand, avg int) trace.Trace {
+	out, _ := m.SynthesizeAveragedInto(nil, nil, tl, rng, avg)
+	return out
+}
+
+// SynthesizeAveragedInto is SynthesizeAveraged reusing dst as the
+// accumulation buffer and tmp as the per-repetition scratch. It returns
+// both so callers can keep them pooled; the result is bit-identical to
+// SynthesizeAveraged for the same rng stream.
+func (m *Model) SynthesizeAveragedInto(dst, tmp trace.Trace, tl pipeline.Timeline, rng *rand.Rand, avg int) (out, scratch trace.Trace) {
 	if avg < 1 {
 		avg = 1
 	}
-	acc := m.Synthesize(tl, rng)
+	acc := m.SynthesizeInto(dst, tl, rng)
 	for i := 1; i < avg; i++ {
+		tmp = m.SynthesizeInto(tmp, tl, rng)
 		// Lengths always match: same timeline, same model.
-		_ = acc.AddInPlace(m.Synthesize(tl, rng))
+		_ = acc.AddInPlace(tmp)
 	}
-	return acc.Scale(1 / float64(avg))
+	return acc.Scale(1 / float64(avg)), tmp
 }
 
 // SampleOfCycle converts a cycle index to the first sample index of that

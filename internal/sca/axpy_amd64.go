@@ -1,0 +1,81 @@
+//go:build amd64
+
+package sca
+
+// The accumulation kernel dst[s] += a*x[s] dominates streaming CPA (it
+// touches hypotheses × samples elements per trace), so on amd64 it runs
+// as hand-written AVX when the CPU has it. The vector kernel performs
+// the exact scalar operation per lane — one VMULPD then one VADDPD,
+// never a fused multiply-add — so its results are bit-identical to
+// axpyGeneric's and the engine's determinism contract is unaffected.
+
+// hasAVX reports AVX support by CPU and OS, probed once at startup.
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX checks CPUID for AVX and OSXSAVE and XGETBV for OS-managed
+// XMM+YMM state — the canonical gate for executing VEX-encoded code.
+func cpuHasAVX() bool {
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&0x6 == 0x6 // XMM and YMM state enabled
+}
+
+// cpuid executes the CPUID instruction (implemented in assembly).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (implemented in assembly).
+func xgetbv() (eax, edx uint32)
+
+// axpyAVX is the assembly kernel over n full elements; the caller
+// handles shorter-than-register tails.
+func axpyAVX(dst, x *float64, n int, a float64)
+
+// axpy4AVX is the four-trace fused assembly kernel over n elements.
+func axpy4AVX(dst, x0, x1, x2, x3 *float64, n int, a0, a1, a2, a3 float64)
+
+// axpy performs dst[s] += a * x[s] over the common length,
+// bit-identically to axpyGeneric.
+func axpy(dst, x []float64, a float64) {
+	n := len(x)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	if !hasAVX || n < 8 {
+		axpyGeneric(dst[:n], x[:n], a)
+		return
+	}
+	vec := n &^ 3
+	axpyAVX(&dst[0], &x[0], vec, a)
+	for i := vec; i < n; i++ {
+		dst[i] += a * x[i]
+	}
+}
+
+// axpy4 applies four traces to one row in a single pass,
+// bit-identically to four sequential axpy calls.
+func axpy4(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	for _, x := range [4][]float64{x0, x1, x2, x3} {
+		if len(x) < n {
+			n = len(x)
+		}
+	}
+	if !hasAVX || n < 8 {
+		axpy4Generic(dst[:n], x0[:n], x1[:n], x2[:n], x3[:n], a0, a1, a2, a3)
+		return
+	}
+	vec := n &^ 3
+	axpy4AVX(&dst[0], &x0[0], &x1[0], &x2[0], &x3[0], vec, a0, a1, a2, a3)
+	for i := vec; i < n; i++ {
+		v := dst[i]
+		v += a0 * x0[i]
+		v += a1 * x1[i]
+		v += a2 * x2[i]
+		v += a3 * x3[i]
+		dst[i] = v
+	}
+}

@@ -1,0 +1,165 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX(dst, x *float64, n int, a float64)
+//
+// dst[i] += a * x[i] for i in [0, n), n a multiple of 4. Each lane is
+// one VMULPD followed by one VADDPD — the same rounding sequence as the
+// scalar kernel, deliberately not VFMADD — so the result is
+// bit-identical to axpyGeneric.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  x+8(FP), SI
+	MOVQ  n+16(FP), CX
+	VBROADCASTSD a+24(FP), Y0
+
+	MOVQ CX, BX
+	ANDQ $-16, BX          // BX = n rounded down to a multiple of 16
+	JZ   quad
+
+	XORQ AX, AX
+loop16:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMOVUPD 64(SI)(AX*8), Y3
+	VMOVUPD 96(SI)(AX*8), Y4
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VMULPD  Y0, Y3, Y3
+	VMULPD  Y0, Y4, Y4
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VADDPD  64(DI)(AX*8), Y3, Y3
+	VADDPD  96(DI)(AX*8), Y4, Y4
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	VMOVUPD Y3, 64(DI)(AX*8)
+	VMOVUPD Y4, 96(DI)(AX*8)
+	ADDQ    $16, AX
+	CMPQ    AX, BX
+	JLT     loop16
+	JMP     quadentry
+
+quad:
+	XORQ AX, AX
+quadentry:
+	CMPQ AX, CX
+	JGE  done
+loop4:
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JLT     loop4
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX(dst, x0, x1, x2, x3 *float64, n int, a0, a1, a2, a3 float64)
+//
+// dst[i] += a0*x0[i]; dst[i] += a1*x1[i]; dst[i] += a2*x2[i];
+// dst[i] += a3*x3[i] — per element, four multiply-then-add steps in
+// trace order on a row value held in a register, bit-identical to four
+// sequential axpyAVX passes (again no fused multiply-add). n is a
+// multiple of 4.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	MOVQ  dst+0(FP), DI
+	MOVQ  x0+8(FP), SI
+	MOVQ  x1+16(FP), R8
+	MOVQ  x2+24(FP), R9
+	MOVQ  x3+32(FP), R10
+	MOVQ  n+40(FP), CX
+	VBROADCASTSD a0+48(FP), Y0
+	VBROADCASTSD a1+56(FP), Y1
+	VBROADCASTSD a2+64(FP), Y2
+	VBROADCASTSD a3+72(FP), Y3
+
+	MOVQ CX, BX
+	ANDQ $-8, BX           // BX = n rounded down to a multiple of 8
+	JZ   f4quad
+
+	XORQ AX, AX
+f4loop8:
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMOVUPD (SI)(AX*8), Y6
+	VMOVUPD 32(SI)(AX*8), Y7
+	VMULPD  Y0, Y6, Y6
+	VMULPD  Y0, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R8)(AX*8), Y6
+	VMOVUPD 32(R8)(AX*8), Y7
+	VMULPD  Y1, Y6, Y6
+	VMULPD  Y1, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R9)(AX*8), Y6
+	VMOVUPD 32(R9)(AX*8), Y7
+	VMULPD  Y2, Y6, Y6
+	VMULPD  Y2, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R10)(AX*8), Y6
+	VMOVUPD 32(R10)(AX*8), Y7
+	VMULPD  Y3, Y6, Y6
+	VMULPD  Y3, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, BX
+	JLT     f4loop8
+	JMP     f4quadentry
+
+f4quad:
+	XORQ AX, AX
+f4quadentry:
+	CMPQ AX, CX
+	JGE  f4done
+f4loop4:
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (SI)(AX*8), Y6
+	VMULPD  Y0, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R8)(AX*8), Y6
+	VMULPD  Y1, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R9)(AX*8), Y6
+	VMULPD  Y2, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R10)(AX*8), Y6
+	VMULPD  Y3, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JLT     f4loop4
+
+f4done:
+	VZEROUPPER
+	RET

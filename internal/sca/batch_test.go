@@ -1,0 +1,117 @@
+package sca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAddBatchBitIdenticalToAdd pins the cache-blocked batch path to
+// the serial reference: same traces in the same order must leave every
+// accumulator word bit-identical, for assorted batch shapes including
+// empty and single-trace batches.
+func TestAddBatchBitIdenticalToAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for _, shape := range []struct{ nHyp, samples, batch int }{
+		{2, 1, 1},
+		{7, 13, 5},
+		{16, 33, 8},
+		{256, 41, 3},
+		{9, 100, 64},
+		{5, 6, 0},
+	} {
+		a := MustNewCPA(shape.nHyp, shape.samples)
+		b := MustNewCPA(shape.nHyp, shape.samples)
+		traces := make([][]float64, shape.batch)
+		hyps := make([][]float64, shape.batch)
+		for i := range traces {
+			traces[i] = make([]float64, shape.samples)
+			hyps[i] = make([]float64, shape.nHyp)
+			for s := range traces[i] {
+				traces[i][s] = rng.NormFloat64() * 100
+			}
+			for k := range hyps[i] {
+				hyps[i][k] = float64(rng.Intn(9))
+			}
+		}
+		for i := range traces {
+			if err := a.Add(traces[i], hyps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.AddBatch(traces, hyps); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("shape %+v: AddBatch diverges from serial Add", shape)
+		}
+	}
+}
+
+// TestAddBatchAfterAddInterleaved checks that batches compose with
+// single adds: (Add, AddBatch, Add) equals the flat Add sequence.
+func TestAddBatchAfterAddInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() ([]float64, []float64) {
+		tr := make([]float64, 17)
+		hy := make([]float64, 6)
+		for i := range tr {
+			tr[i] = rng.NormFloat64()
+		}
+		for i := range hy {
+			hy[i] = rng.Float64()
+		}
+		return tr, hy
+	}
+	var traces [][]float64
+	var hyps [][]float64
+	for i := 0; i < 9; i++ {
+		tr, hy := mk()
+		traces = append(traces, tr)
+		hyps = append(hyps, hy)
+	}
+	a := MustNewCPA(6, 17)
+	for i := range traces {
+		if err := a.Add(traces[i], hyps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := MustNewCPA(6, 17)
+	if err := b.Add(traces[0], hyps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBatch(traces[1:8], hyps[1:8]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(traces[8], hyps[8]); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("interleaved AddBatch diverges from serial Add")
+	}
+	if b.Count() != 9 {
+		t.Fatalf("count %d, want 9", b.Count())
+	}
+}
+
+// TestAddBatchValidation rejects ragged batches up front, leaving the
+// accumulator untouched.
+func TestAddBatchValidation(t *testing.T) {
+	c := MustNewCPA(4, 8)
+	good := [][]float64{make([]float64, 8)}
+	if err := c.AddBatch(good, [][]float64{make([]float64, 3)}); err == nil {
+		t.Error("short hypothesis vector accepted")
+	}
+	if err := c.AddBatch([][]float64{make([]float64, 7)}, [][]float64{make([]float64, 4)}); err == nil {
+		t.Error("short trace accepted")
+	}
+	if err := c.AddBatch(good, nil); err == nil {
+		t.Error("mismatched batch lengths accepted")
+	}
+	if c.Count() != 0 {
+		t.Errorf("failed batches accumulated %d traces", c.Count())
+	}
+	if got := c.Corr(0, 0); !math.IsNaN(got) && got != 0 {
+		t.Errorf("accumulator disturbed: corr %v", got)
+	}
+}

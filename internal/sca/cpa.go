@@ -68,13 +68,108 @@ func (c *CPA) Add(t []float64, hyp []float64) error {
 	for k, h := range hyp {
 		c.sumH[k] += h
 		c.sumHH[k] += h * h
-		row := c.sumHT[k*c.samples : (k+1)*c.samples]
-		for s, v := range t {
-			row[s] += h * v
-		}
+		axpy(c.sumHT[k*c.samples:(k+1)*c.samples], t, h)
 	}
 	c.count++
 	return nil
+}
+
+// AddBatch accumulates a batch of traces with their per-hypothesis
+// predictions (hyps[i][k] predicts trace i under hypothesis k). It is
+// bit-identical to calling Add(traces[i], hyps[i]) in ascending i —
+// every accumulator element still receives its per-trace contributions
+// in trace order, floating-point association unchanged — but the loop
+// nest is rearranged so each hypothesis row of the Σh·t matrix stays
+// cache-resident across the whole batch instead of being streamed from
+// memory once per trace. This is the engine's chunk-reduction hot path.
+func (c *CPA) AddBatch(traces, hyps [][]float64) error {
+	if len(traces) != len(hyps) {
+		return fmt.Errorf("sca: batch of %d traces with %d hypothesis vectors", len(traces), len(hyps))
+	}
+	for i := range traces {
+		if len(traces[i]) != c.samples {
+			return fmt.Errorf("sca: trace %d of batch has %d samples, want %d", i, len(traces[i]), c.samples)
+		}
+		if len(hyps[i]) != c.nHyp {
+			return fmt.Errorf("sca: trace %d of batch has %d hypotheses, want %d", i, len(hyps[i]), c.nHyp)
+		}
+	}
+	for _, t := range traces {
+		sumT, sumTT := c.sumT, c.sumTT
+		for s, v := range t {
+			sumT[s] += v
+			sumTT[s] += v * v
+		}
+	}
+	for _, h := range hyps {
+		for k, hv := range h {
+			c.sumH[k] += hv
+			c.sumHH[k] += hv * hv
+		}
+	}
+	for k := 0; k < c.nHyp; k++ {
+		row := c.sumHT[k*c.samples : (k+1)*c.samples]
+		i := 0
+		for ; i+4 <= len(traces); i += 4 {
+			axpy4(row,
+				traces[i], traces[i+1], traces[i+2], traces[i+3],
+				hyps[i][k], hyps[i+1][k], hyps[i+2][k], hyps[i+3][k])
+		}
+		for ; i < len(traces); i++ {
+			axpy(row, traces[i], hyps[i][k])
+		}
+	}
+	c.count += len(traces)
+	return nil
+}
+
+// axpyGeneric performs dst[s] += a * x[s] over the common length — the
+// portable reference kernel. Element order is preserved exactly; the
+// unroll only removes loop and bounds overhead from the accumulation.
+// Every per-element operation is a distinct multiply followed by a
+// distinct add, the sequence the vector kernel reproduces lane for lane
+// (no fused multiply-add anywhere, so results are bit-identical).
+func axpyGeneric(dst, x []float64, a float64) {
+	n := len(x)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	dst = dst[:n]
+	x = x[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += a * x[i]
+		dst[i+1] += a * x[i+1]
+		dst[i+2] += a * x[i+2]
+		dst[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += a * x[i]
+	}
+}
+
+// axpy4Generic applies four traces to one accumulator row in a single
+// pass: per element, the four scaled contributions are added strictly
+// in trace order, so the result is bit-identical to four sequential
+// axpy calls — the row is just loaded and stored once instead of four
+// times.
+func axpy4Generic(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	for _, x := range [4][]float64{x0, x1, x2, x3} {
+		if len(x) < n {
+			n = len(x)
+		}
+	}
+	dst = dst[:n]
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	for i := 0; i < n; i++ {
+		v := dst[i]
+		v += a0 * x0[i]
+		v += a1 * x1[i]
+		v += a2 * x2[i]
+		v += a3 * x3[i]
+		dst[i] = v
+	}
 }
 
 // Count returns the number of accumulated traces.

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench_replay.sh — run the 10k-trace streaming-CPA benchmark trio
+# (serial simulate, parallel simulate, parallel replay) plus the
+# per-execution synthesis microbenchmarks, and write machine-readable
+# results to BENCH_replay.json: ns/op, B/op, allocs/op per benchmark
+# and the replay speedups against both simulate baselines.
+#
+# Usage: scripts/bench_replay.sh [output.json]
+#   BENCH_TIME=3x scripts/bench_replay.sh          # more iterations
+#   PR1_BASELINE_NS=6770397145 scripts/bench_replay.sh
+#     # also report the speedup against a PR 1 (pre-replay) measurement
+#     # of BenchmarkEngineCPA10kSerial taken on the same machine
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_replay.json}"
+benchtime="${BENCH_TIME:-1x}"
+pr1="${PR1_BASELINE_NS:-}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+	-bench '^(BenchmarkEngineCPA10kSerial|BenchmarkEngineCPA10kSimulate|BenchmarkEngineCPA10kParallel|BenchmarkReplayVM|BenchmarkPipelineSimulation)$' \
+	-benchtime "$benchtime" -benchmem . | tee "$raw"
+
+awk -v out="$out" -v goversion="$(go version | awk '{print $3}')" -v pr1="$pr1" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "B/op")      bytes[name]  = $(i - 1)
+		if ($(i) == "allocs/op") allocs[name] = $(i - 1)
+		if ($(i) == "traces/s")  tps[name]    = $(i - 1)
+	}
+	order[n++] = name
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+	serial   = ns["BenchmarkEngineCPA10kSerial"]
+	simulate = ns["BenchmarkEngineCPA10kSimulate"]
+	replay   = ns["BenchmarkEngineCPA10kParallel"]
+	printf "{\n"                                            > out
+	printf "  \"experiment\": \"10k-trace figure-3 streaming CPA, 1-round AES\",\n" >> out
+	printf "  \"go\": \"%s\",\n", goversion                 >> out
+	printf "  \"cpu\": \"%s\",\n", cpu                      >> out
+	printf "  \"benchmarks\": {\n"                          >> out
+	for (i = 0; i < n; i++) {
+		b = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s", b, ns[b]   >> out
+		if (b in bytes)  printf ", \"bytes_per_op\": %s", bytes[b]   >> out
+		if (b in allocs) printf ", \"allocs_per_op\": %s", allocs[b] >> out
+		if (b in tps)    printf ", \"traces_per_s\": %s", tps[b]     >> out
+		printf "}%s\n", (i < n - 1 ? "," : "")              >> out
+	}
+	printf "  },\n"                                         >> out
+	if (serial != "" && replay != "" && simulate != "") {
+		printf "  \"speedup_replay_vs_serial_simulate\": %.2f,\n", serial / replay   >> out
+		printf "  \"speedup_replay_vs_simulate_same_workers\": %.2f,\n", simulate / replay >> out
+	} else {
+		printf "  \"speedup_replay_vs_serial_simulate\": null,\n"    >> out
+		printf "  \"speedup_replay_vs_simulate_same_workers\": null,\n" >> out
+	}
+	if (pr1 != "" && replay != "") {
+		printf "  \"pr1_simulate_serial_ns\": %s,\n", pr1   >> out
+		printf "  \"speedup_replay_vs_pr1_simulate\": %.2f\n", pr1 / replay >> out
+	} else {
+		printf "  \"pr1_simulate_serial_ns\": null,\n"      >> out
+		printf "  \"speedup_replay_vs_pr1_simulate\": null\n" >> out
+	}
+	printf "}\n"                                            >> out
+}
+' "$raw"
+
+echo "wrote $out"
