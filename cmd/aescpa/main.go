@@ -104,8 +104,7 @@ func main() {
 			res.KeyByte, res.TrueKey, res.Recovered, res.Rank, res.Traces, res.Confidence)
 		fmt.Println("\nprimitive regions and their peak correlation (correct key):")
 		for _, r := range res.Regions {
-			fmt.Printf("  %-4s round %2d  [%6.2f .. %6.2f us]  peak %+0.3f at %.2f us\n",
-				r.Name, r.Round, r.StartUs, r.EndUs, r.PeakCorr, r.PeakSampleUs)
+			fmt.Printf("  %s\n", r)
 		}
 		fmt.Println("\ncorrelation vs time (correct key), downsampled:")
 		fmt.Print(asciiPlot(res.CorrTrace, res.SamplePeriodUs, 72))

@@ -1,0 +1,169 @@
+// Command campaign drives the declarative experiment subsystem: it
+// loads a campaign spec (internal/campaign), executes every enumerated
+// scenario — micro-architectural ablation × workload × acquisition
+// point — over the engine worker pool, and writes the structured
+// results (JSON, CSV) together with a generated Markdown report.
+//
+// One invocation against the committed paper spec reproduces every
+// table and figure of the paper:
+//
+//	campaign -spec campaigns/paper.json -out out/
+//
+// Results are bit-identical for any -workers/-shards combination and
+// for interrupted runs resumed with -resume. The experiment docs are
+// generated artifacts of the same results:
+//
+//	campaign -results campaigns/paper.results.json -update-doc EXPERIMENTS.md
+//
+// rewrites the marked sections of EXPERIMENTS.md; CI fails when the
+// committed docs drift from the committed results.
+//
+// Usage:
+//
+//	campaign -spec FILE [-out DIR] [-workers W] [-shards S] [-resume] [-quiet]
+//	campaign -results FILE -report            # render Markdown to stdout
+//	campaign -results FILE -update-doc FILE   # splice generated sections
+//	campaign -init-spec                       # print an example spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+)
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "campaign:", msg)
+	os.Exit(1)
+}
+
+// exampleSpec is the -init-spec starter: one scenario per workload kind
+// at quick scales, plus commented axes are documented in the package
+// godoc rather than JSON (which has no comments).
+const exampleSpec = `{
+  "name": "example",
+  "seed": 1,
+  "workloads": [
+    {"kind": "table1"},
+    {"kind": "figure2"},
+    {"kind": "table2", "traces": [4000], "rows": [1, 5]},
+    {"kind": "fig3", "traces": [800], "rounds": 1},
+    {"kind": "fig4", "traces": [100]},
+    {"kind": "fullkey", "traces": [700], "rounds": 1},
+    {"kind": "rankevo", "counts": [100, 200, 400, 800], "rounds": 1},
+    {"kind": "table2", "ablations": ["no-nop-wb-zero", "no-align-buffer"], "traces": [4000], "rows": [1, 7]}
+  ]
+}
+`
+
+func main() {
+	specPath := flag.String("spec", "", "campaign spec (JSON) to execute")
+	resultsPath := flag.String("results", "", "existing results JSON to render or splice instead of running")
+	outDir := flag.String("out", "out", "output directory for results.json, results.csv, report.md and the checkpoint")
+	workers := flag.Int("workers", 0, "per-scenario engine workers (0: spec value, else one per core)")
+	shards := flag.Int("shards", 0, "concurrently executed scenarios (0: spec value, else 1)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint in -out instead of starting over")
+	report := flag.Bool("report", false, "with -results: print the Markdown report to stdout")
+	updateDoc := flag.String("update-doc", "", "with -results: rewrite the campaign-marked sections of this file")
+	initSpec := flag.Bool("init-spec", false, "print an example spec and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-scenario progress lines")
+	flag.Parse()
+
+	switch {
+	case *workers < 0:
+		fail("-workers must be >= 0")
+	case *shards < 0:
+		fail("-shards must be >= 0")
+	}
+
+	if *initSpec {
+		fmt.Print(exampleSpec)
+		return
+	}
+
+	if *resultsPath != "" {
+		res, err := campaign.LoadResults(*resultsPath)
+		if err != nil {
+			fail(err.Error())
+		}
+		switch {
+		case *updateDoc != "":
+			if err := spliceDoc(*updateDoc, res); err != nil {
+				fail(err.Error())
+			}
+		case *report:
+			fmt.Print(campaign.Report(res))
+		default:
+			fail("with -results, pass -report or -update-doc FILE")
+		}
+		return
+	}
+
+	if *specPath == "" {
+		fail("pass -spec FILE (or -results FILE, or -init-spec); see -h")
+	}
+	spec, err := campaign.LoadSpec(*specPath)
+	if err != nil {
+		fail(err.Error())
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err.Error())
+	}
+	opt := campaign.RunOptions{
+		Workers:        *workers,
+		Shards:         *shards,
+		CheckpointPath: filepath.Join(*outDir, "checkpoint.jsonl"),
+		Resume:         *resume,
+	}
+	if !*quiet {
+		opt.Log = os.Stderr
+	}
+	res, err := campaign.Run(spec, opt)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	jsonPath := filepath.Join(*outDir, "results.json")
+	csvPath := filepath.Join(*outDir, "results.csv")
+	mdPath := filepath.Join(*outDir, "report.md")
+	if err := os.WriteFile(jsonPath, res.EncodeJSON(), 0o644); err != nil {
+		fail(err.Error())
+	}
+	if err := os.WriteFile(csvPath, []byte(res.CSV()), 0o644); err != nil {
+		fail(err.Error())
+	}
+	if err := os.WriteFile(mdPath, []byte(campaign.Report(res)), 0o644); err != nil {
+		fail(err.Error())
+	}
+
+	fmt.Printf("campaign %q: %d scenarios\n", res.Campaign, len(res.Scenarios))
+	for i := range res.Scenarios {
+		sr := &res.Scenarios[i]
+		fmt.Printf("  %-60s %s\n", sr.ID, sr.Headline())
+	}
+	fmt.Printf("wrote %s, %s, %s\n", jsonPath, csvPath, mdPath)
+}
+
+// spliceDoc rewrites the campaign-marked regions of path in place.
+func spliceDoc(path string, res *campaign.Results) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	updated, err := campaign.UpdateDoc(string(raw), res)
+	if err != nil {
+		return err
+	}
+	if updated == string(raw) {
+		fmt.Printf("%s: up to date\n", path)
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(updated), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: regenerated campaign sections\n", path)
+	return nil
+}

@@ -34,6 +34,13 @@ type RegionWindow struct {
 	PeakSampleUs float64
 }
 
+// String renders the region as the Figure 3 annotation line used by
+// cmd/aescpa and the campaign reports.
+func (r RegionWindow) String() string {
+	return fmt.Sprintf("%-4s round %2d  [%6.2f .. %6.2f us]  peak %+0.3f at %.2f us",
+		r.Name, r.Round, r.StartUs, r.EndUs, r.PeakCorr, r.PeakSampleUs)
+}
+
 // Fig3Options configures the bare-metal CPA.
 type Fig3Options struct {
 	// Traces is the number of acquisitions (the paper uses 100k on

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+// Toggle is one named micro-architectural feature flip relative to the
+// paper's Cortex-A7 model. Toggles compose: an ablation name joins any
+// subset with "+" ("scalar+no-align-buffer").
+type Toggle struct {
+	// Name is the spec spelling.
+	Name string
+	// Desc states what the toggle removes or replaces.
+	Desc string
+	// Apply mutates the default core configuration and power model.
+	Apply func(*pipeline.Config, *power.Model)
+}
+
+// Toggles returns the six canonical feature toggles, in the fixed order
+// that defines the all64 enumeration (DESIGN.md §5 ablations 1–3 and 6
+// plus the lane-replication and pairing-alignment flips). The order is
+// part of the campaign determinism contract: all64 combination k flips
+// exactly the toggles of k's set bits.
+func Toggles() []Toggle {
+	return []Toggle{
+		{
+			Name:  "scalar",
+			Desc:  "second issue slot removed (single-issue core)",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.DualIssue = false },
+		},
+		{
+			Name:  "structural-policy",
+			Desc:  "measured Table 1 pairing policy replaced by structural checks only",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.StructuralPolicyOnly = true },
+		},
+		{
+			Name:  "unaligned-pairs",
+			Desc:  "dual-issue no longer restricted to fetch-aligned pairs",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.AlignedPairs = false },
+		},
+		{
+			Name:  "no-nop-wb-zero",
+			Desc:  "nops leave the write-back bus untouched (no † border leaks)",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.NopZeroesWB = false },
+		},
+		{
+			Name:  "no-align-buffer",
+			Desc:  "LSU sub-word align buffer absent (Table 2 row 7)",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.AlignBuffer = false },
+		},
+		{
+			Name:  "no-store-lane-replication",
+			Desc:  "sub-word stores drive zero-extended data instead of replicated lanes",
+			Apply: func(c *pipeline.Config, _ *power.Model) { c.StoreLaneReplication = false },
+		},
+	}
+}
+
+// extraToggles are named variants outside the 2^6 all64 space, usable in
+// explicit ablation names.
+func extraToggles() []Toggle {
+	return []Toggle{
+		{
+			Name:  "flat-shifter-weight",
+			Desc:  "shifter-buffer leakage weighted like the buses instead of one tenth",
+			Apply: func(_ *pipeline.Config, m *power.Model) { m.HWWeights[pipeline.ShiftBuf] = 1.0 },
+		},
+		{
+			Name:  "noiseless",
+			Desc:  "measurement noise removed from the power model",
+			Apply: func(_ *pipeline.Config, m *power.Model) { m.NoiseSigma = 0 },
+		},
+	}
+}
+
+// PaperAblation is the identity ablation: the paper's deduced
+// configuration, untouched.
+const PaperAblation = "paper"
+
+// AllTogglesName expands, as a spec ablation entry, to every combination
+// of the six canonical toggles — the 64-configuration space the replay
+// equivalence tests sweep.
+const AllTogglesName = "all64"
+
+// Ablation is one resolved micro-architectural variant: a name plus the
+// core configuration and power model to run under.
+type Ablation struct {
+	// Name is the canonical spelling ("paper", or sorted-by-registry
+	// toggle names joined with "+").
+	Name string
+	// Core is the ablated pipeline configuration.
+	Core pipeline.Config
+	// Model is the ablated power model.
+	Model power.Model
+}
+
+// ParseAblation resolves an ablation name: "paper", a toggle name, or a
+// "+"-joined toggle combination. The returned canonical name orders the
+// toggles by registry position, so equivalent spellings collide rather
+// than duplicate.
+func ParseAblation(name string) (Ablation, error) {
+	ab := Ablation{Name: PaperAblation, Core: pipeline.DefaultConfig(), Model: power.DefaultModel()}
+	if name == "" || name == PaperAblation {
+		return ab, nil
+	}
+	reg := append(Toggles(), extraToggles()...)
+	want := map[string]bool{}
+	for _, part := range strings.Split(name, "+") {
+		part = strings.TrimSpace(part)
+		found := false
+		for _, t := range reg {
+			if t.Name == part {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return ab, fmt.Errorf("campaign: unknown ablation toggle %q", part)
+		}
+		if want[part] {
+			return ab, fmt.Errorf("campaign: duplicate ablation toggle %q", part)
+		}
+		want[part] = true
+	}
+	var names []string
+	for _, t := range reg {
+		if want[t.Name] {
+			t.Apply(&ab.Core, &ab.Model)
+			names = append(names, t.Name)
+		}
+	}
+	ab.Name = strings.Join(names, "+")
+	return ab, nil
+}
+
+// expandAblations resolves a spec's ablation list into concrete
+// variants: names parse via ParseAblation, AllTogglesName expands to the
+// 64 canonical-toggle combinations in bitmask order, and an empty list
+// means just the paper configuration. Duplicate canonical names are an
+// error.
+func expandAblations(names []string) ([]Ablation, error) {
+	if len(names) == 0 {
+		names = []string{PaperAblation}
+	}
+	var out []Ablation
+	seen := map[string]bool{}
+	add := func(ab Ablation) error {
+		if seen[ab.Name] {
+			return fmt.Errorf("campaign: ablation %q listed twice", ab.Name)
+		}
+		seen[ab.Name] = true
+		out = append(out, ab)
+		return nil
+	}
+	for _, name := range names {
+		if name == AllTogglesName {
+			toggles := Toggles()
+			for mask := 0; mask < 1<<len(toggles); mask++ {
+				ab := Ablation{Name: PaperAblation, Core: pipeline.DefaultConfig(), Model: power.DefaultModel()}
+				var parts []string
+				for b, t := range toggles {
+					if mask&(1<<b) != 0 {
+						t.Apply(&ab.Core, &ab.Model)
+						parts = append(parts, t.Name)
+					}
+				}
+				if len(parts) > 0 {
+					ab.Name = strings.Join(parts, "+")
+				}
+				if err := add(ab); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		ab, err := ParseAblation(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(ab); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

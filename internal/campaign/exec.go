@@ -1,0 +1,328 @@
+package campaign
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/attack"
+	"repro/internal/cpi"
+	"repro/internal/leakscan"
+)
+
+// Execute runs one scenario to completion and returns its structured
+// result. It is a pure function of (scenario, key, workers): the
+// scenario's private seed drives all randomness through per-trace
+// streams, so two executions — on any shard, at any worker count —
+// produce identical results.
+func Execute(sc *Scenario, key [aes.KeySize]byte, workers int) (*ScenarioResult, error) {
+	out := &ScenarioResult{
+		ID:       sc.ID,
+		Kind:     sc.Kind,
+		Ablation: sc.Ablation.Name,
+		Seed:     sc.Seed,
+	}
+	var err error
+	switch sc.Kind {
+	case KindTable1:
+		err = execTable1(sc, out)
+	case KindFigure2:
+		err = execFigure2(sc, out)
+	case KindTable2:
+		err = execTable2(sc, out, workers)
+	case KindFig3:
+		err = execFig3(sc, out, key, workers)
+	case KindFig4:
+		err = execFig4(sc, out, key, workers)
+	case KindFullKey:
+		err = execFullKey(sc, out, key, workers)
+	case KindRankEvo:
+		err = execRankEvo(sc, out, key, workers)
+	default:
+		err = fmt.Errorf("campaign: unknown kind %q", sc.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: scenario %s: %w", sc.ID, err)
+	}
+	return out, nil
+}
+
+// sigma resolves the scenario's noise override against the model
+// default carried by the ablation.
+func (sc *Scenario) sigma() float64 {
+	if sc.NoiseSigma == SigmaDefault {
+		return sc.Ablation.Model.NoiseSigma
+	}
+	return sc.NoiseSigma
+}
+
+func (sc *Scenario) reps() int {
+	if sc.Reps > 0 {
+		return sc.Reps
+	}
+	return cpi.DefaultReps
+}
+
+func execTable1(sc *Scenario, out *ScenarioResult) error {
+	m, err := cpi.MeasureMatrix(sc.Ablation.Core, sc.reps())
+	if err != nil {
+		return err
+	}
+	res := &Table1Result{Reps: sc.reps()}
+	for _, cell := range m.Ordered() {
+		res.Cells = append(res.Cells, Table1Cell{
+			Older:     cell.Older.String(),
+			Younger:   cell.Younger.String(),
+			CPI:       cell.CPI,
+			HazardCPI: cell.HazardCPI,
+			Dual:      cell.Dual,
+			Paper:     cpi.PaperTable1(cell.Older, cell.Younger),
+		})
+	}
+	res.Match, res.Total = m.Agreement()
+	out.Table1 = res
+	return nil
+}
+
+func execFigure2(sc *Scenario, out *ScenarioResult) error {
+	m, err := cpi.MeasureMatrix(sc.Ablation.Core, sc.reps())
+	if err != nil {
+		return err
+	}
+	p, err := cpi.MeasureProbes(sc.Ablation.Core, sc.reps())
+	if err != nil {
+		return err
+	}
+	inf := cpi.Infer(m, p)
+	ok, why := inf.MatchesPaper()
+	out.Figure2 = &Figure2Result{
+		DualIssue:       inf.DualIssue,
+		FetchWidth:      inf.FetchWidth,
+		NumALUs:         inf.NumALUs,
+		ALUsSymmetric:   inf.ALUsSymmetric,
+		ReadPorts:       inf.ReadPorts,
+		WritePorts:      inf.WritePorts,
+		LSUPipelined:    inf.LSUPipelined,
+		MulPipelined:    inf.MulPipelined,
+		AGUInIssueStage: inf.AGUInIssueStage,
+		NopsDualIssued:  inf.NopsDualIssued,
+		MatchesPaper:    ok,
+		Disagreement:    why,
+	}
+	return nil
+}
+
+func execTable2(sc *Scenario, out *ScenarioResult, workers int) error {
+	opt := leakscan.DefaultOptions()
+	opt.Core = sc.Ablation.Core
+	opt.Model = sc.Ablation.Model
+	opt.Model.NoiseSigma = sc.sigma()
+	opt.Seed = sc.Seed
+	opt.Workers = workers
+	opt.Synth = sc.Synth
+	if sc.Traces > 0 {
+		opt.Traces = sc.Traces
+	}
+	if sc.Averages > 0 {
+		opt.Averages = sc.Averages
+	}
+	if sc.Confidence > 0 {
+		opt.Confidence = sc.Confidence
+	}
+	rows := sc.Rows
+	if len(rows) == 0 {
+		rows = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	res := &Table2Result{Traces: opt.Traces, Averages: opt.Averages}
+	for _, row := range rows {
+		b, ok := leakscan.BenchmarkByRow(row)
+		if !ok {
+			return fmt.Errorf("no Table 2 row %d", row)
+		}
+		br, err := leakscan.RunBenchmark(&b, opt)
+		if err != nil {
+			return err
+		}
+		rr := Table2Row{Row: br.Row, Name: br.Name, Dual: br.Dual, DualExpected: br.DualExpected}
+		for _, e := range br.Exprs {
+			rr.Cells = append(rr.Cells, Table2Cell{
+				Column:     string(e.Column),
+				Expr:       e.Name,
+				Scored:     e.Scored,
+				Expected:   e.Expected.Leaks(),
+				Border:     e.Expected == leakscan.Border,
+				Detected:   e.Detected,
+				Match:      e.Match,
+				Peak:       e.Peak,
+				Confidence: e.Confidence,
+			})
+		}
+		res.Rows = append(res.Rows, rr)
+		m, t := br.Agreement()
+		res.Match += m
+		res.Total += t
+	}
+	out.Table2 = res
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+// fig3Options assembles the attack options shared by the fig3-model
+// kinds (fig3, fullkey, rankevo).
+func (sc *Scenario) fig3Options(workers int) attack.Fig3Options {
+	opt := attack.DefaultFig3Options()
+	opt.Core = sc.Ablation.Core
+	opt.Model = sc.Ablation.Model
+	opt.Model.NoiseSigma = sc.sigma()
+	opt.Seed = sc.Seed
+	opt.Workers = workers
+	opt.Synth = sc.Synth
+	if sc.Traces > 0 {
+		opt.Traces = sc.Traces
+	}
+	if sc.Averages > 0 {
+		opt.Averages = sc.Averages
+	}
+	if sc.KeyByte > 0 {
+		opt.KeyByte = sc.KeyByte
+	}
+	if sc.Rounds > 0 {
+		opt.Rounds = sc.Rounds
+	}
+	return opt
+}
+
+func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
+	opt := sc.fig3Options(workers)
+	res, err := attack.RunFigure3(key, opt)
+	if err != nil {
+		return err
+	}
+	ar := &AttackResult{
+		KeyByte:        res.KeyByte,
+		TrueKey:        fmt.Sprintf("%#02x", res.TrueKey),
+		Recovered:      fmt.Sprintf("%#02x", res.Recovered),
+		Rank:           res.Rank,
+		Success:        res.Success(),
+		Confidence:     res.Confidence,
+		Traces:         res.Traces,
+		Averages:       opt.Averages,
+		Replayed:       res.Replayed,
+		FallbackReason: res.FallbackReason,
+	}
+	for _, reg := range res.Regions {
+		ar.Regions = append(ar.Regions, Region{
+			Name: reg.Name, Round: reg.Round,
+			StartUs: reg.StartUs, EndUs: reg.EndUs,
+			PeakCorr: reg.PeakCorr, PeakUs: reg.PeakSampleUs,
+		})
+	}
+	out.Fig3 = ar
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
+	opt := attack.DefaultFig4Options()
+	opt.Core = sc.Ablation.Core
+	opt.Model = sc.Ablation.Model
+	opt.Model.NoiseSigma = sc.sigma()
+	opt.Seed = sc.Seed
+	opt.Workers = workers
+	opt.Synth = sc.Synth
+	if sc.Traces > 0 {
+		opt.Traces = sc.Traces
+	}
+	if sc.Averages > 0 {
+		opt.Averages = sc.Averages
+	}
+	if sc.KeyByte > 0 {
+		opt.KeyByte = sc.KeyByte
+	}
+	if sc.Rounds > 0 {
+		opt.Rounds = sc.Rounds
+	}
+	res, err := attack.RunFigure4(key, opt)
+	if err != nil {
+		return err
+	}
+	out.Fig4 = &AttackResult{
+		KeyByte:        res.KeyByte,
+		TrueKey:        fmt.Sprintf("%#02x", res.TrueKey),
+		Recovered:      fmt.Sprintf("%#02x", res.Recovered),
+		Rank:           res.Rank,
+		Success:        res.Success(),
+		BestCorr:       res.BestCorr,
+		SecondCorr:     res.SecondCorr,
+		Confidence:     res.Confidence,
+		Traces:         res.Traces,
+		Averages:       opt.Averages,
+		Replayed:       res.Replayed,
+		FallbackReason: res.FallbackReason,
+	}
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
+	opt := sc.fig3Options(workers)
+	res, err := attack.RecoverFullKey(key, opt)
+	if err != nil {
+		return err
+	}
+	out.FullKey = &FullKeyResult{
+		Traces:          res.Traces,
+		Key:             hex.EncodeToString(res.Key[:]),
+		Recovered:       hex.EncodeToString(res.Recovered[:]),
+		BytesRecovered:  res.BytesRecovered(),
+		Ranks:           append([]int(nil), res.Ranks[:]...),
+		GuessingEntropy: res.GuessingEntropy(),
+		Success:         res.Success(),
+	}
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
+	opt := sc.fig3Options(workers)
+	curve, err := attack.RankEvolution(key, opt, sc.Counts)
+	if err != nil {
+		return err
+	}
+	res := &RankEvoResult{
+		KeyByte:      opt.KeyByte,
+		Counts:       append([]int(nil), curve.TraceCounts...),
+		Ranks:        append([]int(nil), curve.Ranks...),
+		FirstSuccess: curve.FirstSuccess(),
+	}
+	out.RankEvo = res
+	max := sc.Counts[len(sc.Counts)-1]
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = max, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+// Headline summarizes a result in one line — the headline metric of its
+// kind — shared by progress logs, the summary report table and
+// cmd/campaign's recap.
+func (sr *ScenarioResult) Headline() string {
+	switch {
+	case sr.Table1 != nil:
+		return fmt.Sprintf("Table 1 agreement %d/%d", sr.Table1.Match, sr.Table1.Total)
+	case sr.Figure2 != nil:
+		return fmt.Sprintf("Figure 2 matches paper: %v", sr.Figure2.MatchesPaper)
+	case sr.Table2 != nil:
+		return fmt.Sprintf("Table 2 agreement %d/%d", sr.Table2.Match, sr.Table2.Total)
+	case sr.Fig3 != nil:
+		return fmt.Sprintf("Fig 3 key byte %d rank %d (conf %.4f)", sr.Fig3.KeyByte, sr.Fig3.Rank, sr.Fig3.Confidence)
+	case sr.Fig4 != nil:
+		return fmt.Sprintf("Fig 4 key byte %d rank %d (conf %.4f)", sr.Fig4.KeyByte, sr.Fig4.Rank, sr.Fig4.Confidence)
+	case sr.FullKey != nil:
+		return fmt.Sprintf("full key %d/16 bytes", sr.FullKey.BytesRecovered)
+	case sr.RankEvo != nil:
+		if sr.RankEvo.FirstSuccess < 0 {
+			return "rank evolution: key never recovered"
+		}
+		return fmt.Sprintf("rank evolution first success @ %d traces", sr.RankEvo.FirstSuccess)
+	}
+	return "done"
+}

@@ -1,0 +1,202 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Scenario is one fully resolved experiment: a workload kind under one
+// ablation with one acquisition-parameter point, plus the private seed
+// it runs under. Scenarios are value objects — executing the same
+// Scenario twice produces bit-identical results.
+type Scenario struct {
+	// ID is the canonical scenario identifier, unique within a campaign
+	// and stable across spec edits that do not touch this scenario's own
+	// axes — the key checkpoints and seeds are derived from.
+	ID string
+	// Index is the position in enumeration order (reports preserve it).
+	Index int
+	// Kind is the workload family.
+	Kind Kind
+	// Ablation is the resolved micro-architectural variant.
+	Ablation Ablation
+	// Traces is the acquisition count (0: workload default).
+	Traces int
+	// Averages is the per-acquisition averaging factor (0: default).
+	Averages int
+	// NoiseSigma is the measurement-noise override; SigmaDefault keeps
+	// the power model's value.
+	NoiseSigma float64
+	// Synth is the trace-synthesis mode.
+	Synth engine.Mode
+	// KeyByte, Rounds, Reps, Rows, Counts, Confidence carry the
+	// remaining workload knobs (see Workload).
+	KeyByte    int
+	Rounds     int
+	Reps       int
+	Rows       []int
+	Counts     []int
+	Confidence float64
+	// Seed is the scenario's private seed, derived from the campaign
+	// seed and ID — never from Index, so sibling scenarios keep their
+	// seeds when the spec grows.
+	Seed int64
+}
+
+func parseSynth(s string) (engine.Mode, error) {
+	if s == "" {
+		return engine.ModeAuto, nil
+	}
+	return engine.ParseMode(s)
+}
+
+// scenarioID renders the canonical identifier from the axes that
+// distinguish the scenario. Axis order and spellings are frozen: IDs
+// feed checkpoint matching and seed derivation.
+func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth engine.Mode) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/ablation=%s", k, ab)
+	if k != KindTable1 && k != KindFigure2 {
+		if traces > 0 {
+			fmt.Fprintf(&sb, "/traces=%d", traces)
+		}
+		if w.Averages > 0 {
+			fmt.Fprintf(&sb, "/avg=%d", w.Averages)
+		}
+		if sigma != SigmaDefault {
+			fmt.Fprintf(&sb, "/sigma=%s", strconv.FormatFloat(sigma, 'g', -1, 64))
+		}
+		if synth != engine.ModeAuto {
+			fmt.Fprintf(&sb, "/synth=%s", synth)
+		}
+	}
+	switch k {
+	case KindTable1, KindFigure2:
+		if w.Reps > 0 {
+			fmt.Fprintf(&sb, "/reps=%d", w.Reps)
+		}
+	case KindTable2:
+		if len(w.Rows) > 0 {
+			parts := make([]string, len(w.Rows))
+			for i, r := range w.Rows {
+				parts[i] = strconv.Itoa(r)
+			}
+			fmt.Fprintf(&sb, "/rows=%s", strings.Join(parts, ","))
+		}
+		if w.Confidence > 0 {
+			fmt.Fprintf(&sb, "/conf=%s", strconv.FormatFloat(w.Confidence, 'g', -1, 64))
+		}
+	case KindFig3, KindFig4, KindFullKey, KindRankEvo:
+		if w.KeyByte > 0 {
+			fmt.Fprintf(&sb, "/keybyte=%d", w.KeyByte)
+		}
+		if w.Rounds > 0 {
+			fmt.Fprintf(&sb, "/rounds=%d", w.Rounds)
+		}
+		if k == KindRankEvo {
+			parts := make([]string, len(w.Counts))
+			for i, c := range w.Counts {
+				parts[i] = strconv.Itoa(c)
+			}
+			fmt.Fprintf(&sb, "/counts=%s", strings.Join(parts, ","))
+		}
+	}
+	return sb.String()
+}
+
+// Enumerate expands the spec into its ordered scenario list: workloads
+// in spec order, and within each workload the cross product
+// ablations x traces x noise sigmas x synthesis modes, iterated in that
+// nesting order. Duplicate scenario IDs are an error — two identical
+// scenarios would be pure waste, and the ID is the checkpoint key.
+func (s *Spec) Enumerate() ([]Scenario, error) {
+	var out []Scenario
+	seen := map[string]bool{}
+	for wi := range s.Workloads {
+		w := &s.Workloads[wi]
+		abs, err := expandAblations(w.Ablations)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: workload %d (%s): %w", wi, w.Kind, err)
+		}
+		traces := w.Traces
+		if len(traces) == 0 {
+			traces = []int{0}
+		}
+		sigmas := w.NoiseSigmas
+		if len(sigmas) == 0 {
+			sigmas = []float64{SigmaDefault}
+		}
+		synths := w.Synth
+		if len(synths) == 0 {
+			synths = []string{"auto"}
+		}
+		if w.Kind == KindTable1 || w.Kind == KindFigure2 {
+			// Cycle-count workloads have no acquisition axes.
+			traces, sigmas, synths = []int{0}, []float64{SigmaDefault}, []string{"auto"}
+		}
+		rows := append([]int(nil), w.Rows...)
+		sort.Ints(rows)
+		counts := append([]int(nil), w.Counts...)
+		sort.Ints(counts)
+		wc := *w
+		wc.Rows, wc.Counts = rows, counts
+		for _, ab := range abs {
+			for _, n := range traces {
+				for _, sg := range sigmas {
+					for _, sm := range synths {
+						mode, err := parseSynth(sm)
+						if err != nil {
+							return nil, fmt.Errorf("campaign: workload %d (%s): %w", wi, w.Kind, err)
+						}
+						id := scenarioID(w.Kind, ab.Name, &wc, n, sg, mode)
+						if seen[id] {
+							return nil, fmt.Errorf("campaign: duplicate scenario %q", id)
+						}
+						seen[id] = true
+						out = append(out, Scenario{
+							ID:         id,
+							Index:      len(out),
+							Kind:       w.Kind,
+							Ablation:   ab,
+							Traces:     n,
+							Averages:   w.Averages,
+							NoiseSigma: sg,
+							Synth:      mode,
+							KeyByte:    w.KeyByte,
+							Rounds:     w.Rounds,
+							Reps:       w.Reps,
+							Rows:       rows,
+							Counts:     counts,
+							Confidence: w.Confidence,
+							Seed:       engine.DeriveSeed(s.Seed, id),
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: spec enumerates no scenarios")
+	}
+	return out, nil
+}
+
+// canonicalDigest returns the hex SHA-256 of v's canonical JSON
+// encoding. encoding/json emits struct fields in declaration order and
+// map keys sorted, so the digest is stable for a given value.
+func canonicalDigest(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Spec and result types marshal by construction.
+		panic(fmt.Sprintf("campaign: canonical encoding: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

@@ -198,6 +198,20 @@ func (m *Matrix) Dual(older, younger isa.Class) bool {
 	return m.Cells[older][younger].Dual
 }
 
+// Ordered returns the 49 cells in Table 1 order (older class major,
+// younger minor) — the deterministic flattening used by serialized
+// campaign results, independent of map iteration order.
+func (m *Matrix) Ordered() []Measurement {
+	classes := isa.Table1Classes()
+	out := make([]Measurement, 0, len(classes)*len(classes))
+	for _, older := range classes {
+		for _, younger := range classes {
+			out = append(out, m.Cells[older][younger])
+		}
+	}
+	return out
+}
+
 // PaperTable1 returns the published Table 1 verdict for a pair.
 func PaperTable1(older, younger isa.Class) bool {
 	return pipeline.PolicyAllows(older, younger)

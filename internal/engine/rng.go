@@ -18,6 +18,9 @@ func splitmix64(x uint64) uint64 {
 // source keeps the full 64-bit stream identity.
 type splitMixSource struct{ state uint64 }
 
+// Uint64 advances the SplitMix64 state and returns the mixed output —
+// the full-period 64-bit stream that keeps distinct trace identities
+// collision-free.
 func (s *splitMixSource) Uint64() uint64 {
 	s.state += 0x9E3779B97F4A7C15
 	x := s.state
@@ -26,8 +29,13 @@ func (s *splitMixSource) Uint64() uint64 {
 	return x ^ (x >> 31)
 }
 
+// Int63 implements rand.Source by truncating Uint64, as rand.Source64
+// consumers expect.
 func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
+// Seed installs the 64-bit stream state verbatim (no folding), so a
+// reseeded pooled source draws bit-identically to a fresh
+// TraceRNG(seed, i) — the property reseedTraceRNG relies on.
 func (s *splitMixSource) Seed(seed int64) { s.state = uint64(seed) }
 
 // traceState derives trace i's private 64-bit stream state from the
@@ -42,6 +50,26 @@ func traceState(seed int64, i int) uint64 {
 // order while every trace sees exactly the same plaintext and noise.
 func TraceRNG(seed int64, i int) *rand.Rand {
 	return rand.New(&splitMixSource{state: traceState(seed, i)})
+}
+
+// DeriveSeed derives an independent child seed from a parent seed and a
+// textual label, by mixing an FNV-1a 64 hash of the label into the
+// parent through the SplitMix64 finalizer. It is the campaign-level
+// analogue of TraceRNG's (seed, index) derivation: the child depends
+// only on (seed, label) — never on enumeration order or scheduling — so
+// experiments named by stable labels keep bit-identical seeds when
+// their surroundings change. Distinct labels yield independent streams.
+func DeriveSeed(seed int64, label string) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ h))
 }
 
 // reseedTraceRNG repoints a pooled TraceRNG at trace i's stream,

@@ -42,6 +42,18 @@ func Benchmarks() []Benchmark {
 	}
 }
 
+// BenchmarkByRow returns the Table 2 benchmark with the given 1-based
+// row number, or false when no such row exists — the lookup campaign
+// specs use to select row subsets.
+func BenchmarkByRow(row int) (Benchmark, bool) {
+	for _, b := range Benchmarks() {
+		if b.Row == row {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
 // Row 1: mov rA, rB; nop; mov rC, rD — the nop interleaving that exposes
 // both the operand-transition HD leak (through the ALU input latch the
 // condition-never nop does not clock) and the operand HW leak (through

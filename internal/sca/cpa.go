@@ -53,7 +53,10 @@ func MustNewCPA(nHyp, samples int) *CPA {
 }
 
 // Add accumulates one trace with its per-hypothesis leakage predictions
-// (len(hyp) == hypotheses, len(t) == samples).
+// (len(hyp) == hypotheses, len(t) == samples). Accumulation order is
+// the determinism contract of the whole analysis chain: adding the same
+// traces in the same order always produces bit-identical sums, and
+// AddBatch and Merge are defined relative to this serial reference.
 func (c *CPA) Add(t []float64, hyp []float64) error {
 	if len(t) != c.samples {
 		return fmt.Errorf("sca: trace has %d samples, want %d", len(t), c.samples)

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Regenerates the campaign-marked sections of EXPERIMENTS.md from the
+# committed campaign results. CI runs this and fails on any diff, so
+# the experiment record cannot drift from the committed results (which
+# are themselves byte-compared against a fresh campaign run).
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/campaign -results campaigns/paper.results.json -update-doc EXPERIMENTS.md
