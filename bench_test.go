@@ -390,14 +390,16 @@ func BenchmarkPowerSynthesis(b *testing.B) {
 
 // benchEngineCPA10k runs the engine's full 10k-trace streaming CPA —
 // the DESIGN.md §6 scaling experiment — against the one-round AES
-// target with the given pool size and synthesis mode.
-func benchEngineCPA10k(b *testing.B, workers int, mode engine.Mode) {
+// target with the given pool size, synthesis mode and replay batch
+// width (0: default lanes, negative: scalar per-trace replay).
+func benchEngineCPA10k(b *testing.B, workers int, mode engine.Mode, lanes int) {
 	opt := attack.DefaultFig3Options()
 	opt.Traces = 10000
 	opt.Rounds = 1
 	opt.Averages = 1
 	opt.Workers = workers
 	opt.Synth = mode
+	opt.Lanes = lanes
 	var res *attack.Fig3Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -410,28 +412,36 @@ func benchEngineCPA10k(b *testing.B, workers int, mode engine.Mode) {
 	b.ReportMetric(float64(opt.Traces)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 	b.ReportMetric(b2f(res.Success()), "key_recovered")
 	b.ReportMetric(b2f(res.Replayed), "replayed")
+	b.ReportMetric(b2f(res.Batched), "batched")
 }
 
 // BenchmarkEngineCPA10kSerial is the one-worker full-simulation
 // baseline of the 10k-trace streaming CPA — the shape of the attack
 // before compiled replay existed. Divide its time by the parallel
 // benchmarks' for the scaling factors.
-func BenchmarkEngineCPA10kSerial(b *testing.B) { benchEngineCPA10k(b, 1, engine.ModeSimulate) }
+func BenchmarkEngineCPA10kSerial(b *testing.B) { benchEngineCPA10k(b, 1, engine.ModeSimulate, -1) }
 
 // BenchmarkEngineCPA10kSimulate runs the attack with one worker per
 // core under full simulation — the modern simulate path, against which
-// BenchmarkEngineCPA10kParallel isolates the replay speedup at equal
-// worker count.
-func BenchmarkEngineCPA10kSimulate(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeSimulate) }
+// the replay benchmarks isolate their speedups at equal worker count.
+func BenchmarkEngineCPA10kSimulate(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeSimulate, -1) }
+
+// BenchmarkEngineCPA10kReplayScalar runs the attack with one worker per
+// core and scalar (one-trace-at-a-time) compiled replay — the pre-batch
+// replay path, against which BenchmarkEngineCPA10kParallel isolates the
+// lane-parallel speedup.
+func BenchmarkEngineCPA10kReplayScalar(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto, -1) }
 
 // BenchmarkEngineCPA10kParallel runs the attack with one worker per
-// core and replay enabled (the auto default). The result is
-// bit-identical to both simulate benchmarks — only faster.
-func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto) }
+// core and the lane-parallel batched replay path (the auto default).
+// The result is bit-identical to every other variant — only faster.
+func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto, 0) }
 
 // BenchmarkReplayVM measures the compiled-replay VM alone on the
 // one-round AES schedule — the per-trace synthesis floor, to compare
-// against BenchmarkPipelineSimulation's per-execution cost.
+// against BenchmarkPipelineSimulation's per-execution cost. One warmup
+// run pays the schedule compilation and the pooled scratch, so the
+// timed iterations report the steady state even at -benchtime=1x.
 func BenchmarkReplayVM(b *testing.B) {
 	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), benchKey, aes.ProgramOptions{Rounds: 1, PadNops: 8})
 	if err != nil {
@@ -443,13 +453,59 @@ func BenchmarkReplayVM(b *testing.B) {
 	}
 	use := func(pipeline.Timeline, *pipeline.Core) error { return nil }
 	var pt [16]byte
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	run := func(i int) {
 		pt[0], pt[1] = byte(i), byte(i>>8)
 		if err := synth.Run(func(core *pipeline.Core) { tgt.InitCore(core, pt) }, use); err != nil {
 			b.Fatal(err)
 		}
 	}
+	run(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(i)
+	}
+}
+
+// BenchmarkBatchVM measures the lane-parallel replay VM with fused
+// power synthesis on the one-round AES schedule: one iteration is one
+// DefaultLanes-wide batch (so divide ns/op by the lane count for the
+// per-trace floor; the reported traces/s does that).
+func BenchmarkBatchVM(b *testing.B) {
+	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), benchKey, aes.ProgramOptions{Rounds: 1, PadNops: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	synth, err := engine.NewSynthesizer(engine.ModeReplay, pipeline.DefaultConfig(), tgt.Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := power.DefaultModel()
+	// One scalar run compiles the schedule so every timed iteration
+	// takes the batch path.
+	var pt [16]byte
+	if err := synth.Run(func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+		func(pipeline.Timeline, *pipeline.Core) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	init := func(lane int, core *pipeline.Core) error {
+		pt[0], pt[1] = byte(lane), byte(lane>>8)
+		tgt.InitCore(core, pt)
+		return nil
+	}
+	use := func(int, []float64, *pipeline.Core) error { return nil }
+	// Warmup batch: pays the schedule lowering and the lane scratch, so
+	// the timed iterations report the steady state even at
+	// -benchtime=1x.
+	if err := synth.RunBatch(&m, engine.DefaultLanes, init, use); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := synth.RunBatch(&m, engine.DefaultLanes, init, use); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(engine.DefaultLanes)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 }
 
 // BenchmarkEngineFullKey measures the sixteen-bank streaming recovery of

@@ -42,6 +42,7 @@ func main() {
 	avg := flag.Int("avg", 0, "per-acquisition averaging (0: default)")
 	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
 	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 			opt.Averages = *avg
 		}
 		opt.Workers = *workers
+		opt.Lanes = *lanes
 		opt.Synth = mode
 		res, err := attack.RunFigure3(key, opt)
 		if err != nil {
@@ -125,6 +127,7 @@ func main() {
 			opt.Averages = *avg
 		}
 		opt.Workers = *workers
+		opt.Lanes = *lanes
 		opt.Synth = mode
 		res, err := attack.RunFigure4(key, opt)
 		if err != nil {

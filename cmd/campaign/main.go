@@ -64,6 +64,7 @@ func main() {
 	resultsPath := flag.String("results", "", "existing results JSON to render or splice instead of running")
 	outDir := flag.String("out", "out", "output directory for results.json, results.csv, report.md and the checkpoint")
 	workers := flag.Int("workers", 0, "per-scenario engine workers (0: spec value, else one per core)")
+	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
 	shards := flag.Int("shards", 0, "concurrently executed scenarios (0: spec value, else 1)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -out instead of starting over")
 	report := flag.Bool("report", false, "with -results: print the Markdown report to stdout")
@@ -114,6 +115,7 @@ func main() {
 	}
 	opt := campaign.RunOptions{
 		Workers:        *workers,
+		Lanes:          *lanes,
 		Shards:         *shards,
 		CheckpointPath: filepath.Join(*outDir, "checkpoint.jsonl"),
 		Resume:         *resume,

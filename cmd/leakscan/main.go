@@ -28,6 +28,7 @@ func main() {
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
 	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	}
 	opt.Traces = *traces
 	opt.Workers = *workers
+	opt.Lanes = *lanes
 	opt.Synth = mode
 	if *noAlign {
 		opt.Core.AlignBuffer = false

@@ -44,6 +44,7 @@ func main() {
 	keyHex := flag.String("key", "2b7e151628aed2a6abf7158809cf4f3c", "AES-128 key (32 hex digits)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
+	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
 	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
@@ -99,27 +100,49 @@ func main() {
 	bw := bufio.NewWriter(f)
 	sw, err := trace.NewSetWriter(bw, *n, samples)
 
-	// -n 0 is a valid request for a header-only (empty) set.
+	// -n 0 is a valid request for a header-only (empty) set. The batch
+	// path shares the scalar producer's per-trace rng draw order, so the
+	// file is byte-identical for every -lanes and -workers value.
 	if err == nil && *n > 0 {
-		err = engine.Stream(engine.Config{Workers: *workers}, *n, *seed,
-			func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
+		scalar := func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
+			var pt [16]byte
+			rng.Read(pt[:])
+			var tr trace.Trace
+			err := synth.Run(
+				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+				func(tl pipeline.Timeline, core *pipeline.Core) error {
+					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+						return err
+					}
+					tr = env.Acquire(tl, &model, rng, *avg)
+					return nil
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			return tr, pt[:], nil
+		}
+		bs := engine.BatchStream{
+			Synth: synth,
+			Model: &model,
+			Lanes: *lanes,
+			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error) {
 				var pt [16]byte
 				rng.Read(pt[:])
-				var tr trace.Trace
-				err := synth.Run(
-					func(core *pipeline.Core) { tgt.InitCore(core, pt) },
-					func(tl pipeline.Timeline, core *pipeline.Core) error {
-						if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
-							return err
-						}
-						tr = env.Acquire(tl, &model, rng, *avg)
-						return nil
-					})
-				if err != nil {
-					return nil, nil, err
-				}
-				return tr, pt[:], nil
+				tgt.InitCore(core, pt)
+				return pt[:], nil
 			},
+			Acquire: func(i int, rng *rand.Rand, cycles []float64, core *pipeline.Core, aux []byte) (trace.Trace, error) {
+				var pt [16]byte
+				copy(pt[:], aux)
+				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					return nil, err
+				}
+				return env.AcquireCycles(cycles, &model, rng, *avg), nil
+			},
+			Scalar: scalar,
+		}
+		err = engine.StreamBatched(engine.Config{Workers: *workers}, *n, *seed, bs,
 			func(i int, tr trace.Trace, aux []byte) error {
 				return sw.Append(tr, aux)
 			})

@@ -13,7 +13,10 @@
 // The trace-heavy experiments run on internal/engine, a worker-pool
 // trace-synthesis and streaming-CPA subsystem that uses every core in
 // bounded memory while producing bit-identical results for any worker
-// count.
+// count. Its hot path compiles the target's schedule once and replays
+// it lane-parallel — up to 32 executions per schedule walk, with power
+// synthesis fused into the replay (internal/replay, DESIGN.md §7 and
+// §9) — and results stay bit-identical for every replay lane width.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmark

@@ -65,7 +65,7 @@ func main() {
 		start := time.Now()
 		banks, err := engine.Run(
 			engine.Config{Workers: workers},
-			engine.Spec{Traces: traces, Samples: samples, Banks: []int{256}, Seed: 1},
+			engine.Spec{Traces: traces, Samples: samples, Banks: engine.HypothesisBanks(256), Seed: 1},
 			gen)
 		if err != nil {
 			log.Fatal(err)

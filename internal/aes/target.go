@@ -74,7 +74,7 @@ func (t *Target) InitCore(core *pipeline.Core, pt [BlockSize]byte) {
 // every synthesized acquisition — simulated or replayed alike.
 func (t *Target) VerifyOutput(m *mem.Memory, pt [BlockSize]byte) ([BlockSize]byte, error) {
 	var out [BlockSize]byte
-	copy(out[:], m.ReadBytes(t.layout.StateAddr, BlockSize))
+	m.ReadBytesInto(out[:], t.layout.StateAddr)
 	if !t.Verify {
 		return out, nil
 	}

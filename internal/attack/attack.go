@@ -65,6 +65,11 @@ type Fig3Options struct {
 	// engine.ModeAuto, compiles the AES schedule once and replays it per
 	// trace, bit-verified against full simulation on the first chunk.
 	Synth engine.Mode
+	// Lanes is the lane-parallel replay batch width: 0 selects
+	// engine.DefaultLanes, negative forces the scalar per-trace path,
+	// otherwise 1..replay.MaxLanes. Results are bit-identical for every
+	// value.
+	Lanes int
 }
 
 // DefaultFig3Options returns a configuration resolving the key in
@@ -106,6 +111,10 @@ type Fig3Result struct {
 	// is false under engine.ModeSimulate or after an auto-mode fallback,
 	// whose reason is then in FallbackReason).
 	Replayed bool
+	// Batched reports that the lane-parallel replay path synthesized at
+	// least one batch — the expected steady state of an auto-mode run on
+	// a replayable schedule.
+	Batched bool
 	// FallbackReason explains an auto-mode fallback, "" otherwise.
 	FallbackReason string
 }
@@ -160,10 +169,10 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 		})
 	}
 
-	banks, err := engine.Run(
+	banks, err := engine.RunBatched(
 		engine.Config{Workers: opt.Workers},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed},
-		fig3Generate(tgt, synth, opt))
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed},
+		fig3BatchGen(tgt, synth, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +190,7 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 		Confidence:     att.DistinguishConfidence(),
 		Traces:         opt.Traces,
 		Replayed:       opt.Synth != engine.ModeSimulate && !synth.FellBack(),
+		Batched:        synth.BatchRuns() > 0,
 		FallbackReason: synth.FallbackReason(),
 	}
 	for i := range regions {
@@ -198,12 +208,38 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	return out, nil
 }
 
-// fig3Generate synthesizes one bare-metal acquisition with the
-// HW(SubBytes out) predictions for the attacked key byte. Each trace's
-// plaintext and noise come from its private rng, so the acquisition is
-// identical no matter which worker runs it. The timeline comes from the
-// synthesizer — compiled replay on the hot path — and every run's
-// output is still checked against the functional reference.
+// fig3ClassTable is the Figure 3 model as a class table: the model
+// input is the attacked plaintext byte p, and class p predicts
+// HW(SubBytes(p ^ k)) for every hypothesis k. Computed once per
+// process — the table is immutable and shared.
+var fig3ClassTable = func() [][]float64 {
+	t := make([][]float64, 256)
+	for p := range t {
+		t[p] = make([]float64, 256)
+		for k := range t[p] {
+			t[p][k] = float64(sca.HW8(aes.SubBytesOut(byte(p), byte(k))))
+		}
+	}
+	return t
+}()
+
+// fig3Banks returns n conditional-sum banks of the Figure 3 model —
+// one per attacked key byte, all sharing the class table.
+func fig3Banks(n int) []engine.Bank {
+	banks := make([]engine.Bank, n)
+	for b := range banks {
+		banks[b] = engine.Bank{Hyps: 256, Classes: fig3ClassTable}
+	}
+	return banks
+}
+
+// fig3Generate synthesizes one bare-metal acquisition and reports the
+// attacked plaintext byte as the trace's model-input class (the
+// HW(SubBytes out) predictions live in the bank's class table). Each
+// trace's plaintext and noise come from its private rng, so the
+// acquisition is identical no matter which worker runs it. The timeline
+// comes from the synthesizer — compiled replay on the hot path — and
+// every run's output is still checked against the functional reference.
 func fig3Generate(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.Generate {
 	return func(i int, rng *rand.Rand, s *engine.Sample) error {
 		var pt [aes.BlockSize]byte
@@ -220,10 +256,41 @@ func fig3Generate(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) e
 		if err != nil {
 			return err
 		}
-		for k := 0; k < 256; k++ {
-			s.Hyps[0][k] = float64(sca.HW8(aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
-		}
+		s.Class[0] = int(pt[opt.KeyByte])
 		return nil
+	}
+}
+
+// fig3BatchGen is fig3Generate split for the lane-parallel path: the
+// plaintext draw, core initialization and class report happen in
+// Prepare (the plaintext rides in s.Aux); the functional check and the
+// noise-drawing expansion of the fused cycle powers happen per lane
+// after the batch replay. The per-trace rng draw order matches the
+// scalar generator exactly.
+func fig3BatchGen(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.BatchGen {
+	return engine.BatchGen{
+		Synth: synth,
+		Model: &opt.Model,
+		Lanes: opt.Lanes,
+		Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
+			var pt [aes.BlockSize]byte
+			rng.Read(pt[:])
+			s.Aux = append(s.Aux[:0], pt[:]...)
+			tgt.InitCore(core, pt)
+			s.Class[0] = int(pt[opt.KeyByte])
+			return nil
+		},
+		Verify: func(i int, core *pipeline.Core, s *engine.Sample) error {
+			var pt [aes.BlockSize]byte
+			copy(pt[:], s.Aux)
+			_, err := tgt.VerifyOutput(core.Mem(), pt)
+			return err
+		},
+		Acquire: func(i int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
+			s.Trace, s.Scratch = opt.Model.AveragedCyclesInto(s.Trace, s.Scratch, cycles, rng, opt.Averages)
+			return nil
+		},
+		Scalar: fig3Generate(tgt, synth, opt),
 	}
 }
 
@@ -257,6 +324,9 @@ type Fig4Options struct {
 	// Synth selects the trace-synthesis strategy (engine.ModeAuto by
 	// default: compiled replay, bit-verified on the first chunk).
 	Synth engine.Mode
+	// Lanes is the lane-parallel replay batch width (0: default,
+	// negative: scalar path); results are bit-identical for every value.
+	Lanes int
 }
 
 // DefaultFig4Options mirrors the paper's Figure 4 acquisition: 100
@@ -289,8 +359,10 @@ type Fig4Result struct {
 	CorrTrace []float64
 	Traces    int
 	// Replayed reports that compiled replay synthesized the traces;
-	// FallbackReason explains an auto-mode fallback, "" otherwise.
+	// Batched that the lane-parallel path ran; FallbackReason explains
+	// an auto-mode fallback, "" otherwise.
 	Replayed       bool
+	Batched        bool
 	FallbackReason string
 }
 
@@ -331,33 +403,66 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 
 	prevByte := opt.KeyByte - 1
 	kPrev := key[prevByte]
-	banks, err := engine.Run(
+	// The Figure 4 model depends on two plaintext bytes, so it stays on
+	// the classic per-trace hypothesis bank.
+	fig4Hyps := func(pt [aes.BlockSize]byte, hyps []float64) {
+		sPrev := aes.SubBytesOut(pt[prevByte], kPrev)
+		for k := 0; k < 256; k++ {
+			hyps[k] = float64(sca.HD8(sPrev, aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
+		}
+	}
+	scalar := func(i int, rng *rand.Rand, s *engine.Sample) error {
+		var pt [aes.BlockSize]byte
+		rng.Read(pt[:])
+		err := synth.Run(
+			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+			func(tl pipeline.Timeline, core *pipeline.Core) error {
+				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					return err
+				}
+				tr := opt.Env.Acquire(tl, &opt.Model, rng, opt.Averages)
+				if len(tr) != nSamples {
+					tr = tr.Resize(nSamples)
+				}
+				s.Trace = tr
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		fig4Hyps(pt, s.Hyps[0])
+		return nil
+	}
+	banks, err := engine.RunBatched(
 		engine.Config{Workers: opt.Workers},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed},
-		func(i int, rng *rand.Rand, s *engine.Sample) error {
-			var pt [aes.BlockSize]byte
-			rng.Read(pt[:])
-			err := synth.Run(
-				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
-				func(tl pipeline.Timeline, core *pipeline.Core) error {
-					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
-						return err
-					}
-					tr := opt.Env.Acquire(tl, &opt.Model, rng, opt.Averages)
-					if len(tr) != nSamples {
-						tr = tr.Resize(nSamples)
-					}
-					s.Trace = tr
-					return nil
-				})
-			if err != nil {
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: engine.HypothesisBanks(256), Seed: opt.Seed},
+		engine.BatchGen{
+			Synth: synth,
+			Model: &opt.Model,
+			Lanes: opt.Lanes,
+			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
+				var pt [aes.BlockSize]byte
+				rng.Read(pt[:])
+				s.Aux = append(s.Aux[:0], pt[:]...)
+				tgt.InitCore(core, pt)
+				fig4Hyps(pt, s.Hyps[0])
+				return nil
+			},
+			Verify: func(i int, core *pipeline.Core, s *engine.Sample) error {
+				var pt [aes.BlockSize]byte
+				copy(pt[:], s.Aux)
+				_, err := tgt.VerifyOutput(core.Mem(), pt)
 				return err
-			}
-			sPrev := aes.SubBytesOut(pt[prevByte], kPrev)
-			for k := 0; k < 256; k++ {
-				s.Hyps[0][k] = float64(sca.HD8(sPrev, aes.SubBytesOut(pt[opt.KeyByte], byte(k))))
-			}
-			return nil
+			},
+			Acquire: func(i int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
+				tr := opt.Env.AcquireCycles(cycles, &opt.Model, rng, opt.Averages)
+				if len(tr) != nSamples {
+					tr = tr.Resize(nSamples)
+				}
+				s.Trace = tr
+				return nil
+			},
+			Scalar: scalar,
 		})
 	if err != nil {
 		return nil, err
@@ -378,6 +483,7 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 		CorrTrace:      cpa.CorrTrace(int(trueKey)),
 		Traces:         opt.Traces,
 		Replayed:       opt.Synth != engine.ModeSimulate && !synth.FellBack(),
+		Batched:        synth.BatchRuns() > 0,
 		FallbackReason: synth.FallbackReason(),
 	}, nil
 }

@@ -70,34 +70,54 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 	}
 	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
 
-	bankSizes := make([]int, aes.BlockSize)
-	for b := range bankSizes {
-		bankSizes[b] = 256
-	}
-	banks, err := engine.Run(
-		engine.Config{Workers: opt.Workers},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: bankSizes, Seed: opt.Seed},
-		func(i int, rng *rand.Rand, s *engine.Sample) error {
-			var pt [aes.BlockSize]byte
-			rng.Read(pt[:])
-			err := synth.Run(
-				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
-				func(tl pipeline.Timeline, core *pipeline.Core) error {
-					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
-						return err
-					}
-					s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
-					return nil
-				})
-			if err != nil {
-				return err
-			}
-			for b := 0; b < aes.BlockSize; b++ {
-				for k := 0; k < 256; k++ {
-					s.Hyps[b][k] = float64(sca.HW8(aes.SubBytesOut(pt[b], byte(k))))
+	scalar := func(i int, rng *rand.Rand, s *engine.Sample) error {
+		var pt [aes.BlockSize]byte
+		rng.Read(pt[:])
+		err := synth.Run(
+			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+			func(tl pipeline.Timeline, core *pipeline.Core) error {
+				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					return err
 				}
-			}
-			return nil
+				s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		for b := 0; b < aes.BlockSize; b++ {
+			s.Class[b] = int(pt[b])
+		}
+		return nil
+	}
+	banks, err := engine.RunBatched(
+		engine.Config{Workers: opt.Workers},
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(aes.BlockSize), Seed: opt.Seed},
+		engine.BatchGen{
+			Synth: synth,
+			Model: &opt.Model,
+			Lanes: opt.Lanes,
+			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
+				var pt [aes.BlockSize]byte
+				rng.Read(pt[:])
+				s.Aux = append(s.Aux[:0], pt[:]...)
+				tgt.InitCore(core, pt)
+				for b := 0; b < aes.BlockSize; b++ {
+					s.Class[b] = int(pt[b])
+				}
+				return nil
+			},
+			Verify: func(i int, core *pipeline.Core, s *engine.Sample) error {
+				var pt [aes.BlockSize]byte
+				copy(pt[:], s.Aux)
+				_, err := tgt.VerifyOutput(core.Mem(), pt)
+				return err
+			},
+			Acquire: func(i int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
+				s.Trace, s.Scratch = opt.Model.AveragedCyclesInto(s.Trace, s.Scratch, cycles, rng, opt.Averages)
+				return nil
+			},
+			Scalar: scalar,
 		})
 	if err != nil {
 		return nil, err
@@ -139,18 +159,18 @@ func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.R
 	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
 
 	curve := &sca.RankCurve{}
-	_, err = engine.Run(
+	_, err = engine.RunBatched(
 		engine.Config{Workers: opt.Workers},
 		engine.Spec{
-			Traces: max, Samples: nSamples, Banks: []int{256}, Seed: opt.Seed,
+			Traces: max, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed,
 			Checkpoints: sorted,
-			OnCheckpoint: func(n int, banks []*sca.CPA) {
+			OnCheckpoint: func(n int, banks []sca.Accumulator) {
 				att := banks[0].Result()
 				curve.TraceCounts = append(curve.TraceCounts, n)
 				curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
 			},
 		},
-		fig3Generate(tgt, synth, opt))
+		fig3BatchGen(tgt, synth, opt))
 	if err != nil {
 		return nil, err
 	}

@@ -55,15 +55,19 @@ func TestFig3ReplayBitIdenticalToSimulate(t *testing.T) {
 
 // TestFig3AutoEqualsSimulateAcrossAblations sweeps every combination
 // of the six modelling toggles through a small Figure 3 attack and
-// asserts that auto-mode synthesis (replay where the schedule allows,
-// verified fallback where it does not — e.g. the NopZeroesWB ablation
-// pins the cipher's data-dependent conditionals) is bit-identical to
-// pure simulation.
+// asserts that auto-mode synthesis — lane-parallel batched replay where
+// the schedule allows, verified fallback where it does not (e.g. the
+// NopZeroesWB ablation pins the cipher's data-dependent conditionals) —
+// is bit-identical to pure simulation at every supported lane width,
+// including the scalar per-trace path (-1) and the single-lane
+// degenerate batch. The trace count leaves an odd tail past the
+// verification window, so whole, partial and single-trace final batches
+// are all covered.
 func TestFig3AutoEqualsSimulateAcrossAblations(t *testing.T) {
 	key := [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
 	for mask := 0; mask < 64; mask++ {
 		opt := DefaultFig3Options()
-		opt.Traces = 80
+		opt.Traces = 117
 		opt.Rounds = 1
 		opt.Averages = 1
 		opt.Core.DualIssue = mask&1 != 0
@@ -73,24 +77,30 @@ func TestFig3AutoEqualsSimulateAcrossAblations(t *testing.T) {
 		opt.Core.AlignBuffer = mask&16 != 0
 		opt.Core.StoreLaneReplication = mask&32 != 0
 
-		opt.Synth = engine.ModeAuto
-		auto, err := RunFigure3(key, opt)
-		if err != nil {
-			t.Fatalf("cfg %#x auto: %v", mask, err)
-		}
 		opt.Synth = engine.ModeSimulate
 		sim, err := RunFigure3(key, opt)
 		if err != nil {
 			t.Fatalf("cfg %#x simulate: %v", mask, err)
 		}
-		if auto.Recovered != sim.Recovered || auto.Rank != sim.Rank || auto.Confidence != sim.Confidence {
-			t.Fatalf("cfg %#x: auto result differs from simulation (fallback=%v %q)",
-				mask, !auto.Replayed, auto.FallbackReason)
-		}
-		for i := range sim.CorrTrace {
-			if auto.CorrTrace[i] != sim.CorrTrace[i] {
-				t.Fatalf("cfg %#x: correlation trace differs at sample %d (fallback=%v %q)",
-					mask, i, !auto.Replayed, auto.FallbackReason)
+		for _, lanes := range []int{-1, 1, 8, 16, 32} {
+			opt.Synth = engine.ModeAuto
+			opt.Lanes = lanes
+			auto, err := RunFigure3(key, opt)
+			if err != nil {
+				t.Fatalf("cfg %#x lanes %d auto: %v", mask, lanes, err)
+			}
+			if auto.Recovered != sim.Recovered || auto.Rank != sim.Rank || auto.Confidence != sim.Confidence {
+				t.Fatalf("cfg %#x lanes %d: auto result differs from simulation (fallback=%v %q)",
+					mask, lanes, !auto.Replayed, auto.FallbackReason)
+			}
+			for i := range sim.CorrTrace {
+				if auto.CorrTrace[i] != sim.CorrTrace[i] {
+					t.Fatalf("cfg %#x lanes %d: correlation trace differs at sample %d (fallback=%v %q)",
+						mask, lanes, i, !auto.Replayed, auto.FallbackReason)
+				}
+			}
+			if lanes >= 0 && auto.Replayed && !auto.Batched {
+				t.Fatalf("cfg %#x lanes %d: replay live but batch path never ran", mask, lanes)
 			}
 		}
 	}

@@ -39,15 +39,16 @@ func artifacts(t *testing.T, res *Results) (jsonB, csvB, mdB []byte) {
 
 // TestArtifactsIdenticalAcrossWorkersAndShards is the campaign's core
 // determinism guarantee: same spec + same seed produce byte-identical
-// JSON, CSV and Markdown whether the run is serial or spread over
-// engine workers and scenario shards.
+// JSON, CSV and Markdown whether the run is serial with scalar replay
+// or spread over engine workers, scenario shards and lane-parallel
+// replay batches.
 func TestArtifactsIdenticalAcrossWorkersAndShards(t *testing.T) {
 	spec := testSpec()
-	serial, err := Run(spec, RunOptions{Workers: 1, Shards: 1})
+	serial, err := Run(spec, RunOptions{Workers: 1, Shards: 1, Lanes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(spec, RunOptions{Workers: 3, Shards: 4})
+	parallel, err := Run(spec, RunOptions{Workers: 3, Shards: 4, Lanes: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,8 @@ func TestRunShardsErrorDoesNotDeadlock(t *testing.T) {
 }
 
 // TestExecuteDeterministicPerScenario: the same scenario executed twice
-// in isolation yields identical serialized results (the property the
+// in isolation — at different worker counts and replay lane widths —
+// yields identical serialized results (the property the
 // checkpoint/resume machinery rests on).
 func TestExecuteDeterministicPerScenario(t *testing.T) {
 	spec := &Spec{
@@ -246,15 +248,15 @@ func TestExecuteDeterministicPerScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	key, _ := spec.AttackKey()
-	a, err := Execute(&scs[0], key, 1)
+	a, err := Execute(&scs[0], key, 1, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Execute(&scs[0], key, 2)
+	b, err := Execute(&scs[0], key, 2, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if canonicalDigest(a) != canonicalDigest(b) {
-		t.Fatal("Execute is not deterministic across worker counts")
+		t.Fatal("Execute is not deterministic across worker counts and lane widths")
 	}
 }

@@ -11,11 +11,11 @@ import (
 )
 
 // Execute runs one scenario to completion and returns its structured
-// result. It is a pure function of (scenario, key, workers): the
-// scenario's private seed drives all randomness through per-trace
-// streams, so two executions — on any shard, at any worker count —
-// produce identical results.
-func Execute(sc *Scenario, key [aes.KeySize]byte, workers int) (*ScenarioResult, error) {
+// result. It is a pure function of (scenario, key): the scenario's
+// private seed drives all randomness through per-trace streams, so two
+// executions — on any shard, at any worker count, at any replay lane
+// width — produce identical results.
+func Execute(sc *Scenario, key [aes.KeySize]byte, workers, lanes int) (*ScenarioResult, error) {
 	out := &ScenarioResult{
 		ID:       sc.ID,
 		Kind:     sc.Kind,
@@ -29,15 +29,15 @@ func Execute(sc *Scenario, key [aes.KeySize]byte, workers int) (*ScenarioResult,
 	case KindFigure2:
 		err = execFigure2(sc, out)
 	case KindTable2:
-		err = execTable2(sc, out, workers)
+		err = execTable2(sc, out, workers, lanes)
 	case KindFig3:
-		err = execFig3(sc, out, key, workers)
+		err = execFig3(sc, out, key, workers, lanes)
 	case KindFig4:
-		err = execFig4(sc, out, key, workers)
+		err = execFig4(sc, out, key, workers, lanes)
 	case KindFullKey:
-		err = execFullKey(sc, out, key, workers)
+		err = execFullKey(sc, out, key, workers, lanes)
 	case KindRankEvo:
-		err = execRankEvo(sc, out, key, workers)
+		err = execRankEvo(sc, out, key, workers, lanes)
 	default:
 		err = fmt.Errorf("campaign: unknown kind %q", sc.Kind)
 	}
@@ -112,13 +112,14 @@ func execFigure2(sc *Scenario, out *ScenarioResult) error {
 	return nil
 }
 
-func execTable2(sc *Scenario, out *ScenarioResult, workers int) error {
+func execTable2(sc *Scenario, out *ScenarioResult, workers, lanes int) error {
 	opt := leakscan.DefaultOptions()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
 	opt.Workers = workers
+	opt.Lanes = lanes
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -169,13 +170,14 @@ func execTable2(sc *Scenario, out *ScenarioResult, workers int) error {
 
 // fig3Options assembles the attack options shared by the fig3-model
 // kinds (fig3, fullkey, rankevo).
-func (sc *Scenario) fig3Options(workers int) attack.Fig3Options {
+func (sc *Scenario) fig3Options(workers, lanes int) attack.Fig3Options {
 	opt := attack.DefaultFig3Options()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
 	opt.Workers = workers
+	opt.Lanes = lanes
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -192,8 +194,8 @@ func (sc *Scenario) fig3Options(workers int) attack.Fig3Options {
 	return opt
 }
 
-func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
-	opt := sc.fig3Options(workers)
+func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
+	opt := sc.fig3Options(workers, lanes)
 	res, err := attack.RunFigure3(key, opt)
 	if err != nil {
 		return err
@@ -222,13 +224,14 @@ func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers 
 	return nil
 }
 
-func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
+func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
 	opt := attack.DefaultFig4Options()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
 	opt.Workers = workers
+	opt.Lanes = lanes
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -264,8 +267,8 @@ func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers 
 	return nil
 }
 
-func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
-	opt := sc.fig3Options(workers)
+func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
+	opt := sc.fig3Options(workers, lanes)
 	res, err := attack.RecoverFullKey(key, opt)
 	if err != nil {
 		return err
@@ -283,8 +286,8 @@ func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, worke
 	return nil
 }
 
-func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers int) error {
-	opt := sc.fig3Options(workers)
+func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
+	opt := sc.fig3Options(workers, lanes)
 	curve, err := attack.RankEvolution(key, opt, sc.Counts)
 	if err != nil {
 		return err

@@ -17,6 +17,10 @@ type RunOptions struct {
 	// Workers overrides the spec's per-scenario engine pool size when
 	// > 0. Results are bit-identical for any value.
 	Workers int
+	// Lanes sets the lane-parallel replay batch width (0: default,
+	// negative: scalar per-trace replay). Results are bit-identical for
+	// any value.
+	Lanes int
 	// Shards overrides the spec's scenario-level concurrency when > 0.
 	// Results are bit-identical for any value.
 	Shards int
@@ -278,7 +282,7 @@ func Run(spec *Spec, opt RunOptions) (*Results, error) {
 	// enumeration slot, so completion order never reaches the artifacts.
 	err = runShards(shards, pendingIdx, func(i int) error {
 		sc := &scenarios[i]
-		sr, err := Execute(sc, key, workers)
+		sr, err := Execute(sc, key, workers, opt.Lanes)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package cpufeat
+
+// No SIMD kernels exist off amd64; every consumer runs its portable
+// reference implementation.
+var (
+	AVX          = false
+	AVX512       = false
+	AVX512Popcnt = false
+)

@@ -1,0 +1,429 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/replay"
+	"repro/internal/sca"
+	"repro/internal/trace"
+)
+
+// DefaultLanes is the default batch width of the lane-parallel replay
+// path: wide enough to amortize schedule decoding and event walking,
+// narrow enough that a lane batch's working set (cores, value rows, the
+// fused power block) stays cache-resident. Like ChunkSize it is pure
+// scheduling — results are bit-identical for every lane width.
+const DefaultLanes = 16
+
+// errBatchFallback reports that a lane batch could not run (the replay
+// schedule is unavailable, still inside its verification window, or a
+// lane diverged). The engine replays the affected traces through the
+// scalar path, which re-detects any divergence and takes the canonical
+// fallback — so results never depend on whether the batch path was
+// taken.
+var errBatchFallback = errors.New("engine: batch synthesis unavailable")
+
+// BatchReady reports whether the lane-parallel replay path may run now:
+// the compiled schedule exists and — in auto mode — the leading
+// bit-compare verification window has fully passed with no fallback.
+// The answer can flip to false at any time (a later divergence); the
+// batch runner re-checks per batch.
+func (s *Synthesizer) BatchReady() bool {
+	switch s.mode {
+	case ModeSimulate:
+		return false
+	case ModeReplay:
+		return true
+	default:
+		return !s.fellBack.Load() && s.verified.Load() >= VerifyRuns && s.verifying.Load() == 0
+	}
+}
+
+// BatchRuns returns how many lane batches the Synthesizer has replayed —
+// nonzero means the batch path really ran.
+func (s *Synthesizer) BatchRuns() int64 { return s.batchRuns.Load() }
+
+// BatchDisabledReason returns why the lane-parallel path is permanently
+// off ("" while it is available): a schedule whose drives cannot be
+// lowered to the fused event form. The scalar replay path is unaffected.
+func (s *Synthesizer) BatchDisabledReason() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batchErr != nil {
+		return s.batchErr.Error()
+	}
+	return ""
+}
+
+// batchProgram returns the lane-parallel schedule, lowering it from the
+// compiled replay program on first use. A nil return means the batch
+// path cannot run yet (no compiled program) or ever (lowering failed);
+// the scalar path is the fallback either way.
+func (s *Synthesizer) batchProgram() *replay.BatchProgram {
+	if bp := s.batchProg.Load(); bp != nil {
+		return bp
+	}
+	p := s.compiled.Load()
+	if p == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bp := s.batchProg.Load(); bp != nil {
+		return bp
+	}
+	if s.batchTried {
+		return nil
+	}
+	s.batchTried = true
+	bp, err := replay.CompileBatch(p)
+	if err != nil {
+		s.batchErr = err
+		return nil
+	}
+	s.batchProg.Store(bp)
+	return bp
+}
+
+// batchScratch is one worker's lane-batch state: one pooled core per
+// lane plus the SoA batch VM.
+type batchScratch struct {
+	cores []*pipeline.Core
+	vm    *replay.BatchVM
+}
+
+// ensure grows the scratch to n lanes over program bp.
+func (sc *batchScratch) ensure(cfg pipeline.Config, bp *replay.BatchProgram, n int) error {
+	for len(sc.cores) < n {
+		core := pipeline.MustNew(cfg, nil)
+		core.SetReuseBuffers(true)
+		sc.cores = append(sc.cores, core)
+	}
+	if sc.vm == nil || sc.vm.Lanes() < n {
+		lanes := DefaultLanes
+		if n > lanes {
+			lanes = replay.MaxLanes
+		}
+		vm, err := replay.NewBatchVM(bp, lanes)
+		if err != nil {
+			return err
+		}
+		sc.vm = vm
+	}
+	return nil
+}
+
+// RunBatch executes the program n times at once on the lane-parallel
+// replay path: init prepares each lane's initial architectural state on
+// a freshly wiped core (called once per lane), the batch VM replays all
+// lanes with fused power synthesis, and use receives each lane's
+// per-cycle noiseless power — bit-identical to
+// power.Model.CyclePowers over that execution's timeline — together
+// with the core holding its final architectural state (both valid only
+// during the call, lanes delivered in ascending order).
+//
+// The power model supplies the fused synthesis weights; it must be the
+// model the caller expands the cycle powers with, or the bit-identity
+// contract against the scalar path is void. An errBatchFallback return
+// means no lane was delivered and the caller must synthesize those
+// traces through Run; any other error is a genuine failure. RunBatch is
+// safe to call concurrently with itself and with Run.
+func (s *Synthesizer) RunBatch(m *power.Model, n int, init func(lane int, core *pipeline.Core) error, use func(lane int, cycles []float64, core *pipeline.Core) error) error {
+	if n < 1 || n > replay.MaxLanes {
+		return fmt.Errorf("engine: batch of %d lanes out of [1,%d]", n, replay.MaxLanes)
+	}
+	if !s.BatchReady() {
+		return errBatchFallback
+	}
+	bp := s.batchProgram()
+	if bp == nil {
+		return errBatchFallback
+	}
+	sc := s.batchPool.Get().(*batchScratch)
+	defer s.batchPool.Put(sc)
+	if err := sc.ensure(s.cfg, bp, n); err != nil {
+		return err
+	}
+	for lane := 0; lane < n; lane++ {
+		core := sc.cores[lane]
+		core.ResetState()
+		core.SetHierarchy(nil)
+		core.Mem().Wipe()
+		if err := init(lane, core); err != nil {
+			return err
+		}
+	}
+	sc.vm.SetWeights(&m.HDWeights, &m.HWWeights, m.Baseline)
+	if err := sc.vm.Run(sc.cores[:n]); err != nil {
+		if s.mode == ModeReplay {
+			// Replay is asserted: divergence is a hard error, as on the
+			// scalar path.
+			return err
+		}
+		return fmt.Errorf("%w: %v", errBatchFallback, err)
+	}
+	s.batchRuns.Add(1)
+	for lane := 0; lane < n; lane++ {
+		if err := use(lane, sc.vm.Power(lane), sc.cores[lane]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchGen is the batched form of a Generate: the same per-trace
+// semantics split into phases so a lane batch can share one schedule
+// walk. For every trace the engine calls Prepare (pre-execution
+// randomness, initial core state, hypotheses or class), then — after
+// the batch VM replayed all lanes — Verify and Acquire in trace order.
+// Per-trace rng draws happen in the same order as the scalar path
+// (Prepare's draws before Acquire's), and every trace's stream is
+// private, so batch and scalar synthesis are bit-identical.
+type BatchGen struct {
+	// Synth is the synthesis seam; nil disables the batch path.
+	Synth *Synthesizer
+	// Model supplies the fused synthesis weights and the expansion
+	// parameters Acquire uses.
+	Model *power.Model
+	// Lanes is the batch width: 0 selects DefaultLanes, negative
+	// disables the batch path (scalar synthesis only), otherwise
+	// 1..replay.MaxLanes.
+	Lanes int
+	// Prepare draws the trace's pre-execution randomness (e.g. the
+	// plaintext, kept in s.Aux), initializes the core's architectural
+	// state and fills s.Hyps / s.Class.
+	Prepare func(i int, rng *rand.Rand, core *pipeline.Core, s *Sample) error
+	// Verify, if set, checks the final architectural state (the
+	// functional oracle). Errors are genuine failures, not fallbacks.
+	Verify func(i int, core *pipeline.Core, s *Sample) error
+	// Acquire expands the lane's fused cycle powers into s.Trace,
+	// drawing the trace's noise from rng — bit-identical to the scalar
+	// path's timeline synthesis.
+	Acquire func(i int, rng *rand.Rand, cycles []float64, s *Sample) error
+	// Scalar is the equivalent per-trace generator, used before the
+	// replay schedule is batch-ready and whenever a batch falls back.
+	Scalar Generate
+}
+
+// lanes resolves the configured batch width.
+func (bg *BatchGen) lanes() int {
+	if bg.Lanes == 0 {
+		return DefaultLanes
+	}
+	return bg.Lanes
+}
+
+// batchable reports whether the batch path is configured at all.
+func (bg *BatchGen) batchable() bool {
+	return bg.Synth != nil && bg.Model != nil && bg.Prepare != nil && bg.Acquire != nil && bg.Lanes >= 0
+}
+
+// runGroups drives the shared lane-group control flow of the batched
+// runners: it covers [0, total) in groups of at most `lanes` through
+// run, stopping early — without error — as soon as a group reports
+// errBatchFallback (the batch path is unavailable or a lane diverged).
+// It returns how many leading traces were batch-synthesized; the
+// caller synthesizes the rest on the scalar path. Any other error is
+// genuine and aborts.
+func runGroups(total, lanes int, run func(start, n int) error) (done int, err error) {
+	for done < total {
+		l := lanes
+		if l > total-done {
+			l = total - done
+		}
+		err := run(done, l)
+		if err == nil {
+			done += l
+			continue
+		}
+		if errors.Is(err, errBatchFallback) {
+			return done, nil
+		}
+		return done, err
+	}
+	return done, nil
+}
+
+// RunBatched executes the streaming CPA described by spec, synthesizing
+// traces through the lane-parallel replay path where it is available
+// and through bg.Scalar everywhere else — before the verification
+// window completes, on divergence, for non-replayable programs, and for
+// trace counts not divisible by the lane width (partial final batches).
+// Results are bit-identical to Run(cfg, spec, bg.Scalar) for every lane
+// width, worker count and chunk size.
+func RunBatched(cfg Config, spec Spec, bg BatchGen) ([]sca.Accumulator, error) {
+	if bg.Scalar == nil {
+		return nil, fmt.Errorf("engine: batch generator needs a scalar fallback")
+	}
+	if bg.Lanes > replay.MaxLanes {
+		return nil, fmt.Errorf("engine: %d lanes out of [1,%d]", bg.Lanes, replay.MaxLanes)
+	}
+	fill := func(c chunk, bb *batchBuf) error {
+		n := c.end - c.start
+		j := 0
+		if bg.batchable() {
+			var err error
+			j, err = runGroups(n, bg.lanes(), func(start, l int) error {
+				return bg.runGroup(&spec, c.start+start, l, bb, start)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		// Whatever the batch path did not cover — everything before the
+		// verification window completes, the remainder of a chunk after
+		// a fallback — synthesizes on the scalar path.
+		for ; j < n; j++ {
+			i := c.start + j
+			s := &bb.samples[j]
+			s.Trace = s.Trace[:0]
+			reseedTraceRNG(bb.rngs[j], spec.Seed, i)
+			if err := bg.Scalar(i, bb.rngs[j], s); err != nil {
+				return fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+			if err := bb.record(&spec, j, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runChunked(cfg, spec, fill)
+}
+
+// runGroup synthesizes the l traces [base, base+l) as one lane batch
+// into the chunk buffer, starting at sample slot `slot`.
+func (bg *BatchGen) runGroup(spec *Spec, base, l int, bb *batchBuf, slot int) error {
+	init := func(lane int, core *pipeline.Core) error {
+		i, j := base+lane, slot+lane
+		s := &bb.samples[j]
+		s.Trace = s.Trace[:0]
+		reseedTraceRNG(bb.rngs[j], spec.Seed, i)
+		if err := bg.Prepare(i, bb.rngs[j], core, s); err != nil {
+			return fmt.Errorf("engine: trace %d: %w", i, err)
+		}
+		return nil
+	}
+	use := func(lane int, cycles []float64, core *pipeline.Core) error {
+		i, j := base+lane, slot+lane
+		s := &bb.samples[j]
+		if bg.Verify != nil {
+			if err := bg.Verify(i, core, s); err != nil {
+				return fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+		}
+		if err := bg.Acquire(i, bb.rngs[j], cycles, s); err != nil {
+			return fmt.Errorf("engine: trace %d: %w", i, err)
+		}
+		return bb.record(spec, j, i)
+	}
+	return bg.Synth.RunBatch(bg.Model, l, init, use)
+}
+
+// BatchStream is the batched form of a Produce, with the same phase
+// split as BatchGen: Prepare draws the trace's randomness and prepares
+// the core, Acquire turns the lane's fused cycle powers into the trace.
+// The aux record returned by Prepare (typically the plaintext) is
+// handed back to Acquire and then emitted alongside the trace.
+type BatchStream struct {
+	// Synth is the synthesis seam; nil disables the batch path.
+	Synth *Synthesizer
+	// Model supplies the fused synthesis weights.
+	Model *power.Model
+	// Lanes is the batch width: 0 selects DefaultLanes, negative
+	// disables batching.
+	Lanes int
+	// Prepare draws the trace's randomness, initializes the core and
+	// returns the aux record.
+	Prepare func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error)
+	// Acquire expands the lane's cycle powers into the trace, checking
+	// the final state on core as needed.
+	Acquire func(i int, rng *rand.Rand, cycles []float64, core *pipeline.Core, aux []byte) (trace.Trace, error)
+	// Scalar is the per-trace fallback producer.
+	Scalar Produce
+}
+
+// StreamBatched is Stream over the lane-parallel replay path, with the
+// same ordering and bit-identity guarantees as RunBatched: the emitted
+// byte stream is identical to Stream(cfg, n, seed, bs.Scalar, emit) for
+// every lane width and worker count.
+func StreamBatched(cfg Config, n int, seed int64, bs BatchStream, emit Emit) error {
+	if bs.Scalar == nil {
+		return fmt.Errorf("engine: batch stream needs a scalar fallback")
+	}
+	if bs.Lanes > replay.MaxLanes {
+		return fmt.Errorf("engine: %d lanes out of [1,%d]", bs.Lanes, replay.MaxLanes)
+	}
+	if n < 1 {
+		return fmt.Errorf("engine: need at least 1 trace, got %d", n)
+	}
+	batchable := bs.Synth != nil && bs.Model != nil && bs.Prepare != nil && bs.Acquire != nil && bs.Lanes >= 0
+	lanes := bs.Lanes
+	if lanes <= 0 {
+		lanes = DefaultLanes
+	}
+	type item struct {
+		t   trace.Trace
+		aux []byte
+	}
+	cs := chunks(n, cfg.chunkSize(), nil)
+
+	work := func(idx int) ([]item, error) {
+		c := cs[idx]
+		items := make([]item, c.end-c.start)
+		rngs := make([]*rand.Rand, 0, lanes)
+		j := 0
+		if batchable {
+			var err error
+			j, err = runGroups(c.end-c.start, lanes, func(start, l int) error {
+				base := c.start + start
+				rngs = rngs[:0]
+				init := func(lane int, core *pipeline.Core) error {
+					i := base + lane
+					rng := TraceRNG(seed, i)
+					rngs = append(rngs, rng)
+					aux, err := bs.Prepare(i, rng, core)
+					if err != nil {
+						return fmt.Errorf("engine: trace %d: %w", i, err)
+					}
+					items[start+lane] = item{aux: aux}
+					return nil
+				}
+				use := func(lane int, cycles []float64, core *pipeline.Core) error {
+					i := base + lane
+					t, err := bs.Acquire(i, rngs[lane], cycles, core, items[start+lane].aux)
+					if err != nil {
+						return fmt.Errorf("engine: trace %d: %w", i, err)
+					}
+					items[start+lane].t = t
+					return nil
+				}
+				return bs.Synth.RunBatch(bs.Model, l, init, use)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for ; j < c.end-c.start; j++ {
+			i := c.start + j
+			t, aux, err := bs.Scalar(i, TraceRNG(seed, i))
+			if err != nil {
+				return nil, fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+			items[j] = item{t, aux}
+		}
+		return items, nil
+	}
+	reduce := func(idx int, items []item) error {
+		for j, it := range items {
+			if err := emit(cs[idx].start+j, it.t, it.aux); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return orderedChunks(cfg.workers(), len(cs), work, reduce)
+}

@@ -1,19 +1,24 @@
 // Package engine is the parallel trace-synthesis and streaming-CPA
-// subsystem. It fans trace generation — pipeline simulation, power-model
-// synthesis, hypothesis evaluation — out across a pool of workers in
-// fixed-size chunks, and folds each chunk's partial correlation
-// accumulators into the global ones in chunk order, so the whole attack
-// runs in bounded memory at full core utilization while producing
-// bit-identical results for any worker count.
+// subsystem. It fans trace generation — pipeline simulation or compiled
+// replay, power-model synthesis, hypothesis evaluation — out across a
+// pool of workers in fixed-size chunks, while a single reducer folds
+// each chunk's traces into the global correlation accumulators in
+// strict chunk order, so the whole attack runs in bounded memory at
+// full core utilization while producing bit-identical results for any
+// worker count.
 //
 // Determinism contract. Every trace index i owns a private random stream
 // derived from (Seed, i) by a SplitMix64 mix (TraceRNG), so the data a
 // trace sees never depends on which worker synthesized it or when.
-// Chunk partials are merged in ascending chunk order; since each partial
-// is itself accumulated serially over its trace range, the global
-// floating-point summation order is a pure function of (Traces,
-// ChunkSize, Checkpoints) — never of Workers or scheduling. Run with one
-// worker and with sixteen produce bit-identical accumulators.
+// Accumulation happens only on the reducer: each chunk's traces are
+// folded into the global accumulators by one AddBatch call per bank, in
+// ascending chunk order, and AddBatch is defined bit-identical to
+// per-trace Add calls in trace order. The global floating-point
+// summation order is therefore exactly the serial trace order 0,1,2,…
+// — a pure function of (Seed, Traces), never of Workers, ChunkSize or
+// scheduling. Runs with one worker and with sixteen produce
+// bit-identical accumulators, and so do runs with different chunk
+// sizes.
 package engine
 
 import (
@@ -27,8 +32,9 @@ import (
 )
 
 // DefaultChunkSize is the number of traces a worker synthesizes between
-// merges. It is part of the determinism contract: changing it changes
-// the floating-point merge order (not the statistics).
+// reductions. It is pure scheduling: the accumulator bits do not depend
+// on it (see the package determinism contract). It also sizes the
+// auto-mode replay verification window (VerifyRuns).
 const DefaultChunkSize = 64
 
 // Config sizes the worker pool.
@@ -54,10 +60,36 @@ func (c Config) chunkSize() int {
 	return DefaultChunkSize
 }
 
+// Bank describes one accumulator bank of a streaming run.
+type Bank struct {
+	// Hyps is the bank's hypothesis count (e.g. 256 for one key byte).
+	Hyps int
+	// Classes, when non-nil, switches the bank to conditional-sum
+	// accumulation (sca.ClassCPA): Classes[p] is the hypothesis
+	// prediction vector shared by every trace whose model input falls
+	// in class p — for the Figure 3 model, p is the attacked plaintext
+	// byte and Classes[p][k] = HW(SubBytes(p^k)). Generate then reports
+	// each trace's class through Sample.Class[bank] instead of filling
+	// Sample.Hyps[bank]. All rows must have length Hyps.
+	Classes [][]float64
+}
+
+// HypothesisBanks builds classic per-trace-hypothesis bank specs, one
+// per count — the shape of attacks whose predictions are not a function
+// of a small model input.
+func HypothesisBanks(hyps ...int) []Bank {
+	out := make([]Bank, len(hyps))
+	for i, n := range hyps {
+		out[i] = Bank{Hyps: n}
+	}
+	return out
+}
+
 // Sample is one synthesized acquisition handed from a Generate callback
-// to the accumulators: the power trace plus, for every accumulator bank,
-// the per-hypothesis leakage predictions. The engine owns the Hyps
-// buffers (sized from Spec.Banks); Generate assigns Trace.
+// to the accumulators: the power trace plus, per bank, either the
+// per-hypothesis leakage predictions or the trace's model-input class.
+// The engine owns the Hyps buffers (sized from Spec.Banks); Generate
+// assigns Trace and, for class banks, Class.
 type Sample struct {
 	// Trace is the synthesized power trace; its length must equal
 	// Spec.Samples. The engine hands it back truncated to length zero
@@ -65,13 +97,21 @@ type Sample struct {
 	// allocation-free into the recycled storage (e.g. via
 	// power.Model.SynthesizeInto) — or simply assign a fresh slice.
 	Trace []float64
-	// Hyps holds one prediction vector per bank: Hyps[b][k] is the
-	// hypothesized leakage of hypothesis k in bank b.
+	// Hyps holds one prediction vector per classic bank: Hyps[b][k] is
+	// the hypothesized leakage of hypothesis k in bank b. Class banks
+	// have a nil row.
 	Hyps [][]float64
+	// Class holds, per class bank, the trace's model-input class in
+	// [0, len(Banks[b].Classes)); ignored for classic banks.
+	Class []int
 	// Scratch is a spare buffer the engine preserves alongside the
 	// sample for Generate's own temporaries (averaging scratch and the
 	// like); the engine never reads it.
 	Scratch []float64
+	// Aux is caller-owned per-trace storage preserved across recycling
+	// (capacity intact, like Trace) — the batched generators use it to
+	// carry the plaintext from the prepare phase to the verify phase.
+	Aux []byte
 }
 
 // Generate synthesizes trace i into s using the trace's private rng.
@@ -85,10 +125,10 @@ type Spec struct {
 	Traces int
 	// Samples is the trace length, fixed by a calibration run.
 	Samples int
-	// Banks gives the hypothesis count of each accumulator bank. A
-	// single-byte CPA uses one bank of 256; full-key recovery uses
-	// sixteen banks sharing each trace.
-	Banks []int
+	// Banks describes the accumulator banks. A single-byte CPA uses one
+	// bank of 256 hypotheses; full-key recovery uses sixteen banks
+	// sharing each trace.
+	Banks []Bank
 	// Seed derives every trace's private random stream via TraceRNG.
 	Seed int64
 	// Checkpoints lists trace counts at which OnCheckpoint observes the
@@ -99,7 +139,7 @@ type Spec struct {
 	// OnCheckpoint, if set, is called from the reducer — in ascending
 	// checkpoint order — with the global accumulators after exactly n
 	// traces. The banks must be treated as read-only and not retained.
-	OnCheckpoint func(n int, banks []*sca.CPA)
+	OnCheckpoint func(n int, banks []sca.Accumulator)
 }
 
 func (s *Spec) validate() error {
@@ -112,9 +152,20 @@ func (s *Spec) validate() error {
 	if len(s.Banks) == 0 {
 		return fmt.Errorf("engine: need at least one accumulator bank")
 	}
-	for b, n := range s.Banks {
-		if n < 2 {
-			return fmt.Errorf("engine: bank %d needs at least 2 hypotheses, got %d", b, n)
+	for b, bank := range s.Banks {
+		if bank.Hyps < 2 {
+			return fmt.Errorf("engine: bank %d needs at least 2 hypotheses, got %d", b, bank.Hyps)
+		}
+		if bank.Classes != nil {
+			if len(bank.Classes) < 1 {
+				return fmt.Errorf("engine: bank %d has an empty class table", b)
+			}
+			for p, row := range bank.Classes {
+				if len(row) != bank.Hyps {
+					return fmt.Errorf("engine: bank %d class %d has %d hypotheses, want %d",
+						b, p, len(row), bank.Hyps)
+				}
+			}
 		}
 	}
 	for i, n := range s.Checkpoints {
@@ -132,7 +183,7 @@ func (s *Spec) validate() error {
 type chunk struct{ start, end int }
 
 // chunks cuts [0, traces) at every multiple of size and at every
-// checkpoint, so merged prefixes land exactly on checkpoint boundaries.
+// checkpoint, so reduced prefixes land exactly on checkpoint boundaries.
 func chunks(traces, size int, checkpoints []int) []chunk {
 	cuts := map[int]bool{}
 	for b := size; b < traces; b += size {
@@ -157,12 +208,17 @@ func chunks(traces, size int, checkpoints []int) []chunk {
 	return out
 }
 
-// newBanks allocates one accumulator per bank.
-func newBanks(banks []int, samples int) ([]*sca.CPA, error) {
-	out := make([]*sca.CPA, len(banks))
-	for b, n := range banks {
+// newBanks allocates one accumulator per bank spec.
+func newBanks(banks []Bank, samples int) ([]sca.Accumulator, error) {
+	out := make([]sca.Accumulator, len(banks))
+	for b, bank := range banks {
 		var err error
-		if out[b], err = sca.NewCPA(n, samples); err != nil {
+		if bank.Classes != nil {
+			out[b], err = sca.NewClassCPA(samples, bank.Classes)
+		} else {
+			out[b], err = sca.NewCPA(bank.Hyps, samples)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -170,10 +226,17 @@ func newBanks(banks []int, samples int) ([]*sca.CPA, error) {
 }
 
 // Run executes the streaming CPA described by spec: gen synthesizes each
-// trace on some worker, per-chunk partial accumulators absorb it, and
-// the reducer merges the partials in chunk order. It returns the global
-// accumulator banks after all traces.
-func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
+// trace on some worker and the reducer folds finished chunks into the
+// global accumulator banks in chunk order. It returns the banks after
+// all traces.
+func Run(cfg Config, spec Spec, gen Generate) ([]sca.Accumulator, error) {
+	return RunBatched(cfg, spec, BatchGen{Scalar: gen})
+}
+
+// runChunked is the shared scheduler body: fill synthesizes the traces
+// of one chunk into a batch buffer on a worker; the reducer accumulates
+// finished buffers in chunk order and recycles them.
+func runChunked(cfg Config, spec Spec, fill func(c chunk, bb *batchBuf) error) ([]sca.Accumulator, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -183,10 +246,6 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 	}
 	cs := chunks(spec.Traces, cfg.chunkSize(), spec.Checkpoints)
 
-	// Each worker synthesizes a whole chunk into a pooled batch — one
-	// Sample slot and one private rng per trace — and folds it into the
-	// partial accumulators with one cache-blocked AddBatch per bank,
-	// which is bit-identical to per-trace Add calls in trace order.
 	chunkCap := cfg.chunkSize()
 	for _, c := range cs {
 		if n := c.end - c.start; n > chunkCap {
@@ -198,70 +257,55 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 			samples: make([]Sample, chunkCap),
 			traces:  make([][]float64, chunkCap),
 			hyps:    make([][][]float64, len(spec.Banks)),
+			classes: make([][]int, len(spec.Banks)),
 			rngs:    make([]*rand.Rand, chunkCap),
 		}
 		for j := range bb.samples {
 			s := &bb.samples[j]
 			s.Hyps = make([][]float64, len(spec.Banks))
-			for b, n := range spec.Banks {
-				s.Hyps[b] = make([]float64, n)
+			s.Class = make([]int, len(spec.Banks))
+			for b, bank := range spec.Banks {
+				if bank.Classes == nil {
+					s.Hyps[b] = make([]float64, bank.Hyps)
+				}
 			}
 			bb.rngs[j] = rand.New(&splitMixSource{})
 		}
-		for b := range bb.hyps {
-			bb.hyps[b] = make([][]float64, chunkCap)
+		for b, bank := range spec.Banks {
+			if bank.Classes == nil {
+				bb.hyps[b] = make([][]float64, chunkCap)
+			} else {
+				bb.classes[b] = make([]int, chunkCap)
+			}
 		}
 		return bb
 	}}
-	// Partial accumulators are large (banks x hypotheses x samples);
-	// recycle them through the reducer instead of allocating per chunk.
-	partials := sync.Pool{New: func() any {
-		banks, err := newBanks(spec.Banks, spec.Samples)
-		if err != nil {
-			panic(err) // dimensions already validated above
-		}
-		return banks
-	}}
-	work := func(idx int) ([]*sca.CPA, error) {
-		banks := partials.Get().([]*sca.CPA)
+
+	work := func(idx int) (*batchBuf, error) {
 		bb := batches.Get().(*batchBuf)
-		defer batches.Put(bb)
-		n := cs[idx].end - cs[idx].start
-		for j := 0; j < n; j++ {
-			i := cs[idx].start + j
-			s := &bb.samples[j]
-			s.Trace = s.Trace[:0]
-			reseedTraceRNG(bb.rngs[j], spec.Seed, i)
-			if err := gen(i, bb.rngs[j], s); err != nil {
-				return nil, fmt.Errorf("engine: trace %d: %w", i, err)
-			}
-			if len(s.Trace) != spec.Samples {
-				return nil, fmt.Errorf("engine: trace %d has %d samples, want %d", i, len(s.Trace), spec.Samples)
-			}
-			bb.traces[j] = s.Trace
-			for b := range bb.hyps {
-				bb.hyps[b][j] = s.Hyps[b]
-			}
+		if err := fill(cs[idx], bb); err != nil {
+			batches.Put(bb)
+			return nil, err
 		}
-		for b := range banks {
-			if err := banks[b].AddBatch(bb.traces[:n], bb.hyps[b][:n]); err != nil {
-				return nil, fmt.Errorf("engine: chunk %d: %w", idx, err)
-			}
-		}
-		return banks, nil
+		return bb, nil
 	}
 
 	ckpt := 0
-	reduce := func(idx int, banks []*sca.CPA) error {
-		for b := range global {
-			if err := global[b].Merge(banks[b]); err != nil {
-				return err
+	reduce := func(idx int, bb *batchBuf) error {
+		defer batches.Put(bb)
+		n := cs[idx].end - cs[idx].start
+		for b, acc := range global {
+			var err error
+			switch a := acc.(type) {
+			case *sca.CPA:
+				err = a.AddBatch(bb.traces[:n], bb.hyps[b][:n])
+			case *sca.ClassCPA:
+				err = a.AddBatch(bb.classes[b][:n], bb.traces[:n])
+			}
+			if err != nil {
+				return fmt.Errorf("engine: chunk %d: %w", idx, err)
 			}
 		}
-		for _, b := range banks {
-			b.Reset()
-		}
-		partials.Put(banks)
 		merged := cs[idx].end
 		if ckpt < len(spec.Checkpoints) && merged == spec.Checkpoints[ckpt] {
 			if spec.OnCheckpoint != nil {
@@ -278,21 +322,44 @@ func Run(cfg Config, spec Spec, gen Generate) ([]*sca.CPA, error) {
 	return global, nil
 }
 
-// batchBuf is one worker's chunk of in-flight acquisitions: Sample
-// slots with their per-trace private rngs, plus the view slices handed
-// to AddBatch.
+// record validates trace j of a chunk after its Generate/batch phase
+// and files its trace, hypothesis and class views for the reducer.
+func (bb *batchBuf) record(spec *Spec, j, traceIdx int) error {
+	s := &bb.samples[j]
+	if len(s.Trace) != spec.Samples {
+		return fmt.Errorf("engine: trace %d has %d samples, want %d", traceIdx, len(s.Trace), spec.Samples)
+	}
+	bb.traces[j] = s.Trace
+	for b, bank := range spec.Banks {
+		if bank.Classes == nil {
+			bb.hyps[b][j] = s.Hyps[b]
+			continue
+		}
+		cl := s.Class[b]
+		if cl < 0 || cl >= len(bank.Classes) {
+			return fmt.Errorf("engine: trace %d bank %d class %d out of [0,%d)",
+				traceIdx, b, cl, len(bank.Classes))
+		}
+		bb.classes[b][j] = cl
+	}
+	return nil
+}
+
+// batchBuf is one chunk of in-flight acquisitions: Sample slots with
+// their per-trace private rngs, plus the views handed to the reducer's
+// AddBatch calls.
 type batchBuf struct {
 	samples []Sample
 	traces  [][]float64
-	hyps    [][][]float64 // [bank][trace] prediction vectors
+	hyps    [][][]float64 // [bank][trace] prediction vectors (classic banks)
+	classes [][]int       // [bank][trace] model-input classes (class banks)
 	rngs    []*rand.Rand
 }
 
 // oneTrace synthesizes trace i and feeds it to the accumulators — the
-// reference serial semantics the chunk-batched work loop reproduces
-// bit-identically (AddBatch applies per-element contributions in the
-// same trace order).
-func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []*sca.CPA) error {
+// reference serial semantics the engine reproduces bit-identically for
+// any worker count, chunk size and lane width.
+func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []sca.Accumulator) error {
 	s.Trace = s.Trace[:0]
 	if err := gen(i, TraceRNG(spec.Seed, i), s); err != nil {
 		return fmt.Errorf("engine: trace %d: %w", i, err)
@@ -300,8 +367,15 @@ func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []*sca.CPA) error
 	if len(s.Trace) != spec.Samples {
 		return fmt.Errorf("engine: trace %d has %d samples, want %d", i, len(s.Trace), spec.Samples)
 	}
-	for b := range banks {
-		if err := banks[b].Add(s.Trace, s.Hyps[b]); err != nil {
+	for b, acc := range banks {
+		var err error
+		switch a := acc.(type) {
+		case *sca.CPA:
+			err = a.Add(s.Trace, s.Hyps[b])
+		case *sca.ClassCPA:
+			err = a.Add(s.Class[b], s.Trace)
+		}
+		if err != nil {
 			return fmt.Errorf("engine: trace %d: %w", i, err)
 		}
 	}

@@ -16,17 +16,17 @@ import (
 // noise plus a signal at sample 3 correlated with hypothesis 7 of every
 // bank. Everything derives from the per-trace rng, so the data for index
 // i is identical no matter which worker produces it.
-func noisyGen(banks []int, samples int) Generate {
+func noisyGen(banks []Bank, samples int) Generate {
 	return func(i int, rng *rand.Rand, s *Sample) error {
 		tr := make([]float64, samples)
 		for j := range tr {
 			tr[j] = rng.NormFloat64()
 		}
-		for b, n := range banks {
-			for k := 0; k < n; k++ {
+		for b, bank := range banks {
+			for k := 0; k < bank.Hyps; k++ {
 				s.Hyps[b][k] = rng.Float64()
 			}
-			tr[3] += 2 * s.Hyps[b][7%n]
+			tr[3] += 2 * s.Hyps[b][7%bank.Hyps]
 		}
 		s.Trace = tr
 		return nil
@@ -36,14 +36,14 @@ func noisyGen(banks []int, samples int) Generate {
 // intGen yields integer-valued traces and hypotheses. Sums of small
 // integers are exact in float64, which makes chunk merging exactly
 // associative — the property TestMergeAssociativityExact pins down.
-func intGen(banks []int, samples int) Generate {
+func intGen(banks []Bank, samples int) Generate {
 	return func(i int, rng *rand.Rand, s *Sample) error {
 		tr := make([]float64, samples)
 		for j := range tr {
 			tr[j] = float64(rng.Intn(64))
 		}
-		for b, n := range banks {
-			for k := 0; k < n; k++ {
+		for b, bank := range banks {
+			for k := 0; k < bank.Hyps; k++ {
 				s.Hyps[b][k] = float64(rng.Intn(32))
 			}
 		}
@@ -55,15 +55,17 @@ func intGen(banks []int, samples int) Generate {
 // serialReference feeds the same per-trace data through plain sca.CPA
 // accumulators in index order — the materialize-free equivalent of the
 // pre-engine serial attack loops.
-func serialReference(t *testing.T, spec Spec, gen Generate) []*sca.CPA {
+func serialReference(t *testing.T, spec Spec, gen Generate) []sca.Accumulator {
 	t.Helper()
 	banks, err := newBanks(spec.Banks, spec.Samples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &Sample{Hyps: make([][]float64, len(spec.Banks))}
-	for b, n := range spec.Banks {
-		s.Hyps[b] = make([]float64, n)
+	s := &Sample{Hyps: make([][]float64, len(spec.Banks)), Class: make([]int, len(spec.Banks))}
+	for b, bank := range spec.Banks {
+		if bank.Classes == nil {
+			s.Hyps[b] = make([]float64, bank.Hyps)
+		}
 	}
 	for i := 0; i < spec.Traces; i++ {
 		if err := oneTrace(i, spec, gen, s, banks); err != nil {
@@ -74,20 +76,24 @@ func serialReference(t *testing.T, spec Spec, gen Generate) []*sca.CPA {
 }
 
 func TestStreamingEqualsSerialBitForBit(t *testing.T) {
-	// With a single chunk the engine's summation order is exactly the
-	// serial order, so the streaming accumulator must equal the batch
-	// (serial sca.CPA) accumulator bit for bit.
-	spec := Spec{Traces: 50, Samples: 12, Banks: []int{16, 8}, Seed: 42}
+	// The engine's summation order is exactly the serial trace order —
+	// for ANY chunk size and worker count, since the reducer folds whole
+	// chunks into the global accumulators in chunk order and AddBatch is
+	// bit-identical to per-trace Adds. The streaming accumulator must
+	// therefore equal the serial sca.CPA accumulator bit for bit.
+	spec := Spec{Traces: 50, Samples: 12, Banks: HypothesisBanks(16, 8), Seed: 42}
 	gen := noisyGen(spec.Banks, spec.Samples)
 	want := serialReference(t, spec, gen)
 	for _, workers := range []int{1, 4} {
-		got, err := Run(Config{Workers: workers, ChunkSize: spec.Traces}, spec, gen)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for b := range want {
-			if !got[b].Equal(want[b]) {
-				t.Errorf("workers=%d: bank %d differs from serial accumulator", workers, b)
+		for _, chunk := range []int{spec.Traces, 8, 3} {
+			got, err := Run(Config{Workers: workers, ChunkSize: chunk}, spec, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range want {
+				if !got[b].(*sca.CPA).Equal(want[b].(*sca.CPA)) {
+					t.Errorf("workers=%d chunk=%d: bank %d differs from serial accumulator", workers, chunk, b)
+				}
 			}
 		}
 	}
@@ -96,7 +102,7 @@ func TestStreamingEqualsSerialBitForBit(t *testing.T) {
 func TestStreamingMatchesBatchPearson(t *testing.T) {
 	// Independent check of the accumulator algebra: materialize every
 	// trace, compute batch Pearson per (hypothesis, sample), compare.
-	spec := Spec{Traces: 64, Samples: 6, Banks: []int{10}, Seed: 7}
+	spec := Spec{Traces: 64, Samples: 6, Banks: HypothesisBanks(10), Seed: 7}
 	gen := noisyGen(spec.Banks, spec.Samples)
 	traces := make([][]float64, spec.Traces)
 	hyps := make([][]float64, spec.Traces)
@@ -134,7 +140,7 @@ func TestStreamingMatchesBatchPearson(t *testing.T) {
 }
 
 func TestMergeAssociativityExact(t *testing.T) {
-	spec := Spec{Traces: 40, Samples: 8, Banks: []int{12}, Seed: 3}
+	spec := Spec{Traces: 40, Samples: 8, Banks: HypothesisBanks(12), Seed: 3}
 	gen := intGen(spec.Banks, spec.Samples)
 	// Four chunk partials over disjoint trace ranges.
 	parts := make([]*sca.CPA, 4)
@@ -149,7 +155,7 @@ func TestMergeAssociativityExact(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		parts[c] = banks[0]
+		parts[c] = banks[0].(*sca.CPA)
 	}
 	merge := func(a, b *sca.CPA) *sca.CPA {
 		c := a.Clone()
@@ -172,7 +178,7 @@ func TestMergeAssociativityExact(t *testing.T) {
 func TestWorkerCountInvariance(t *testing.T) {
 	// The real determinism guarantee: same chunk size, any pool size,
 	// bit-identical accumulators and therefore byte-identical rankings.
-	spec := Spec{Traces: 97, Samples: 9, Banks: []int{32}, Seed: 11}
+	spec := Spec{Traces: 97, Samples: 9, Banks: HypothesisBanks(32), Seed: 11}
 	gen := noisyGen(spec.Banks, spec.Samples)
 	ref, err := Run(Config{Workers: 1, ChunkSize: 8}, spec, gen)
 	if err != nil {
@@ -183,7 +189,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !got[0].Equal(ref[0]) {
+		if !got[0].(*sca.CPA).Equal(ref[0].(*sca.CPA)) {
 			t.Fatalf("workers=%d: accumulator differs from workers=1", workers)
 		}
 		a, b := got[0].Result(), ref[0].Result()
@@ -196,13 +202,13 @@ func TestWorkerCountInvariance(t *testing.T) {
 }
 
 func TestCheckpointsObservePrefixes(t *testing.T) {
-	spec := Spec{Traces: 20, Samples: 5, Banks: []int{4}, Seed: 9, Checkpoints: []int{3, 10, 20}}
+	spec := Spec{Traces: 20, Samples: 5, Banks: HypothesisBanks(4), Seed: 9, Checkpoints: []int{3, 10, 20}}
 	gen := noisyGen(spec.Banks, spec.Samples)
 	var seen []int
 	snaps := map[int]*sca.CPA{}
-	spec.OnCheckpoint = func(n int, banks []*sca.CPA) {
+	spec.OnCheckpoint = func(n int, banks []sca.Accumulator) {
 		seen = append(seen, n)
-		snaps[n] = banks[0].Clone()
+		snaps[n] = banks[0].(*sca.CPA).Clone()
 	}
 	final, err := Run(Config{Workers: 4, ChunkSize: 8}, spec, gen)
 	if err != nil {
@@ -211,7 +217,7 @@ func TestCheckpointsObservePrefixes(t *testing.T) {
 	if fmt.Sprint(seen) != "[3 10 20]" {
 		t.Fatalf("checkpoints fired at %v", seen)
 	}
-	if !snaps[20].Equal(final[0]) {
+	if !snaps[20].Equal(final[0].(*sca.CPA)) {
 		t.Fatal("final checkpoint differs from returned accumulator")
 	}
 	// Each checkpoint must equal an independent run over the prefix with
@@ -231,14 +237,14 @@ func TestCheckpointsObservePrefixes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if snaps[n].Count() != n || !snaps[n].Equal(want[0]) {
+		if snaps[n].Count() != n || !snaps[n].Equal(want[0].(*sca.CPA)) {
 			t.Fatalf("checkpoint %d does not match a prefix run", n)
 		}
 	}
 }
 
 func TestRunPropagatesGenerateError(t *testing.T) {
-	spec := Spec{Traces: 40, Samples: 4, Banks: []int{4}, Seed: 1}
+	spec := Spec{Traces: 40, Samples: 4, Banks: HypothesisBanks(4), Seed: 1}
 	boom := errors.New("boom")
 	gen := func(i int, rng *rand.Rand, s *Sample) error {
 		if i == 13 {
@@ -254,7 +260,7 @@ func TestRunPropagatesGenerateError(t *testing.T) {
 }
 
 func TestRunRejectsWrongTraceLength(t *testing.T) {
-	spec := Spec{Traces: 4, Samples: 4, Banks: []int{4}, Seed: 1}
+	spec := Spec{Traces: 4, Samples: 4, Banks: HypothesisBanks(4), Seed: 1}
 	gen := func(i int, rng *rand.Rand, s *Sample) error {
 		s.Trace = make([]float64, 3)
 		return nil
@@ -267,12 +273,13 @@ func TestRunRejectsWrongTraceLength(t *testing.T) {
 func TestSpecValidation(t *testing.T) {
 	gen := func(i int, rng *rand.Rand, s *Sample) error { return nil }
 	bad := []Spec{
-		{Traces: 0, Samples: 4, Banks: []int{4}},
-		{Traces: 4, Samples: 0, Banks: []int{4}},
+		{Traces: 0, Samples: 4, Banks: HypothesisBanks(4)},
+		{Traces: 4, Samples: 0, Banks: HypothesisBanks(4)},
 		{Traces: 4, Samples: 4},
-		{Traces: 4, Samples: 4, Banks: []int{1}},
-		{Traces: 4, Samples: 4, Banks: []int{4}, Checkpoints: []int{5}},
-		{Traces: 4, Samples: 4, Banks: []int{4}, Checkpoints: []int{2, 2}},
+		{Traces: 4, Samples: 4, Banks: HypothesisBanks(1)},
+		{Traces: 4, Samples: 4, Banks: []Bank{{Hyps: 4, Classes: [][]float64{{1, 2, 3}}}}},
+		{Traces: 4, Samples: 4, Banks: HypothesisBanks(4), Checkpoints: []int{5}},
+		{Traces: 4, Samples: 4, Banks: HypothesisBanks(4), Checkpoints: []int{2, 2}},
 	}
 	for i, spec := range bad {
 		if _, err := Run(Config{}, spec, gen); err == nil {
@@ -285,9 +292,9 @@ func TestSpecValidation(t *testing.T) {
 // detector (go test -race) turns any unsynchronized access into a
 // failure.
 func TestWorkerPoolRace(t *testing.T) {
-	spec := Spec{Traces: 300, Samples: 16, Banks: []int{8, 8, 8}, Seed: 5,
+	spec := Spec{Traces: 300, Samples: 16, Banks: HypothesisBanks(8, 8, 8), Seed: 5,
 		Checkpoints: []int{50, 150, 300}}
-	spec.OnCheckpoint = func(n int, banks []*sca.CPA) { _ = banks[0].Corr(0, 0) }
+	spec.OnCheckpoint = func(n int, banks []sca.Accumulator) { _ = banks[0].Corr(0, 0) }
 	gen := noisyGen(spec.Banks, spec.Samples)
 	if _, err := Run(Config{Workers: 8, ChunkSize: 7}, spec, gen); err != nil {
 		t.Fatal(err)

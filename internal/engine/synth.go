@@ -86,6 +86,15 @@ type Synthesizer struct {
 	fellBack   atomic.Bool
 	reason     string
 	verified   atomic.Int64
+
+	// Lane-parallel batch state (see batch.go): the lowered schedule,
+	// its one-shot compile bookkeeping (under mu), how many batches ran,
+	// and the per-worker scratch pool of lane cores + batch VM.
+	batchProg  atomic.Pointer[replay.BatchProgram]
+	batchTried bool
+	batchErr   error
+	batchRuns  atomic.Int64
+	batchPool  sync.Pool
 	// verifying counts dual-run verifications in flight. The unverified
 	// fast path stays closed until the window's successes are complete
 	// AND no verification is still pending — otherwise a late mismatch
@@ -128,6 +137,7 @@ func NewSynthesizer(mode Mode, cfg pipeline.Config, prog *isa.Program) (*Synthes
 		aux.SetReuseBuffers(true)
 		return &synthScratch{core: core, aux: aux}
 	}
+	s.batchPool.New = func() any { return &batchScratch{} }
 	return s, nil
 }
 

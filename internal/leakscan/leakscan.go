@@ -165,6 +165,9 @@ type Options struct {
 	// default: compiled replay of each benchmark's schedule, bit-verified
 	// against full simulation on the first chunk).
 	Synth engine.Mode
+	// Lanes is the lane-parallel replay batch width (0: default,
+	// negative: scalar path); results are bit-identical for every value.
+	Lanes int
 }
 
 // DefaultOptions returns the paper's §4 methodology scaled to the
@@ -294,29 +297,51 @@ func RunBenchmark(b *Benchmark, opt Options) (*BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	banks, err := engine.Run(
+	scalar := func(n int, rng *rand.Rand, s *engine.Sample) error {
+		var vals Values
+		err := synth.Run(
+			func(core *pipeline.Core) { vals = b.Setup(rng, core) },
+			func(tl pipeline.Timeline, _ *pipeline.Core) error {
+				tr, scratch := opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
+				s.Trace, s.Scratch = tr, scratch
+				if len(tr) != nSamples {
+					return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
+						b.Name, len(tr), nSamples)
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		for i, e := range b.Exprs {
+			s.Hyps[0][i] = e.Eval(vals)
+		}
+		return nil
+	}
+	banks, err := engine.RunBatched(
 		engine.Config{Workers: opt.Workers},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: []int{len(b.Exprs)}, Seed: opt.Seed},
-		func(n int, rng *rand.Rand, s *engine.Sample) error {
-			var vals Values
-			err := synth.Run(
-				func(core *pipeline.Core) { vals = b.Setup(rng, core) },
-				func(tl pipeline.Timeline, _ *pipeline.Core) error {
-					tr, scratch := opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
-					s.Trace, s.Scratch = tr, scratch
-					if len(tr) != nSamples {
-						return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
-							b.Name, len(tr), nSamples)
-					}
-					return nil
-				})
-			if err != nil {
-				return err
-			}
-			for i, e := range b.Exprs {
-				s.Hyps[0][i] = e.Eval(vals)
-			}
-			return nil
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: engine.HypothesisBanks(len(b.Exprs)), Seed: opt.Seed},
+		engine.BatchGen{
+			Synth: synth,
+			Model: &opt.Model,
+			Lanes: opt.Lanes,
+			Prepare: func(n int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
+				vals := b.Setup(rng, core)
+				for i, e := range b.Exprs {
+					s.Hyps[0][i] = e.Eval(vals)
+				}
+				return nil
+			},
+			Acquire: func(n int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
+				tr, scratch := opt.Model.AveragedCyclesInto(s.Trace, s.Scratch, cycles, rng, opt.Averages)
+				s.Trace, s.Scratch = tr, scratch
+				if len(tr) != nSamples {
+					return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
+						b.Name, len(tr), nSamples)
+				}
+				return nil
+			},
+			Scalar: scalar,
 		})
 	if err != nil {
 		return nil, err

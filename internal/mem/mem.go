@@ -106,10 +106,17 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 // ReadBytes copies n bytes starting at addr.
 func (m *Memory) ReadBytes(addr uint32, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.Read8(addr + uint32(i))
-	}
+	m.ReadBytesInto(out, addr)
 	return out
+}
+
+// ReadBytesInto fills dst with the bytes starting at addr — the
+// allocation-free form of ReadBytes for per-acquisition oracles on the
+// synthesis hot path.
+func (m *Memory) ReadBytesInto(dst []byte, addr uint32) {
+	for i := range dst {
+		dst[i] = m.Read8(addr + uint32(i))
+	}
 }
 
 // WriteWords stores consecutive little-endian words starting at addr.

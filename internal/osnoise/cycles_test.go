@@ -1,0 +1,34 @@
+package osnoise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// TestAcquireCyclesBitIdenticalToAcquire pins the batched acquisition
+// entry point: fed the timeline's own cycle powers and the same rng
+// stream, AcquireCycles must reproduce Acquire bit for bit — noise
+// floor, preemption draws and trigger jitter included.
+func TestAcquireCyclesBitIdenticalToAcquire(t *testing.T) {
+	tl := timeline(t)
+	m := power.DefaultModel()
+	cy := m.CyclePowers(nil, tl)
+	for _, env := range []Environment{Quiet(), LoadedLinux()} {
+		// Several seeds so the 2% preemption branch is exercised.
+		for seed := int64(0); seed < 40; seed++ {
+			a := env.Acquire(tl, &m, rand.New(rand.NewSource(seed)), 4)
+			b := env.AcquireCycles(cy, &m, rand.New(rand.NewSource(seed)), 4)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: lengths %d vs %d", seed, len(a), len(b))
+			}
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("seed %d sample %d: %x vs %x", seed, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -85,12 +85,27 @@ func (env Environment) Validate() error {
 // environment: avg executions with independent noise, preemption and
 // jitter, averaged point-wise (the paper's 16-fold on-scope averaging).
 func (env Environment) Acquire(tl pipeline.Timeline, m *power.Model, rng *rand.Rand, avg int) trace.Trace {
+	return env.acquire(func(rng *rand.Rand) trace.Trace { return m.Synthesize(tl, rng) }, rng, avg)
+}
+
+// AcquireCycles is Acquire fed from a per-cycle noiseless power vector
+// (power.Model.CyclePowers or the replay batch VM) instead of a
+// timeline. For cycles matching the timeline and the same rng stream it
+// is bit-identical to Acquire: the base synthesis is the model's own
+// cycle expansion, and every environment effect draws from rng in the
+// same order.
+func (env Environment) AcquireCycles(cycles []float64, m *power.Model, rng *rand.Rand, avg int) trace.Trace {
+	return env.acquire(func(rng *rand.Rand) trace.Trace { return m.ExpandCycles(cycles, rng) }, rng, avg)
+}
+
+// acquire averages avg single executions rendered by synth.
+func (env Environment) acquire(synth func(*rand.Rand) trace.Trace, rng *rand.Rand, avg int) trace.Trace {
 	if avg < 1 {
 		avg = 1
 	}
 	var acc trace.Trace
 	for i := 0; i < avg; i++ {
-		t := env.one(tl, m, rng)
+		t := env.one(synth, rng)
 		if acc == nil {
 			acc = t
 		} else {
@@ -101,8 +116,8 @@ func (env Environment) Acquire(tl pipeline.Timeline, m *power.Model, rng *rand.R
 }
 
 // one renders a single execution under the environment.
-func (env Environment) one(tl pipeline.Timeline, m *power.Model, rng *rand.Rand) trace.Trace {
-	t := m.Synthesize(tl, rng)
+func (env Environment) one(synth func(*rand.Rand) trace.Trace, rng *rand.Rand) trace.Trace {
+	t := synth(rng)
 	// Busy-system baseline: raised mean with a slow wobble across the
 	// trace (other-core activity is low-frequency relative to samples).
 	if env.ActivityLevel > 0 || env.ActivityWobble > 0 {

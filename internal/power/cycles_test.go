@@ -1,0 +1,84 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func cycleTestTimeline(t *testing.T) pipeline.Timeline {
+	t.Helper()
+	c := pipeline.MustNew(pipeline.DefaultConfig(), nil)
+	c.SetRegs(0, 0xAA55AA55, 0x12345678, 0, 0x0F0F0F0F, 0xF0F0F0F0)
+	res, err := c.Run(isa.MustAssemble(`
+		add r0, r1, r2
+		ldr r6, [r8]
+		str r0, [r9]
+		eor r3, r4, r5
+		mov r7, r0, lsl #3
+		nop
+		nop
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Timeline
+}
+
+// TestCyclePowersMatchesCyclePower pins the vectorized per-cycle power
+// against the public per-cycle reference.
+func TestCyclePowersMatchesCyclePower(t *testing.T) {
+	tl := cycleTestTimeline(t)
+	m := DefaultModel()
+	cy := m.CyclePowers(nil, tl)
+	if len(cy) != len(tl) {
+		t.Fatalf("got %d cycle powers for %d cycles", len(cy), len(tl))
+	}
+	for i := range tl {
+		if math.Float64bits(cy[i]) != math.Float64bits(m.CyclePower(tl, i)) {
+			t.Fatalf("cycle %d: %v vs CyclePower %v", i, cy[i], m.CyclePower(tl, i))
+		}
+	}
+}
+
+// TestExpandCyclesBitIdenticalToSynthesize is the batch path's power
+// contract: expanding precomputed cycle powers with the same rng stream
+// must reproduce SynthesizeInto bit for bit, noise included.
+func TestExpandCyclesBitIdenticalToSynthesize(t *testing.T) {
+	tl := cycleTestTimeline(t)
+	for _, sigma := range []float64{0, 1.5} {
+		m := DefaultModel()
+		m.NoiseSigma = sigma
+		cy := m.CyclePowers(nil, tl)
+		a := m.SynthesizeInto(nil, tl, rand.New(rand.NewSource(42)))
+		b := m.ExpandCyclesInto(nil, cy, rand.New(rand.NewSource(42)))
+		if len(a) != len(b) {
+			t.Fatalf("sigma %v: lengths %d vs %d", sigma, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("sigma %v sample %d: %x vs %x", sigma, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestAveragedCyclesBitIdenticalToSynthesizeAveraged covers the
+// averaged form used by the batched figure-3 acquisition.
+func TestAveragedCyclesBitIdenticalToSynthesizeAveraged(t *testing.T) {
+	tl := cycleTestTimeline(t)
+	m := DefaultModel()
+	cy := m.CyclePowers(nil, tl)
+	for _, avg := range []int{1, 4} {
+		a, _ := m.SynthesizeAveragedInto(nil, nil, tl, rand.New(rand.NewSource(7)), avg)
+		b, _ := m.AveragedCyclesInto(nil, nil, cy, rand.New(rand.NewSource(7)), avg)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("avg %d sample %d: %x vs %x", avg, i, a[i], b[i])
+			}
+		}
+	}
+}

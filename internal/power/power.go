@@ -137,10 +137,7 @@ func (m *Model) Synthesize(tl pipeline.Timeline, rng *rand.Rand) trace.Trace {
 // trace, which aliases dst when no growth was needed, and is
 // bit-identical to Synthesize for the same rng stream.
 func (m *Model) SynthesizeInto(dst trace.Trace, tl pipeline.Timeline, rng *rand.Rand) trace.Trace {
-	n := m.SamplesPerCycle
-	if n < 1 {
-		n = 1
-	}
+	n := m.samplesPerCycle()
 	need := len(tl) * n
 	if cap(dst) < need {
 		dst = make(trace.Trace, need)
@@ -151,57 +148,157 @@ func (m *Model) SynthesizeInto(dst trace.Trace, tl pipeline.Timeline, rng *rand.
 	// The pulse shape and the set of leaking components are loop
 	// constants; hoisting them off the per-cycle path changes no values.
 	var shapeBuf [16]float64
-	shape := shapeBuf[:0]
-	if n > len(shapeBuf) {
-		shape = make([]float64, 0, n)
-	}
-	for k := 0; k < n; k++ {
-		shape = append(shape, pulse(k, n))
-	}
-	var active [pipeline.NumComponents]pipeline.Component
-	na := 0
-	for c := pipeline.Component(0); c < pipeline.NumComponents; c++ {
-		if m.HDWeights[c] != 0 || m.HWWeights[c] != 0 {
-			active[na] = c
-			na++
-		}
-	}
+	shape := m.pulseShape(shapeBuf[:0])
+	var activeBuf [pipeline.NumComponents]pipeline.Component
+	active := m.activeComponents(activeBuf[:0])
 
 	noise := rng != nil && m.NoiseSigma > 0
 	var prev *pipeline.Snapshot
 	for i := range tl {
 		cur := &tl[i]
-		// The same sum CyclePower computes, restricted to components
-		// with a nonzero weight — the skipped terms contributed nothing,
-		// so the floating-point result is identical.
-		p := m.Baseline
-		for _, c := range active[:na] {
-			if !cur.IsDriven(c) {
-				continue
-			}
-			if w := m.HDWeights[c]; w != 0 {
-				var before uint32
-				if prev != nil {
-					before = prev.Values[c]
-				}
-				p += w * float64(HD(before, cur.Values[c]))
-			}
-			if w := m.HWWeights[c]; w != 0 {
-				p += w * float64(HW(cur.Values[c]))
-			}
-		}
+		p := m.cyclePower(cur, prev, active)
 		prev = cur
-
-		base := i * n
-		for k := 0; k < n; k++ {
-			v := m.Baseline + (p-m.Baseline)*shape[k]
-			if noise {
-				v += rng.NormFloat64() * m.NoiseSigma
-			}
-			dst[base+k] = v
-		}
+		m.emitCycle(dst[i*n:i*n+n], p, shape, rng, noise)
 	}
 	return dst
+}
+
+// samplesPerCycle returns the clamped oversampling factor.
+func (m *Model) samplesPerCycle() int {
+	if m.SamplesPerCycle < 1 {
+		return 1
+	}
+	return m.SamplesPerCycle
+}
+
+// pulseShape appends the per-cycle pulse shape to buf.
+func (m *Model) pulseShape(buf []float64) []float64 {
+	n := m.samplesPerCycle()
+	if n > cap(buf) {
+		buf = make([]float64, 0, n)
+	}
+	for k := 0; k < n; k++ {
+		buf = append(buf, pulse(k, n))
+	}
+	return buf
+}
+
+// activeComponents appends the components with a nonzero weight to buf
+// in ascending component order — the canonical per-cycle summation
+// order of every synthesis path.
+func (m *Model) activeComponents(buf []pipeline.Component) []pipeline.Component {
+	for c := pipeline.Component(0); c < pipeline.NumComponents; c++ {
+		if m.HDWeights[c] != 0 || m.HWWeights[c] != 0 {
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// cyclePower is the per-cycle noiseless power: the same sum CyclePower
+// computes, restricted to components with a nonzero weight — the
+// skipped terms contributed nothing, so the floating-point result is
+// identical. Contributions add in ascending component order, the HD
+// term before the HW term per component.
+func (m *Model) cyclePower(cur, prev *pipeline.Snapshot, active []pipeline.Component) float64 {
+	p := m.Baseline
+	for _, c := range active {
+		if !cur.IsDriven(c) {
+			continue
+		}
+		if w := m.HDWeights[c]; w != 0 {
+			var before uint32
+			if prev != nil {
+				before = prev.Values[c]
+			}
+			p += w * float64(HD(before, cur.Values[c]))
+		}
+		if w := m.HWWeights[c]; w != 0 {
+			p += w * float64(HW(cur.Values[c]))
+		}
+	}
+	return p
+}
+
+// emitCycle renders one cycle's samples: the pulse-shaped noiseless
+// power plus, when noise is on, one Gaussian draw per sample. Shared by
+// the timeline and cycle-power expansion paths so their bits cannot
+// drift apart.
+func (m *Model) emitCycle(dst []float64, p float64, shape []float64, rng *rand.Rand, noise bool) {
+	for k, sh := range shape {
+		v := m.Baseline + (p-m.Baseline)*sh
+		if noise {
+			v += rng.NormFloat64() * m.NoiseSigma
+		}
+		dst[k] = v
+	}
+}
+
+// CyclePowers writes the noiseless per-cycle power of the timeline into
+// dst (grown as needed) and returns it: dst[i] is exactly the p value
+// SynthesizeInto computes for cycle i. It is the scalar reference for
+// the replay batch VM's fused accumulation, and the input format of
+// ExpandCyclesInto.
+func (m *Model) CyclePowers(dst []float64, tl pipeline.Timeline) []float64 {
+	if cap(dst) < len(tl) {
+		dst = make([]float64, len(tl))
+	} else {
+		dst = dst[:len(tl)]
+	}
+	var activeBuf [pipeline.NumComponents]pipeline.Component
+	active := m.activeComponents(activeBuf[:0])
+	var prev *pipeline.Snapshot
+	for i := range tl {
+		cur := &tl[i]
+		dst[i] = m.cyclePower(cur, prev, active)
+		prev = cur
+	}
+	return dst
+}
+
+// ExpandCyclesInto renders a per-cycle noiseless power vector — as
+// produced by CyclePowers or replay.BatchVM — into a power trace,
+// drawing measurement noise from rng exactly as SynthesizeInto does.
+// For cycles equal to CyclePowers(nil, tl) and the same rng stream, the
+// result is bit-identical to SynthesizeInto(dst, tl, rng): expansion is
+// the same code path, only the per-cycle power arrives precomputed.
+func (m *Model) ExpandCyclesInto(dst trace.Trace, cycles []float64, rng *rand.Rand) trace.Trace {
+	n := m.samplesPerCycle()
+	need := len(cycles) * n
+	if cap(dst) < need {
+		dst = make(trace.Trace, need)
+	} else {
+		dst = dst[:need]
+	}
+	var shapeBuf [16]float64
+	shape := m.pulseShape(shapeBuf[:0])
+	noise := rng != nil && m.NoiseSigma > 0
+	for i, p := range cycles {
+		m.emitCycle(dst[i*n:i*n+n], p, shape, rng, noise)
+	}
+	return dst
+}
+
+// ExpandCycles is ExpandCyclesInto into fresh storage.
+func (m *Model) ExpandCycles(cycles []float64, rng *rand.Rand) trace.Trace {
+	return m.ExpandCyclesInto(nil, cycles, rng)
+}
+
+// AveragedCyclesInto is SynthesizeAveragedInto fed from a per-cycle
+// power vector instead of a timeline: avg expansions with independent
+// noise, averaged point-wise. Bit-identical to SynthesizeAveragedInto
+// for matching cycles and rng stream — and cheaper, because the
+// HW/HD sweep behind the cycle powers is paid once, not avg times.
+func (m *Model) AveragedCyclesInto(dst, tmp trace.Trace, cycles []float64, rng *rand.Rand, avg int) (out, scratch trace.Trace) {
+	if avg < 1 {
+		avg = 1
+	}
+	acc := m.ExpandCyclesInto(dst, cycles, rng)
+	for i := 1; i < avg; i++ {
+		tmp = m.ExpandCyclesInto(tmp, cycles, rng)
+		_ = acc.AddInPlace(tmp)
+	}
+	return acc.Scale(1 / float64(avg)), tmp
 }
 
 // SynthesizeAveraged renders the timeline avg times with independent

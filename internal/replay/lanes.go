@@ -1,0 +1,28 @@
+package replay
+
+import "math/bits"
+
+// The portable lane kernels of the fused power walk. Per lane the
+// operation sequence is fixed — popcount, exact uint→float64
+// conversion, one multiply, one add — and the vector kernels reproduce
+// it lane for lane (VPOPCNTD, VCVTUDQ2PD, VMULPD, VADDPD; no fused
+// multiply-add), so which implementation runs never changes a bit of
+// the power block.
+
+// hdLanesGeneric adds the Hamming-distance term of one drive to every
+// lane's cycle power and records the drive as the component's held
+// value.
+func hdLanesGeneric(cyc []float64, vals, last []uint32, whd float64) {
+	for lane, v := range vals {
+		cyc[lane] += whd * float64(bits.OnesCount32(v^last[lane]))
+		last[lane] = v
+	}
+}
+
+// hwLanesGeneric adds the Hamming-weight term of one drive to every
+// lane's cycle power.
+func hwLanesGeneric(cyc []float64, vals []uint32, whw float64) {
+	for lane, v := range vals {
+		cyc[lane] += whw * float64(bits.OnesCount32(v))
+	}
+}

@@ -1,0 +1,48 @@
+//go:build amd64
+
+package replay
+
+import "repro/internal/cpufeat"
+
+// useLaneKernels gates the EVEX popcount lane kernels (VPOPCNTD needs
+// the AVX512_VPOPCNTDQ extension); a package variable so the
+// CPU-feature fallback tests can force the portable path.
+var useLaneKernels = cpufeat.AVX512Popcnt
+
+// hdLanesAVX512 is the assembly Hamming-distance lane kernel over n
+// lanes, n a multiple of 8.
+func hdLanesAVX512(cyc *float64, vals, last *uint32, n int, whd float64)
+
+// hwLanesAVX512 is the assembly Hamming-weight lane kernel over n
+// lanes, n a multiple of 8.
+func hwLanesAVX512(cyc *float64, vals *uint32, n int, whw float64)
+
+// hdLanes adds one drive's HD term across the lanes and updates the
+// held values, bit-identically to hdLanesGeneric.
+func hdLanes(cyc []float64, vals, last []uint32, whd float64) {
+	n := len(cyc)
+	if !useLaneKernels || n < 8 {
+		hdLanesGeneric(cyc, vals, last, whd)
+		return
+	}
+	vec := n &^ 7
+	hdLanesAVX512(&cyc[0], &vals[0], &last[0], vec, whd)
+	if vec < n {
+		hdLanesGeneric(cyc[vec:], vals[vec:], last[vec:], whd)
+	}
+}
+
+// hwLanes adds one drive's HW term across the lanes, bit-identically
+// to hwLanesGeneric.
+func hwLanes(cyc []float64, vals []uint32, whw float64) {
+	n := len(cyc)
+	if !useLaneKernels || n < 8 {
+		hwLanesGeneric(cyc, vals, whw)
+		return
+	}
+	vec := n &^ 7
+	hwLanesAVX512(&cyc[0], &vals[0], vec, whw)
+	if vec < n {
+		hwLanesGeneric(cyc[vec:], vals[vec:], whw)
+	}
+}

@@ -1,0 +1,57 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func hdLanesAVX512(cyc *float64, vals, last *uint32, n int, whd float64)
+//
+// Per lane: cyc += whd * float64(popcount(vals ^ last)); last = vals —
+// for n lanes, n a multiple of 8. VPOPCNTD and the exact VCVTUDQ2PD
+// conversion feed one VMULPD then one VADDPD (no fused multiply-add),
+// the identical rounding sequence of hdLanesGeneric.
+TEXT ·hdLanesAVX512(SB), NOSPLIT, $0-40
+	MOVQ         cyc+0(FP), DI
+	MOVQ         vals+8(FP), SI
+	MOVQ         last+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD whd+32(FP), Z0
+
+	XORQ AX, AX
+hdloop:
+	VMOVDQU32  (SI)(AX*4), Y1
+	VMOVDQU32  (R8)(AX*4), Y2
+	VPXORD     Y1, Y2, Y3
+	VPOPCNTD   Y3, Y3
+	VCVTUDQ2PD Y3, Z3
+	VMULPD     Z0, Z3, Z3
+	VADDPD     (DI)(AX*8), Z3, Z3
+	VMOVUPD    Z3, (DI)(AX*8)
+	VMOVDQU32  Y1, (R8)(AX*4)
+	ADDQ       $8, AX
+	CMPQ       AX, CX
+	JLT        hdloop
+	VZEROUPPER
+	RET
+
+// func hwLanesAVX512(cyc *float64, vals *uint32, n int, whw float64)
+//
+// Per lane: cyc += whw * float64(popcount(vals)) — for n lanes, n a
+// multiple of 8, same rounding sequence as hwLanesGeneric.
+TEXT ·hwLanesAVX512(SB), NOSPLIT, $0-32
+	MOVQ         cyc+0(FP), DI
+	MOVQ         vals+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD whw+24(FP), Z0
+
+	XORQ AX, AX
+hwloop:
+	VMOVDQU32  (SI)(AX*4), Y1
+	VPOPCNTD   Y1, Y1
+	VCVTUDQ2PD Y1, Z1
+	VMULPD     Z0, Z1, Z1
+	VADDPD     (DI)(AX*8), Z1, Z1
+	VMOVUPD    Z1, (DI)(AX*8)
+	ADDQ       $8, AX
+	CMPQ       AX, CX
+	JLT        hwloop
+	VZEROUPPER
+	RET

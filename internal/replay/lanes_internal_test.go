@@ -1,0 +1,57 @@
+//go:build amd64
+
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLaneKernelsFallbackBitIdentical is the CPU-feature fallback check
+// for the fused power walk's popcount kernels: with the
+// AVX512_VPOPCNTDQ gate forced off, the portable lane loops must
+// reproduce the assembly kernels bit for bit on random inputs at every
+// lane count including non-multiple-of-8 tails. Without the extension
+// both sides run the portable code and the test degenerates to a
+// self-check.
+func TestLaneKernelsFallbackBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	saved := useLaneKernels
+	defer func() { useLaneKernels = saved }()
+	for n := 1; n <= MaxLanes; n++ {
+		for trial := 0; trial < 8; trial++ {
+			vals := make([]uint32, n)
+			last0 := make([]uint32, n)
+			cyc0 := make([]float64, n)
+			for i := range vals {
+				vals[i] = rng.Uint32()
+				last0[i] = rng.Uint32()
+				cyc0[i] = rng.NormFloat64() * 16
+			}
+			whd := rng.NormFloat64()
+			whw := rng.NormFloat64()
+
+			useLaneKernels = saved
+			cycA := append([]float64(nil), cyc0...)
+			lastA := append([]uint32(nil), last0...)
+			hdLanes(cycA, vals, lastA, whd)
+			hwLanes(cycA, vals, whw)
+
+			useLaneKernels = false
+			cycB := append([]float64(nil), cyc0...)
+			lastB := append([]uint32(nil), last0...)
+			hdLanes(cycB, vals, lastB, whd)
+			hwLanes(cycB, vals, whw)
+
+			for i := range cycA {
+				if math.Float64bits(cycA[i]) != math.Float64bits(cycB[i]) {
+					t.Fatalf("n=%d lane %d: cycle power %x vs %x", n, i, cycA[i], cycB[i])
+				}
+				if lastA[i] != lastB[i] {
+					t.Fatalf("n=%d lane %d: held value %#x vs %#x", n, i, lastA[i], lastB[i])
+				}
+			}
+		}
+	}
+}

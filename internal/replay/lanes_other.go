@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package replay
+
+// hdLanes adds one drive's HD term across the lanes and updates the
+// held values; the portable kernel is the only implementation on this
+// architecture.
+func hdLanes(cyc []float64, vals, last []uint32, whd float64) {
+	hdLanesGeneric(cyc, vals, last, whd)
+}
+
+// hwLanes adds one drive's HW term across the lanes.
+func hwLanes(cyc []float64, vals []uint32, whw float64) {
+	hwLanesGeneric(cyc, vals, whw)
+}

@@ -9,26 +9,11 @@ package sca
 // never a fused multiply-add — so its results are bit-identical to
 // axpyGeneric's and the engine's determinism contract is unaffected.
 
-// hasAVX reports AVX support by CPU and OS, probed once at startup.
-var hasAVX = cpuHasAVX()
+import "repro/internal/cpufeat"
 
-// cpuHasAVX checks CPUID for AVX and OSXSAVE and XGETBV for OS-managed
-// XMM+YMM state — the canonical gate for executing VEX-encoded code.
-func cpuHasAVX() bool {
-	_, _, c, _ := cpuid(1, 0)
-	const osxsave, avx = 1 << 27, 1 << 28
-	if c&osxsave == 0 || c&avx == 0 {
-		return false
-	}
-	lo, _ := xgetbv()
-	return lo&0x6 == 0x6 // XMM and YMM state enabled
-}
-
-// cpuid executes the CPUID instruction (implemented in assembly).
-func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
-
-// xgetbv reads extended control register 0 (implemented in assembly).
-func xgetbv() (eax, edx uint32)
+// hasAVX gates the VEX-encoded kernels; a package variable so the
+// CPU-feature fallback tests can force the portable path.
+var hasAVX = cpufeat.AVX
 
 // axpyAVX is the assembly kernel over n full elements; the caller
 // handles shorter-than-register tails.

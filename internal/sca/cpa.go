@@ -21,6 +21,10 @@ type CPA struct {
 	sumT  []float64 // per sample: Σt
 	sumTT []float64 // per sample: Σt²
 	sumHT []float64 // [hyp*samples + s]: Σh·t
+
+	// idx is the indexed row path's staging area (see indexed.go),
+	// allocated on first use; never part of the accumulator state.
+	idx *indexedScratch
 }
 
 // NewCPA returns an engine for nHyp key hypotheses over traces of the
@@ -64,10 +68,7 @@ func (c *CPA) Add(t []float64, hyp []float64) error {
 	if len(hyp) != c.nHyp {
 		return fmt.Errorf("sca: %d hypotheses, want %d", len(hyp), c.nHyp)
 	}
-	for s, v := range t {
-		c.sumT[s] += v
-		c.sumTT[s] += v * v
-	}
+	sumSqInto(c.sumT, c.sumTT, t)
 	for k, h := range hyp {
 		c.sumH[k] += h
 		c.sumHH[k] += h * h
@@ -82,9 +83,11 @@ func (c *CPA) Add(t []float64, hyp []float64) error {
 // bit-identical to calling Add(traces[i], hyps[i]) in ascending i —
 // every accumulator element still receives its per-trace contributions
 // in trace order, floating-point association unchanged — but the loop
-// nest is rearranged so each hypothesis row of the Σh·t matrix stays
-// cache-resident across the whole batch instead of being streamed from
-// memory once per trace. This is the engine's chunk-reduction hot path.
+// nest is rearranged so the Σh·t accumulation runs cache-blocked, and,
+// when the hypothesis vectors draw from a small alphabet (Hamming
+// weights and distances do), through the add-only indexed kernel of
+// indexed.go. Which kernel runs is pure speed policy; the accumulator
+// bits never depend on it. This is the engine's reduction hot path.
 func (c *CPA) AddBatch(traces, hyps [][]float64) error {
 	if len(traces) != len(hyps) {
 		return fmt.Errorf("sca: batch of %d traces with %d hypothesis vectors", len(traces), len(hyps))
@@ -98,11 +101,7 @@ func (c *CPA) AddBatch(traces, hyps [][]float64) error {
 		}
 	}
 	for _, t := range traces {
-		sumT, sumTT := c.sumT, c.sumTT
-		for s, v := range t {
-			sumT[s] += v
-			sumTT[s] += v * v
-		}
+		sumSqInto(c.sumT, c.sumTT, t)
 	}
 	for _, h := range hyps {
 		for k, hv := range h {
@@ -110,18 +109,7 @@ func (c *CPA) AddBatch(traces, hyps [][]float64) error {
 			c.sumHH[k] += hv * hv
 		}
 	}
-	for k := 0; k < c.nHyp; k++ {
-		row := c.sumHT[k*c.samples : (k+1)*c.samples]
-		i := 0
-		for ; i+4 <= len(traces); i += 4 {
-			axpy4(row,
-				traces[i], traces[i+1], traces[i+2], traces[i+3],
-				hyps[i][k], hyps[i+1][k], hyps[i+2][k], hyps[i+3][k])
-		}
-		for ; i < len(traces); i++ {
-			axpy(row, traces[i], hyps[i][k])
-		}
-	}
+	c.addRows(traces, hyps)
 	c.count += len(traces)
 	return nil
 }

@@ -1,0 +1,93 @@
+//go:build amd64
+
+package sca
+
+import "repro/internal/cpufeat"
+
+// hasAVX512 gates the EVEX-encoded kernels; a package variable so the
+// CPU-feature fallback tests can force the portable path.
+var hasAVX512 = cpufeat.AVX512
+
+// scaleAVX512 is the assembly kernel dst[j] = a*x[j] over n elements,
+// n a multiple of 8.
+func scaleAVX512(dst, x *float64, n int, a float64)
+
+// vaddAVX512 is the assembly kernel dst[j] += x[j] over n elements, n a
+// multiple of 8.
+func vaddAVX512(dst, x *float64, n int)
+
+// gaddAVX512 is the assembly add-only kernel: dst[j] += prod[offs[i]+j]
+// for each of the nOffs offsets in order, over w elements, w a multiple
+// of 8. Per element, the adds happen in offset order — the same
+// sequence as gaddGeneric, bit for bit (plain VADDPD, no reassociation).
+func gaddAVX512(dst, prod *float64, offs *uint32, nOffs, w int)
+
+// scaleInto writes dst[j] = a * x[j], bit-identically to scaleGeneric.
+func scaleInto(dst, x []float64, a float64) {
+	n := len(dst)
+	if !hasAVX512 || n < 8 {
+		scaleGeneric(dst, x, a)
+		return
+	}
+	vec := n &^ 7
+	scaleAVX512(&dst[0], &x[0], vec, a)
+	for j := vec; j < n; j++ {
+		dst[j] = a * x[j]
+	}
+}
+
+// sumSqAVX512 is the assembly kernel sumT[j] += x[j]; sumTT[j] +=
+// x[j]*x[j] over n elements, n a multiple of 8.
+func sumSqAVX512(sumT, sumTT, x *float64, n int)
+
+// sumSqInto accumulates a trace into the Σt and Σt² rows — per element
+// one add, one multiply and one add, bit-identically to sumSqGeneric.
+func sumSqInto(sumT, sumTT, x []float64) {
+	n := len(x)
+	if !hasAVX512 || n < 8 {
+		sumSqGeneric(sumT, sumTT, x)
+		return
+	}
+	vec := n &^ 7
+	sumSqAVX512(&sumT[0], &sumTT[0], &x[0], vec)
+	for j := vec; j < n; j++ {
+		v := x[j]
+		sumT[j] += v
+		sumTT[j] += v * v
+	}
+}
+
+// vaddInto accumulates dst[j] += x[j] — one rounded add per element,
+// bit-identically to vaddGeneric.
+func vaddInto(dst, x []float64) {
+	n := len(dst)
+	if !hasAVX512 || n < 8 {
+		vaddGeneric(dst, x)
+		return
+	}
+	vec := n &^ 7
+	vaddAVX512(&dst[0], &x[0], vec)
+	for j := vec; j < n; j++ {
+		dst[j] += x[j]
+	}
+}
+
+// gaddInto accumulates the product rows named by offs into dst in
+// offset order, bit-identically to gaddGeneric.
+func gaddInto(dst, prod []float64, offs []uint32) {
+	n := len(dst)
+	if len(offs) == 0 || n == 0 {
+		return
+	}
+	if !hasAVX512 || n < 8 {
+		gaddGeneric(dst, prod, offs)
+		return
+	}
+	vec := n &^ 7
+	gaddAVX512(&dst[0], &prod[0], &offs[0], len(offs), vec)
+	for j := vec; j < n; j++ {
+		for _, o := range offs {
+			dst[j] += prod[int(o)+j]
+		}
+	}
+}

@@ -1,0 +1,156 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func scaleAVX512(dst, x *float64, n int, a float64)
+//
+// dst[j] = a * x[j] for j in [0, n), n a multiple of 8. One VMULPD per
+// lane — the identical single rounding scaleGeneric performs.
+TEXT ·scaleAVX512(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD a+24(FP), Z0
+
+	XORQ AX, AX
+scloop:
+	VMOVUPD (SI)(AX*8), Z1
+	VMULPD  Z0, Z1, Z1
+	VMOVUPD Z1, (DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JLT     scloop
+	VZEROUPPER
+	RET
+
+// func sumSqAVX512(sumT, sumTT, x *float64, n int)
+//
+// sumT[j] += x[j]; sumTT[j] += x[j]*x[j] for j in [0, n), n a multiple
+// of 8 — per element the same add, multiply, add sequence as
+// sumSqGeneric (no FMA), so the result is bit-identical.
+TEXT ·sumSqAVX512(SB), NOSPLIT, $0-32
+	MOVQ sumT+0(FP), DI
+	MOVQ sumTT+8(FP), SI
+	MOVQ x+16(FP), R8
+	MOVQ n+24(FP), CX
+
+	XORQ AX, AX
+ssloop:
+	VMOVUPD (R8)(AX*8), Z1
+	VMOVUPD (DI)(AX*8), Z2
+	VADDPD  Z1, Z2, Z2
+	VMOVUPD Z2, (DI)(AX*8)
+	VMULPD  Z1, Z1, Z1
+	VADDPD  (SI)(AX*8), Z1, Z1
+	VMOVUPD Z1, (SI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JLT     ssloop
+	VZEROUPPER
+	RET
+
+// func vaddAVX512(dst, x *float64, n int)
+//
+// dst[j] += x[j] for j in [0, n), n a multiple of 8 — one VADDPD per
+// lane, the identical single rounding vaddGeneric performs.
+TEXT ·vaddAVX512(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	XORQ AX, AX
+valoop:
+	VMOVUPD (DI)(AX*8), Z1
+	VADDPD  (SI)(AX*8), Z1, Z1
+	VMOVUPD Z1, (DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JLT     valoop
+	VZEROUPPER
+	RET
+
+// func gaddAVX512(dst, prod *float64, offs *uint32, nOffs, w int)
+//
+// dst[j] += prod[offs[i]+j] for i in [0, nOffs) in ascending i, j in
+// [0, w), w a multiple of 8. Per element the adds form a serial chain
+// in offset order — exactly gaddGeneric's rounding sequence. The outer
+// loop walks j in blocks of 64 (eight independent accumulator
+// registers, enough chains to hide VADDPD latency), falling back to
+// 8-wide blocks for the remainder.
+TEXT ·gaddAVX512(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ prod+8(FP), SI
+	MOVQ offs+16(FP), R8
+	MOVQ nOffs+24(FP), CX
+	MOVQ w+32(FP), DX
+
+	XORQ AX, AX            // j, the element base
+
+blk64:
+	MOVQ DX, BX
+	SUBQ AX, BX
+	CMPQ BX, $64
+	JLT  blk8
+
+	// Eight accumulators: dst[j .. j+63].
+	VMOVUPD (DI)(AX*8), Z0
+	VMOVUPD 64(DI)(AX*8), Z1
+	VMOVUPD 128(DI)(AX*8), Z2
+	VMOVUPD 192(DI)(AX*8), Z3
+	VMOVUPD 256(DI)(AX*8), Z4
+	VMOVUPD 320(DI)(AX*8), Z5
+	VMOVUPD 384(DI)(AX*8), Z6
+	VMOVUPD 448(DI)(AX*8), Z7
+
+	MOVQ R8, R9            // offset cursor
+	MOVQ CX, R10           // offsets remaining
+
+g64:
+	MOVL   (R9), R11
+	LEAQ   (SI)(R11*8), R12
+	VADDPD (R12)(AX*8), Z0, Z0
+	VADDPD 64(R12)(AX*8), Z1, Z1
+	VADDPD 128(R12)(AX*8), Z2, Z2
+	VADDPD 192(R12)(AX*8), Z3, Z3
+	VADDPD 256(R12)(AX*8), Z4, Z4
+	VADDPD 320(R12)(AX*8), Z5, Z5
+	VADDPD 384(R12)(AX*8), Z6, Z6
+	VADDPD 448(R12)(AX*8), Z7, Z7
+	ADDQ   $4, R9
+	DECQ   R10
+	JNZ    g64
+
+	VMOVUPD Z0, (DI)(AX*8)
+	VMOVUPD Z1, 64(DI)(AX*8)
+	VMOVUPD Z2, 128(DI)(AX*8)
+	VMOVUPD Z3, 192(DI)(AX*8)
+	VMOVUPD Z4, 256(DI)(AX*8)
+	VMOVUPD Z5, 320(DI)(AX*8)
+	VMOVUPD Z6, 384(DI)(AX*8)
+	VMOVUPD Z7, 448(DI)(AX*8)
+	ADDQ    $64, AX
+	JMP     blk64
+
+blk8:
+	CMPQ AX, DX
+	JGE  gdone
+
+	VMOVUPD (DI)(AX*8), Z0
+	MOVQ    R8, R9
+	MOVQ    CX, R10
+
+g8:
+	MOVL   (R9), R11
+	LEAQ   (SI)(R11*8), R12
+	VADDPD (R12)(AX*8), Z0, Z0
+	ADDQ   $4, R9
+	DECQ   R10
+	JNZ    g8
+
+	VMOVUPD Z0, (DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     blk8
+
+gdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package sca
+
+// hasAVX512 exists for the shared path-selection logic; no EVEX kernels
+// off amd64.
+var hasAVX512 = false
+
+// scaleInto writes dst[j] = a * x[j]; the portable kernel is the only
+// implementation on this architecture.
+func scaleInto(dst, x []float64, a float64) { scaleGeneric(dst, x, a) }
+
+// vaddInto accumulates dst[j] += x[j].
+func vaddInto(dst, x []float64) { vaddGeneric(dst, x) }
+
+// sumSqInto accumulates a trace into the Σt and Σt² rows.
+func sumSqInto(sumT, sumTT, x []float64) { sumSqGeneric(sumT, sumTT, x) }
+
+// gaddInto accumulates the product rows named by offs into dst in
+// offset order.
+func gaddInto(dst, prod []float64, offs []uint32) { gaddGeneric(dst, prod, offs) }

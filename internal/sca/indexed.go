@@ -1,0 +1,241 @@
+package sca
+
+// The Σh·t accumulation dominates streaming CPA. The attack-model
+// hypothesis vectors, however, draw from tiny alphabets — Hamming
+// weights and distances of bytes and words, at most a few dozen
+// distinct float64 values per trace — so most of the per-row multiplies
+// recompute a product some other row already paid for. The indexed row
+// path exploits that: per trace it builds one scaled copy of the trace
+// per distinct hypothesis value and then lets every row accumulate the
+// precomputed product row it needs, turning the kernel's per-element
+// work from multiply-then-add into a single add.
+//
+// Bit-identity is preserved exactly: IEEE-754 multiplication is a pure
+// function of its operands, so v*t[s] computed once and reused is the
+// same float64 the axpy path computes per row, and every accumulator
+// element still receives its per-trace contributions in ascending trace
+// order. The indexed path, the axpy path and serial Add are therefore
+// interchangeable bit for bit — which path runs is pure speed policy
+// (see rowsPath).
+
+const (
+	// maxAlphabet is the per-trace distinct-value budget. Hamming
+	// weights of bytes need 9, of words 33; vectors wider than this
+	// fall back to the axpy path.
+	maxAlphabet = 40
+	// tileCap is the sample-tile width: one tile of every product row
+	// plus the touched accumulator rows stays cache-resident.
+	tileCap = 64
+	// indexedBlock caps the traces staged per product block, bounding
+	// the scratch at indexedBlock*maxAlphabet*tileCap floats.
+	indexedBlock = 64
+)
+
+// rowsPathKind selects the sumHT accumulation implementation; all
+// produce bit-identical accumulators.
+type rowsPathKind uint8
+
+const (
+	// rowsPathAuto picks the indexed path when the CPU runs it faster
+	// than the axpy kernels (AVX-512), the axpy path otherwise.
+	rowsPathAuto rowsPathKind = iota
+	// rowsPathIndexed and rowsPathAxpy force one implementation — test
+	// hooks for the cross-path equality assertions.
+	rowsPathIndexed
+	rowsPathAxpy
+)
+
+// rowsPath is the package-wide selection, overridable by tests.
+var rowsPath = rowsPathAuto
+
+func useIndexedRows() bool {
+	switch rowsPath {
+	case rowsPathIndexed:
+		return true
+	case rowsPathAxpy:
+		return false
+	}
+	return hasAVX512
+}
+
+// indexedScratch is a CPA's lazily allocated staging area for the
+// indexed row path.
+type indexedScratch struct {
+	vals []float64 // [trace*maxAlphabet + d]: distinct hypothesis values
+	nd   []int     // per trace: number of distinct values
+	idx  []uint8   // [trace*nHyp + k]: value index of hypothesis k
+	offs []uint32  // [k*nTraces + i]: product-row element offsets
+	prod []float64 // [ (trace*maxAlphabet + d)*tileCap + j ]: scaled tiles
+}
+
+func (c *CPA) indexedScratch() *indexedScratch {
+	if c.idx == nil {
+		c.idx = &indexedScratch{
+			vals: make([]float64, indexedBlock*maxAlphabet),
+			nd:   make([]int, indexedBlock),
+			idx:  make([]uint8, indexedBlock*c.nHyp),
+			offs: make([]uint32, c.nHyp*indexedBlock),
+			prod: make([]float64, indexedBlock*maxAlphabet*tileCap),
+		}
+	}
+	return c.idx
+}
+
+// addRows streams the batch's Σh·t contributions into the accumulator
+// rows, in ascending trace order per element, choosing the fastest
+// available bit-identical implementation.
+func (c *CPA) addRows(traces, hyps [][]float64) {
+	for start := 0; start < len(traces); start += indexedBlock {
+		end := start + indexedBlock
+		if end > len(traces) {
+			end = len(traces)
+		}
+		if !c.addRowsIndexed(traces[start:end], hyps[start:end]) {
+			c.addRowsAxpy(traces[start:end], hyps[start:end])
+		}
+	}
+}
+
+// addRowsAxpy is the cache-blocked multiply-add implementation: each
+// hypothesis row stays resident while the traces stream through the
+// fused four-trace kernel.
+func (c *CPA) addRowsAxpy(traces, hyps [][]float64) {
+	for k := 0; k < c.nHyp; k++ {
+		row := c.sumHT[k*c.samples : (k+1)*c.samples]
+		i := 0
+		for ; i+4 <= len(traces); i += 4 {
+			axpy4(row,
+				traces[i], traces[i+1], traces[i+2], traces[i+3],
+				hyps[i][k], hyps[i+1][k], hyps[i+2][k], hyps[i+3][k])
+		}
+		for ; i < len(traces); i++ {
+			axpy(row, traces[i], hyps[i][k])
+		}
+	}
+}
+
+// addRowsIndexed is the small-alphabet implementation. It reports false
+// — leaving the accumulator untouched — when a hypothesis vector's
+// alphabet exceeds maxAlphabet or the indexed path is not selected.
+func (c *CPA) addRowsIndexed(traces, hyps [][]float64) bool {
+	if !useIndexedRows() {
+		return false
+	}
+	nT := len(traces)
+	if nT == 0 {
+		return true
+	}
+	sc := c.indexedScratch()
+
+	// Classify every hypothesis value against its trace's alphabet.
+	for i, h := range hyps {
+		vals := sc.vals[i*maxAlphabet : i*maxAlphabet+maxAlphabet]
+		idx := sc.idx[i*c.nHyp : (i+1)*c.nHyp]
+		nd := 0
+		for k, v := range h {
+			d := 0
+			for ; d < nd; d++ {
+				if vals[d] == v {
+					break
+				}
+			}
+			if d == nd {
+				if nd == maxAlphabet {
+					return false
+				}
+				// NaN never matches itself; send such vectors to the
+				// axpy path rather than overflow the alphabet.
+				if v != v {
+					return false
+				}
+				vals[nd] = v
+				nd++
+			}
+			idx[k] = uint8(d)
+		}
+		sc.nd[i] = nd
+	}
+
+	// Element offsets of each (hypothesis, trace) product row.
+	for k := 0; k < c.nHyp; k++ {
+		offs := sc.offs[k*nT : (k+1)*nT]
+		for i := 0; i < nT; i++ {
+			offs[i] = uint32((i*maxAlphabet + int(sc.idx[i*c.nHyp+k])) * tileCap)
+		}
+	}
+
+	// Tile over samples: scale each trace once per distinct value, then
+	// every row accumulates its product rows with the add-only kernel.
+	for base := 0; base < c.samples; base += tileCap {
+		w := c.samples - base
+		if w > tileCap {
+			w = tileCap
+		}
+		for i, t := range traces {
+			tt := t[base : base+w]
+			for d := 0; d < sc.nd[i]; d++ {
+				off := (i*maxAlphabet + d) * tileCap
+				scaleInto(sc.prod[off:off+w], tt, sc.vals[i*maxAlphabet+d])
+			}
+		}
+		for k := 0; k < c.nHyp; k++ {
+			gaddInto(c.sumHT[k*c.samples+base:k*c.samples+base+w], sc.prod, sc.offs[k*nT:(k+1)*nT])
+		}
+	}
+	return true
+}
+
+// scaleGeneric writes dst[j] = a * x[j] — the portable scaling kernel.
+// Each product is a single IEEE-754 multiplication, the same rounding
+// the axpy kernels perform before their add.
+func scaleGeneric(dst, x []float64, a float64) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = x[len(dst)-1]
+	for j := range dst {
+		dst[j] = a * x[j]
+	}
+}
+
+// vaddGeneric accumulates dst[j] += x[j] — the portable element-wise
+// add kernel (each element is one rounded add; there is no ordering
+// freedom to preserve).
+func vaddGeneric(dst, x []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = x[len(dst)-1]
+	for j := range dst {
+		dst[j] += x[j]
+	}
+}
+
+// sumSqGeneric accumulates x into the Σt and Σt² rows — the portable
+// kernel behind every accumulator's per-sample moment update: per
+// element, one rounded add into sumT, one rounded multiply and one
+// rounded add into sumTT.
+func sumSqGeneric(sumT, sumTT, x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_ = sumT[len(x)-1]
+	_ = sumTT[len(x)-1]
+	for j, v := range x {
+		sumT[j] += v
+		sumTT[j] += v * v
+	}
+}
+
+// gaddGeneric accumulates dst[j] += prod[o+j] for every offset o in
+// order — the portable add-only kernel. Per element, contributions are
+// applied in offset (trace) order, the accumulation order the whole
+// analysis chain is pinned to.
+func gaddGeneric(dst, prod []float64, offs []uint32) {
+	for _, o := range offs {
+		p := prod[o : int(o)+len(dst)]
+		for j := range dst {
+			dst[j] += p[j]
+		}
+	}
+}

@@ -58,6 +58,10 @@ func (t Trace) AddInPlace(o Trace) error {
 
 // Scale multiplies every sample in place and returns t.
 func (t Trace) Scale(f float64) Trace {
+	if f == 1 {
+		// x*1.0 is bitwise x for every float64; skip the pass.
+		return t
+	}
 	for i := range t {
 		t[i] *= f
 	}

@@ -1,37 +1,54 @@
 #!/usr/bin/env bash
-# bench_replay.sh — run the 10k-trace streaming-CPA benchmark trio
-# (serial simulate, parallel simulate, parallel replay) plus the
-# per-execution synthesis microbenchmarks, and write machine-readable
-# results to BENCH_replay.json: ns/op, B/op, allocs/op per benchmark
-# and the replay speedups against both simulate baselines.
+# bench_replay.sh — run the 10k-trace streaming-CPA benchmark suite
+# (serial simulate, parallel simulate, scalar replay, lane-parallel
+# batched replay) plus the per-execution synthesis microbenchmarks, and
+# write machine-readable results:
 #
-# Usage: scripts/bench_replay.sh [output.json]
-#   BENCH_TIME=3x scripts/bench_replay.sh          # more iterations
-#   PR1_BASELINE_NS=6770397145 scripts/bench_replay.sh
-#     # also report the speedup against a PR 1 (pre-replay) measurement
-#     # of BenchmarkEngineCPA10kSerial taken on the same machine
+#   BENCH_replay.json — ns/op, B/op, allocs/op and traces/s per
+#     benchmark, with every speedup_* field re-derived from this run
+#     (no baked-in baselines from earlier PRs).
+#   BENCH_batch.json — the lane-parallel batch record: fresh batch vs
+#     scalar-replay comparison from this run, plus the previously
+#     recorded BenchmarkEngineCPA10kParallel throughput (read from the
+#     existing BENCH_replay.json before it is overwritten) as the
+#     recorded-baseline reference.
+#
+# Usage: scripts/bench_replay.sh [replay_out.json] [batch_out.json]
+#   BENCH_TIME=3x scripts/bench_replay.sh    # more iterations
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_replay.json}"
+batchout="${2:-BENCH_batch.json}"
 benchtime="${BENCH_TIME:-1x}"
-pr1="${PR1_BASELINE_NS:-}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# The recorded baseline: the parallel benchmark's throughput in the
+# existing BENCH_replay.json, captured before this run overwrites it.
+recorded_tps=""
+recorded_ns=""
+if [ -f "$out" ]; then
+	recorded_tps="$(awk -F'"traces_per_s": ' '/BenchmarkEngineCPA10kParallel/ {split($2, a, "}"); print a[1]}' "$out" | head -n1)"
+	recorded_ns="$(awk -F'"ns_per_op": ' '/BenchmarkEngineCPA10kParallel/ {split($2, a, ","); print a[1]}' "$out" | head -n1)"
+fi
+
 go test -run '^$' \
-	-bench '^(BenchmarkEngineCPA10kSerial|BenchmarkEngineCPA10kSimulate|BenchmarkEngineCPA10kParallel|BenchmarkReplayVM|BenchmarkPipelineSimulation)$' \
+	-bench '^(BenchmarkEngineCPA10kSerial|BenchmarkEngineCPA10kSimulate|BenchmarkEngineCPA10kReplayScalar|BenchmarkEngineCPA10kParallel|BenchmarkReplayVM|BenchmarkBatchVM|BenchmarkPipelineSimulation)$' \
 	-benchtime "$benchtime" -benchmem . | tee "$raw"
 
-awk -v out="$out" -v goversion="$(go version | awk '{print $3}')" -v pr1="$pr1" '
+awk -v out="$out" -v batchout="$batchout" \
+	-v goversion="$(go version | awk '{print $3}')" \
+	-v recorded_tps="$recorded_tps" -v recorded_ns="$recorded_ns" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	ns[name] = $3
 	for (i = 4; i <= NF; i++) {
-		if ($(i) == "B/op")      bytes[name]  = $(i - 1)
-		if ($(i) == "allocs/op") allocs[name] = $(i - 1)
-		if ($(i) == "traces/s")  tps[name]    = $(i - 1)
+		if ($(i) == "B/op")      bytes[name]   = $(i - 1)
+		if ($(i) == "allocs/op") allocs[name]  = $(i - 1)
+		if ($(i) == "traces/s")  tps[name]     = $(i - 1)
+		if ($(i) == "batched")   batched[name] = $(i - 1)
 	}
 	order[n++] = name
 }
@@ -39,7 +56,9 @@ awk -v out="$out" -v goversion="$(go version | awk '{print $3}')" -v pr1="$pr1" 
 END {
 	serial   = ns["BenchmarkEngineCPA10kSerial"]
 	simulate = ns["BenchmarkEngineCPA10kSimulate"]
-	replay   = ns["BenchmarkEngineCPA10kParallel"]
+	scalar   = ns["BenchmarkEngineCPA10kReplayScalar"]
+	batch    = ns["BenchmarkEngineCPA10kParallel"]
+
 	printf "{\n"                                            > out
 	printf "  \"experiment\": \"10k-trace figure-3 streaming CPA, 1-round AES\",\n" >> out
 	printf "  \"go\": \"%s\",\n", goversion                 >> out
@@ -54,22 +73,50 @@ END {
 		printf "}%s\n", (i < n - 1 ? "," : "")              >> out
 	}
 	printf "  },\n"                                         >> out
-	if (serial != "" && replay != "" && simulate != "") {
-		printf "  \"speedup_replay_vs_serial_simulate\": %.2f,\n", serial / replay   >> out
-		printf "  \"speedup_replay_vs_simulate_same_workers\": %.2f,\n", simulate / replay >> out
-	} else {
-		printf "  \"speedup_replay_vs_serial_simulate\": null,\n"    >> out
-		printf "  \"speedup_replay_vs_simulate_same_workers\": null,\n" >> out
-	}
-	if (pr1 != "" && replay != "") {
-		printf "  \"pr1_simulate_serial_ns\": %s,\n", pr1   >> out
-		printf "  \"speedup_replay_vs_pr1_simulate\": %.2f\n", pr1 / replay >> out
-	} else {
-		printf "  \"pr1_simulate_serial_ns\": null,\n"      >> out
-		printf "  \"speedup_replay_vs_pr1_simulate\": null\n" >> out
-	}
+	# Every speedup derives from this run; no baselines are baked in.
+	if (serial != "" && batch != "")   printf "  \"speedup_batch_vs_serial_simulate\": %.2f,\n", serial / batch >> out
+	else                               printf "  \"speedup_batch_vs_serial_simulate\": null,\n" >> out
+	if (simulate != "" && batch != "") printf "  \"speedup_batch_vs_simulate_same_workers\": %.2f,\n", simulate / batch >> out
+	else                               printf "  \"speedup_batch_vs_simulate_same_workers\": null,\n" >> out
+	if (scalar != "" && batch != "")   printf "  \"speedup_batch_vs_scalar_replay\": %.2f,\n", scalar / batch >> out
+	else                               printf "  \"speedup_batch_vs_scalar_replay\": null,\n" >> out
+	if (serial != "" && scalar != "")  printf "  \"speedup_scalar_replay_vs_serial_simulate\": %.2f\n", serial / scalar >> out
+	else                               printf "  \"speedup_scalar_replay_vs_serial_simulate\": null\n" >> out
 	printf "}\n"                                            >> out
+
+	printf "{\n"                                               > batchout
+	printf "  \"experiment\": \"lane-parallel batched replay, 10k-trace figure-3 streaming CPA, 1-round AES\",\n" >> batchout
+	printf "  \"go\": \"%s\",\n", goversion                    >> batchout
+	printf "  \"cpu\": \"%s\",\n", cpu                         >> batchout
+	if (batch != "")
+		printf "  \"batch\": {\"ns_per_op\": %s, \"traces_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"batched\": %s},\n", \
+			batch, tps["BenchmarkEngineCPA10kParallel"], bytes["BenchmarkEngineCPA10kParallel"], \
+			allocs["BenchmarkEngineCPA10kParallel"], batched["BenchmarkEngineCPA10kParallel"] >> batchout
+	else
+		printf "  \"batch\": null,\n"                          >> batchout
+	if (scalar != "")
+		printf "  \"scalar_replay\": {\"ns_per_op\": %s, \"traces_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+			scalar, tps["BenchmarkEngineCPA10kReplayScalar"], bytes["BenchmarkEngineCPA10kReplayScalar"], \
+			allocs["BenchmarkEngineCPA10kReplayScalar"] >> batchout
+	else
+		printf "  \"scalar_replay\": null,\n"                  >> batchout
+	if ("BenchmarkBatchVM" in ns)
+		printf "  \"batch_vm\": {\"ns_per_op\": %s, \"traces_per_s\": %s},\n", ns["BenchmarkBatchVM"], tps["BenchmarkBatchVM"] >> batchout
+	if (scalar != "" && batch != "")
+		printf "  \"speedup_batch_vs_scalar_replay\": %.2f,\n", scalar / batch >> batchout
+	else
+		printf "  \"speedup_batch_vs_scalar_replay\": null,\n" >> batchout
+	if (recorded_tps != "" && tps["BenchmarkEngineCPA10kParallel"] != "") {
+		printf "  \"recorded_parallel_traces_per_s\": %s,\n", recorded_tps >> batchout
+		printf "  \"recorded_parallel_ns_per_op\": %s,\n", recorded_ns >> batchout
+		printf "  \"speedup_batch_vs_recorded_parallel\": %.2f\n", tps["BenchmarkEngineCPA10kParallel"] / recorded_tps >> batchout
+	} else {
+		printf "  \"recorded_parallel_traces_per_s\": null,\n"  >> batchout
+		printf "  \"recorded_parallel_ns_per_op\": null,\n"     >> batchout
+		printf "  \"speedup_batch_vs_recorded_parallel\": null\n" >> batchout
+	}
+	printf "}\n"                                               >> batchout
 }
 ' "$raw"
 
-echo "wrote $out"
+echo "wrote $out and $batchout"
