@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"math"
@@ -23,10 +22,9 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/attack"
+	"repro/internal/cliutil"
 	"repro/internal/engine"
 )
-
-var defaultKey = [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
 
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "aescpa:", msg)
@@ -34,6 +32,9 @@ func fail(msg string) {
 }
 
 func main() {
+	var ef cliutil.EngineFlags
+	ef.Register(flag.CommandLine)
+	ef.RegisterReplay(flag.CommandLine)
 	fig3 := flag.Bool("fig3", false, "run the Figure 3 bare-metal attack")
 	fig4 := flag.Bool("fig4", false, "run the Figure 4 loaded-Linux attack")
 	traces := flag.Int("traces", 0, "acquisitions (0: per-figure default)")
@@ -41,15 +42,12 @@ func main() {
 	rounds := flag.Int("rounds", 0, "simulated cipher rounds (0: default)")
 	avg := flag.Int("avg", 0, "per-acquisition averaging (0: default)")
 	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
-	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
-	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
-	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
-	mode, err := engine.ParseMode(*replayFlag)
-	if err != nil {
+	if err := ef.Finish(); err != nil {
 		fail(err.Error())
 	}
+	mode := ef.Mode
 	switch {
 	case *traces < 0:
 		fail(fmt.Sprintf("-traces must be >= 0, got %d", *traces))
@@ -57,19 +55,13 @@ func main() {
 		fail(fmt.Sprintf("-rounds must be in 0..%d, got %d", aes.Rounds, *rounds))
 	case *avg < 0:
 		fail(fmt.Sprintf("-avg must be >= 0, got %d", *avg))
-	case *workers < 0:
-		fail(fmt.Sprintf("-workers must be >= 0, got %d", *workers))
 	case *keyByte < -1 || *keyByte >= aes.BlockSize:
 		fail(fmt.Sprintf("-keybyte must be in 0..%d (or -1 for the default), got %d", aes.BlockSize-1, *keyByte))
 	}
 
-	key := defaultKey
-	if *keyHex != "" {
-		raw, err := hex.DecodeString(*keyHex)
-		if err != nil || len(raw) != 16 {
-			fail("key must be 32 hex digits")
-		}
-		copy(key[:], raw)
+	key, err := attack.ParseKey(*keyHex)
+	if err != nil {
+		fail(err.Error())
 	}
 	if !*fig3 && !*fig4 {
 		*fig3, *fig4 = true, true
@@ -92,8 +84,8 @@ func main() {
 		if *avg > 0 {
 			opt.Averages = *avg
 		}
-		opt.Workers = *workers
-		opt.Lanes = *lanes
+		opt.Workers = ef.Workers
+		opt.Lanes = ef.Lanes
 		opt.Synth = mode
 		res, err := attack.RunFigure3(key, opt)
 		if err != nil {
@@ -126,8 +118,8 @@ func main() {
 		if *avg > 0 {
 			opt.Averages = *avg
 		}
-		opt.Workers = *workers
-		opt.Lanes = *lanes
+		opt.Workers = ef.Workers
+		opt.Lanes = ef.Lanes
 		opt.Synth = mode
 		res, err := attack.RunFigure4(key, opt)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 )
 
 func fail(msg string) {
@@ -60,11 +61,11 @@ const exampleSpec = `{
 `
 
 func main() {
+	var ef cliutil.EngineFlags
+	ef.RegisterWorkersUsage(flag.CommandLine, "per-scenario engine workers (0: spec value, else one per core)")
 	specPath := flag.String("spec", "", "campaign spec (JSON) to execute")
 	resultsPath := flag.String("results", "", "existing results JSON to render or splice instead of running")
 	outDir := flag.String("out", "out", "output directory for results.json, results.csv, report.md and the checkpoint")
-	workers := flag.Int("workers", 0, "per-scenario engine workers (0: spec value, else one per core)")
-	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
 	shards := flag.Int("shards", 0, "concurrently executed scenarios (0: spec value, else 1)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -out instead of starting over")
 	report := flag.Bool("report", false, "with -results: print the Markdown report to stdout")
@@ -73,10 +74,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-scenario progress lines")
 	flag.Parse()
 
-	switch {
-	case *workers < 0:
-		fail("-workers must be >= 0")
-	case *shards < 0:
+	if err := ef.Finish(); err != nil {
+		fail(err.Error())
+	}
+	if *shards < 0 {
 		fail("-shards must be >= 0")
 	}
 
@@ -114,8 +115,8 @@ func main() {
 		fail(err.Error())
 	}
 	opt := campaign.RunOptions{
-		Workers:        *workers,
-		Lanes:          *lanes,
+		Workers:        ef.Workers,
+		Lanes:          ef.Lanes,
 		Shards:         *shards,
 		CheckpointPath: filepath.Join(*outDir, "checkpoint.jsonl"),
 		Resume:         *resume,

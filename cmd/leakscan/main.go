@@ -16,24 +16,23 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/engine"
+	"repro/internal/cliutil"
 	"repro/internal/leakscan"
 )
 
 func main() {
 	opt := leakscan.DefaultOptions()
+	var ef cliutil.EngineFlags
+	ef.Register(flag.CommandLine)
+	ef.RegisterReplay(flag.CommandLine)
 	traces := flag.Int("traces", opt.Traces, "acquisitions per benchmark (paper: 100k on hardware)")
 	row := flag.Int("row", 0, "run a single Table 2 row (1..7); 0 runs all")
 	noAlign := flag.Bool("noalign", false, "ablation: remove the LSU align buffer")
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
-	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
-	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
-	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
 	flag.Parse()
 
-	mode, err := engine.ParseMode(*replayFlag)
-	if err != nil {
+	if err := ef.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "leakscan:", err)
 		os.Exit(1)
 	}
@@ -41,14 +40,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "leakscan: -traces must be >= 8, got %d\n", *traces)
 		os.Exit(1)
 	}
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "leakscan: -workers must be >= 0, got %d\n", *workers)
-		os.Exit(1)
-	}
 	opt.Traces = *traces
-	opt.Workers = *workers
-	opt.Lanes = *lanes
-	opt.Synth = mode
+	opt.Workers = ef.Workers
+	opt.Lanes = ef.Lanes
+	opt.Synth = ef.Mode
 	if *noAlign {
 		opt.Core.AlignBuffer = false
 	}

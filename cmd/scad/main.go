@@ -1,0 +1,101 @@
+// Command scad serves the repository's side-channel-analysis pipelines
+// as a long-running, caching HTTP JSON service: the §5 attacks
+// (POST /v1/attack), the §4 leakage scans (POST /v1/leakscan) and whole
+// campaigns (POST /v1/campaign, asynchronous with progress polling at
+// GET /v1/jobs/{id} and SSE at GET /v1/jobs/{id}/events).
+//
+// Every result is a pure function of its canonical request, so
+// responses are served from a content-addressed cache: repeated or
+// concurrent identical requests cost one computation and return
+// byte-identical bodies (GET /v1/results/{fingerprint} retrieves any
+// of them later). When the bounded compute queue is full the service
+// sheds load with 429 + Retry-After instead of queueing unboundedly.
+//
+// Usage:
+//
+//	scad [-addr :8715] [-workers W] [-lanes L] [-max-jobs N] [-queue N]
+//	     [-cache N] [-spill results.jsonl] [-gate W] [-keep-jobs N]
+//
+// Example session:
+//
+//	scad -spill results.jsonl &
+//	curl -s localhost:8715/v1/attack -d '{"figure":"fig3","traces":2000,"rounds":2}'
+//	curl -s localhost:8715/v1/campaign -d @campaigns/paper.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "scad:", msg)
+	os.Exit(1)
+}
+
+func main() {
+	var ef cliutil.EngineFlags
+	ef.Register(flag.CommandLine)
+	addr := flag.String("addr", ":8715", "listen address")
+	maxJobs := flag.Int("max-jobs", 0, "computations running at once (0: 2)")
+	queue := flag.Int("queue", 0, "computations allowed to wait behind the running ones before 429 (0: 8, negative: none)")
+	cacheEntries := flag.Int("cache", 0, "in-memory result cache entries (0: 256)")
+	spill := flag.String("spill", "", "JSONL spill file persisting results across restarts (empty: memory only)")
+	gate := flag.Int("gate", 0, "total chunk-synthesis concurrency across all computations (0: one per core, negative: ungated)")
+	keepJobs := flag.Int("keep-jobs", 0, "finished campaign jobs kept for polling (0: 64)")
+	flag.Parse()
+
+	if err := ef.Finish(); err != nil {
+		fail(err.Error())
+	}
+
+	srv, err := serve.New(serve.Options{
+		Workers:       ef.Workers,
+		Lanes:         ef.Lanes,
+		MaxConcurrent: *maxJobs,
+		MaxQueue:      *queue,
+		CacheEntries:  *cacheEntries,
+		SpillPath:     *spill,
+		GateWidth:     *gate,
+		KeepJobs:      *keepJobs,
+	})
+	if err != nil {
+		fail(err.Error())
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "scad: serving on %s\n", *addr)
+	select {
+	case err := <-done:
+		srv.Close()
+		fail(err.Error())
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "scad: %v, shutting down\n", s)
+	}
+
+	// Drain in-flight HTTP exchanges, then cancel any remaining
+	// computations and release the spill file.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "scad: shutdown:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "scad: close:", err)
+	}
+}

@@ -15,7 +15,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +22,7 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/attack"
+	"repro/internal/cliutil"
 	"repro/internal/engine"
 	"repro/internal/osnoise"
 	"repro/internal/pipeline"
@@ -36,22 +36,22 @@ func fail(msg string) {
 }
 
 func main() {
+	var ef cliutil.EngineFlags
+	ef.Register(flag.CommandLine)
+	ef.RegisterSeed(flag.CommandLine, 1)
+	ef.RegisterReplay(flag.CommandLine)
 	n := flag.Int("n", 1000, "number of traces")
 	rounds := flag.Int("rounds", 1, "simulated AES rounds")
 	avg := flag.Int("avg", 4, "per-acquisition averaging")
 	noisy := flag.Bool("noise", false, "acquire under the loaded-Linux environment")
 	out := flag.String("o", "traces.bin", "output file")
-	keyHex := flag.String("key", "2b7e151628aed2a6abf7158809cf4f3c", "AES-128 key (32 hex digits)")
-	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "trace-synthesis workers (0: one per core)")
-	lanes := flag.Int("lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
-	replayFlag := flag.String("replay", "auto", "trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
+	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
 	flag.Parse()
 
-	mode, err := engine.ParseMode(*replayFlag)
-	if err != nil {
+	if err := ef.Finish(); err != nil {
 		fail(err.Error())
 	}
+	mode := ef.Mode
 	switch {
 	case *n < 0:
 		fail(fmt.Sprintf("-n must be >= 0, got %d", *n))
@@ -59,16 +59,12 @@ func main() {
 		fail(fmt.Sprintf("-rounds must be in 1..%d, got %d", aes.Rounds, *rounds))
 	case *avg < 1:
 		fail(fmt.Sprintf("-avg must be >= 1, got %d", *avg))
-	case *workers < 0:
-		fail(fmt.Sprintf("-workers must be >= 0, got %d", *workers))
 	}
 
-	raw, err := hex.DecodeString(*keyHex)
-	if err != nil || len(raw) != 16 {
-		fail("key must be 32 hex digits")
+	key, err := attack.ParseKey(*keyHex)
+	if err != nil {
+		fail(err.Error())
 	}
-	var key [16]byte
-	copy(key[:], raw)
 
 	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), key, aes.ProgramOptions{Rounds: *rounds, PadNops: 8})
 	if err != nil {
@@ -125,7 +121,7 @@ func main() {
 		bs := engine.BatchStream{
 			Synth: synth,
 			Model: &model,
-			Lanes: *lanes,
+			Lanes: ef.Lanes,
 			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error) {
 				var pt [16]byte
 				rng.Read(pt[:])
@@ -142,7 +138,7 @@ func main() {
 			},
 			Scalar: scalar,
 		}
-		err = engine.StreamBatched(engine.Config{Workers: *workers}, *n, *seed, bs,
+		err = engine.StreamBatched(engine.Config{Workers: ef.Workers}, *n, ef.Seed, bs,
 			func(i int, tr trace.Trace, aux []byte) error {
 				return sw.Append(tr, aux)
 			})

@@ -18,6 +18,12 @@
 // synthesis fused into the replay (internal/replay, DESIGN.md §7 and
 // §9) — and results stay bit-identical for every replay lane width.
 //
+// Because every experiment is a pure function of its canonical
+// request, the pipelines also serve: cmd/scad (internal/serve) is a
+// long-running HTTP JSON service answering repeated or concurrent
+// identical requests from a content-addressed result cache with
+// byte-identical bodies (DESIGN.md §10).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmark
 // harness in bench_test.go regenerates every table and figure:

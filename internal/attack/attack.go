@@ -6,6 +6,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -70,6 +71,13 @@ type Fig3Options struct {
 	// otherwise 1..replay.MaxLanes. Results are bit-identical for every
 	// value.
 	Lanes int
+	// Ctx, when non-nil, cancels trace synthesis between chunks — the
+	// hook a serving layer uses to abandon requests. Like Workers and
+	// Lanes it never changes result bits, only whether a result arrives.
+	Ctx context.Context
+	// Gate, when non-nil, bounds synthesis concurrency across every run
+	// sharing it (see engine.Gate).
+	Gate *engine.Gate
 }
 
 // DefaultFig3Options returns a configuration resolving the key in
@@ -170,7 +178,7 @@ func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
 	}
 
 	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers},
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed},
 		fig3BatchGen(tgt, synth, opt))
 	if err != nil {
@@ -327,6 +335,11 @@ type Fig4Options struct {
 	// Lanes is the lane-parallel replay batch width (0: default,
 	// negative: scalar path); results are bit-identical for every value.
 	Lanes int
+	// Ctx, when non-nil, cancels trace synthesis between chunks.
+	Ctx context.Context
+	// Gate, when non-nil, bounds synthesis concurrency across every run
+	// sharing it.
+	Gate *engine.Gate
 }
 
 // DefaultFig4Options mirrors the paper's Figure 4 acquisition: 100
@@ -434,7 +447,7 @@ func RunFigure4(key [aes.KeySize]byte, opt Fig4Options) (*Fig4Result, error) {
 		return nil
 	}
 	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers},
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: engine.HypothesisBanks(256), Seed: opt.Seed},
 		engine.BatchGen{
 			Synth: synth,

@@ -91,7 +91,7 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 		return nil
 	}
 	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers},
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(aes.BlockSize), Seed: opt.Seed},
 		engine.BatchGen{
 			Synth: synth,
@@ -160,7 +160,7 @@ func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.R
 
 	curve := &sca.RankCurve{}
 	_, err = engine.RunBatched(
-		engine.Config{Workers: opt.Workers},
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{
 			Traces: max, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed,
 			Checkpoints: sorted,

@@ -26,13 +26,13 @@ package campaign
 
 import (
 	"bytes"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/aes"
+	"repro/internal/attack"
 )
 
 // Kind names one workload family a scenario can execute.
@@ -157,23 +157,15 @@ type Spec struct {
 }
 
 // DefaultKey is the AES-128 key attacked when a Spec names none: the
-// FIPS SP800-38A example key, matching cmd/aescpa.
-var DefaultKey = [aes.KeySize]byte{
-	0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
-	0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
-}
+// FIPS SP800-38A example key (attack.DefaultKey), matching cmd/aescpa.
+var DefaultKey = attack.DefaultKey
 
 // AttackKey returns the spec's AES key.
 func (s *Spec) AttackKey() ([aes.KeySize]byte, error) {
-	if s.Key == "" {
-		return DefaultKey, nil
-	}
-	raw, err := hex.DecodeString(s.Key)
-	if err != nil || len(raw) != aes.KeySize {
+	k, err := attack.ParseKey(s.Key)
+	if err != nil {
 		return DefaultKey, fmt.Errorf("campaign: key must be %d hex digits", 2*aes.KeySize)
 	}
-	var k [aes.KeySize]byte
-	copy(k[:], raw)
 	return k, nil
 }
 
@@ -300,5 +292,5 @@ func ParseSpec(raw []byte) (*Spec, error) {
 func (s *Spec) Fingerprint() string {
 	c := *s
 	c.Workers, c.Shards = 0, 0
-	return canonicalDigest(&c)
+	return CanonicalDigest(&c)
 }

@@ -256,7 +256,7 @@ func TestExecuteDeterministicPerScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if canonicalDigest(a) != canonicalDigest(b) {
+	if CanonicalDigest(a) != CanonicalDigest(b) {
 		t.Fatal("Execute is not deterministic across worker counts and lane widths")
 	}
 }

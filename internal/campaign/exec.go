@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 
 	"repro/internal/aes"
 	"repro/internal/attack"
 	"repro/internal/cpi"
+	"repro/internal/engine"
 	"repro/internal/leakscan"
 )
 
@@ -16,12 +18,24 @@ import (
 // executions — on any shard, at any worker count, at any replay lane
 // width — produce identical results.
 func Execute(sc *Scenario, key [aes.KeySize]byte, workers, lanes int) (*ScenarioResult, error) {
+	return ExecuteContext(context.Background(), sc, key, workers, lanes, nil)
+}
+
+// ExecuteContext is Execute with cancellation and an optional shared
+// synthesis gate — the runner-as-library entry point a long-lived
+// service drives concurrent scenarios through. Cancellation aborts the
+// scenario between engine chunks; it never produces a partial result.
+func ExecuteContext(ctx context.Context, sc *Scenario, key [aes.KeySize]byte, workers, lanes int, gate *engine.Gate) (*ScenarioResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := &ScenarioResult{
 		ID:       sc.ID,
 		Kind:     sc.Kind,
 		Ablation: sc.Ablation.Name,
 		Seed:     sc.Seed,
 	}
+	ex := execEnv{ctx: ctx, workers: workers, lanes: lanes, gate: gate}
 	var err error
 	switch sc.Kind {
 	case KindTable1:
@@ -29,22 +43,36 @@ func Execute(sc *Scenario, key [aes.KeySize]byte, workers, lanes int) (*Scenario
 	case KindFigure2:
 		err = execFigure2(sc, out)
 	case KindTable2:
-		err = execTable2(sc, out, workers, lanes)
+		err = execTable2(sc, out, ex)
 	case KindFig3:
-		err = execFig3(sc, out, key, workers, lanes)
+		err = execFig3(sc, out, key, ex)
 	case KindFig4:
-		err = execFig4(sc, out, key, workers, lanes)
+		err = execFig4(sc, out, key, ex)
 	case KindFullKey:
-		err = execFullKey(sc, out, key, workers, lanes)
+		err = execFullKey(sc, out, key, ex)
 	case KindRankEvo:
-		err = execRankEvo(sc, out, key, workers, lanes)
+		err = execRankEvo(sc, out, key, ex)
 	default:
 		err = fmt.Errorf("campaign: unknown kind %q", sc.Kind)
+	}
+	if err == nil {
+		// The cycle-count kinds never observe ctx; honor cancellation
+		// uniformly so a canceled campaign cannot half-commit.
+		err = ctx.Err()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("campaign: scenario %s: %w", sc.ID, err)
 	}
 	return out, nil
+}
+
+// execEnv carries the scheduling knobs of one scenario execution —
+// never result-affecting.
+type execEnv struct {
+	ctx     context.Context
+	workers int
+	lanes   int
+	gate    *engine.Gate
 }
 
 // sigma resolves the scenario's noise override against the model
@@ -112,14 +140,16 @@ func execFigure2(sc *Scenario, out *ScenarioResult) error {
 	return nil
 }
 
-func execTable2(sc *Scenario, out *ScenarioResult, workers, lanes int) error {
+func execTable2(sc *Scenario, out *ScenarioResult, ex execEnv) error {
 	opt := leakscan.DefaultOptions()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
-	opt.Workers = workers
-	opt.Lanes = lanes
+	opt.Workers = ex.workers
+	opt.Lanes = ex.lanes
+	opt.Ctx = ex.ctx
+	opt.Gate = ex.gate
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -170,14 +200,16 @@ func execTable2(sc *Scenario, out *ScenarioResult, workers, lanes int) error {
 
 // fig3Options assembles the attack options shared by the fig3-model
 // kinds (fig3, fullkey, rankevo).
-func (sc *Scenario) fig3Options(workers, lanes int) attack.Fig3Options {
+func (sc *Scenario) fig3Options(ex execEnv) attack.Fig3Options {
 	opt := attack.DefaultFig3Options()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
-	opt.Workers = workers
-	opt.Lanes = lanes
+	opt.Workers = ex.workers
+	opt.Lanes = ex.lanes
+	opt.Ctx = ex.ctx
+	opt.Gate = ex.gate
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -194,8 +226,8 @@ func (sc *Scenario) fig3Options(workers, lanes int) attack.Fig3Options {
 	return opt
 }
 
-func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
-	opt := sc.fig3Options(workers, lanes)
+func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
+	opt := sc.fig3Options(ex)
 	res, err := attack.RunFigure3(key, opt)
 	if err != nil {
 		return err
@@ -224,14 +256,16 @@ func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers,
 	return nil
 }
 
-func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
+func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
 	opt := attack.DefaultFig4Options()
 	opt.Core = sc.Ablation.Core
 	opt.Model = sc.Ablation.Model
 	opt.Model.NoiseSigma = sc.sigma()
 	opt.Seed = sc.Seed
-	opt.Workers = workers
-	opt.Lanes = lanes
+	opt.Workers = ex.workers
+	opt.Lanes = ex.lanes
+	opt.Ctx = ex.ctx
+	opt.Gate = ex.gate
 	opt.Synth = sc.Synth
 	if sc.Traces > 0 {
 		opt.Traces = sc.Traces
@@ -267,8 +301,8 @@ func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers,
 	return nil
 }
 
-func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
-	opt := sc.fig3Options(workers, lanes)
+func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
+	opt := sc.fig3Options(ex)
 	res, err := attack.RecoverFullKey(key, opt)
 	if err != nil {
 		return err
@@ -286,8 +320,8 @@ func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, worke
 	return nil
 }
 
-func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, workers, lanes int) error {
-	opt := sc.fig3Options(workers, lanes)
+func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
+	opt := sc.fig3Options(ex)
 	curve, err := attack.RankEvolution(key, opt, sc.Counts)
 	if err != nil {
 		return err

@@ -3,11 +3,14 @@ package campaign
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/engine"
 )
 
 // RunOptions tunes one campaign execution without touching the spec (so
@@ -37,6 +40,14 @@ type RunOptions struct {
 	// completion order; cached reports a checkpoint hit. Test hook and
 	// progress seam — must be safe for concurrent calls when Shards > 1.
 	OnScenario func(sr *ScenarioResult, cached bool)
+	// Ctx, when non-nil, cancels the campaign: in-flight scenarios abort
+	// between engine chunks and Run returns the context's error.
+	// Already-checkpointed scenarios stay checkpointed, so a canceled
+	// run resumes where it left off.
+	Ctx context.Context
+	// Gate, when non-nil, bounds trace-synthesis concurrency across
+	// every campaign and request sharing it (see engine.Gate).
+	Gate *engine.Gate
 }
 
 // checkpointHeader is the first line of a checkpoint file.
@@ -278,11 +289,16 @@ func Run(spec *Spec, opt RunOptions) (*Results, error) {
 		pendingIdx = append(pendingIdx, i)
 	}
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	// Shards pull scenario indexes from a channel; results land in their
 	// enumeration slot, so completion order never reaches the artifacts.
 	err = runShards(shards, pendingIdx, func(i int) error {
 		sc := &scenarios[i]
-		sr, err := Execute(sc, key, workers, opt.Lanes)
+		sr, err := ExecuteContext(ctx, sc, key, workers, opt.Lanes, opt.Gate)
 		if err != nil {
 			return err
 		}

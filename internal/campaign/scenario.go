@@ -188,10 +188,12 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 	return out, nil
 }
 
-// canonicalDigest returns the hex SHA-256 of v's canonical JSON
+// CanonicalDigest returns the hex SHA-256 of v's canonical JSON
 // encoding. encoding/json emits struct fields in declaration order and
-// map keys sorted, so the digest is stable for a given value.
-func canonicalDigest(v any) string {
+// map keys sorted, so the digest is stable for a given value — the
+// fingerprinting primitive shared by Spec.Fingerprint and the serving
+// layer's request cache keys.
+func CanonicalDigest(v any) string {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		// Spec and result types marshal by construction.

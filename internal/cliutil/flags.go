@@ -1,0 +1,71 @@
+// Package cliutil deduplicates the engine-tuning command-line plumbing
+// shared by the tools: every binary that drives the synthesis engine
+// spells -workers, -lanes, -seed and -replay the same way, validates
+// them the same way, and documents the same determinism contract
+// (results are bit-identical for any -workers/-lanes value).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// EngineFlags bundles the shared engine flags. Register the subsets a
+// tool needs, call Finish after flag.Parse, then read the fields.
+type EngineFlags struct {
+	// Workers is the -workers value (0: one per core).
+	Workers int
+	// Lanes is the -lanes value (0: default width, negative: scalar
+	// per-trace replay).
+	Lanes int
+	// Seed is the -seed value (only meaningful after RegisterSeed).
+	Seed int64
+	// Mode is the parsed -replay value (engine.ModeAuto unless
+	// RegisterReplay was used and the flag was set otherwise).
+	Mode engine.Mode
+
+	replay string
+}
+
+// Register adds the flags every engine-driving tool shares: -workers
+// and -lanes.
+func (f *EngineFlags) Register(fs *flag.FlagSet) {
+	f.RegisterWorkersUsage(fs, "trace-synthesis workers (0: one per core)")
+}
+
+// RegisterWorkersUsage is Register with tool-specific -workers help
+// text, for tools whose zero value resolves differently (cmd/campaign's
+// 0 defers to the spec).
+func (f *EngineFlags) RegisterWorkersUsage(fs *flag.FlagSet, workersUsage string) {
+	fs.IntVar(&f.Workers, "workers", 0, workersUsage)
+	fs.IntVar(&f.Lanes, "lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
+}
+
+// RegisterSeed adds -seed with the given default.
+func (f *EngineFlags) RegisterSeed(fs *flag.FlagSet, def int64) {
+	fs.Int64Var(&f.Seed, "seed", def, "random seed")
+}
+
+// RegisterReplay adds -replay.
+func (f *EngineFlags) RegisterReplay(fs *flag.FlagSet) {
+	fs.StringVar(&f.replay, "replay", "auto",
+		"trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
+}
+
+// Finish validates the registered flags after parsing and resolves
+// Mode. Call it once flag.Parse has run.
+func (f *EngineFlags) Finish() error {
+	if f.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", f.Workers)
+	}
+	if f.replay != "" {
+		mode, err := engine.ParseMode(f.replay)
+		if err != nil {
+			return err
+		}
+		f.Mode = mode
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func parseWith(t *testing.T, args []string, register func(*EngineFlags, *flag.FlagSet)) (*EngineFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f EngineFlags
+	register(&f, fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &f, f.Finish()
+}
+
+func TestEngineFlagsDefaults(t *testing.T) {
+	f, err := parseWith(t, nil, func(f *EngineFlags, fs *flag.FlagSet) {
+		f.Register(fs)
+		f.RegisterSeed(fs, 7)
+		f.RegisterReplay(fs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 0 || f.Lanes != 0 || f.Seed != 7 || f.Mode != engine.ModeAuto {
+		t.Fatalf("defaults wrong: %+v", f)
+	}
+}
+
+func TestEngineFlagsParse(t *testing.T) {
+	f, err := parseWith(t, []string{"-workers", "3", "-lanes", "-1", "-replay", "simulate", "-seed", "9"},
+		func(f *EngineFlags, fs *flag.FlagSet) {
+			f.Register(fs)
+			f.RegisterSeed(fs, 1)
+			f.RegisterReplay(fs)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 3 || f.Lanes != -1 || f.Seed != 9 || f.Mode != engine.ModeSimulate {
+		t.Fatalf("parsed wrong: %+v", f)
+	}
+}
+
+func TestEngineFlagsValidation(t *testing.T) {
+	if _, err := parseWith(t, []string{"-workers", "-2"}, func(f *EngineFlags, fs *flag.FlagSet) {
+		f.Register(fs)
+	}); err == nil {
+		t.Fatal("negative workers must be rejected")
+	}
+	if _, err := parseWith(t, []string{"-replay", "warp"}, func(f *EngineFlags, fs *flag.FlagSet) {
+		f.Register(fs)
+		f.RegisterReplay(fs)
+	}); err == nil {
+		t.Fatal("unknown replay mode must be rejected")
+	}
+}
+
+func TestFinishWithoutReplayKeepsAuto(t *testing.T) {
+	f, err := parseWith(t, []string{"-workers", "2"}, func(f *EngineFlags, fs *flag.FlagSet) {
+		f.Register(fs)
+	})
+	if err != nil || f.Mode != engine.ModeAuto {
+		t.Fatalf("mode %v err %v", f.Mode, err)
+	}
+}

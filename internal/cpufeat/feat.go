@@ -1,0 +1,23 @@
+package cpufeat
+
+import "os"
+
+// ForcePortableEnv is the environment variable that disables every SIMD
+// kernel at process start, forcing the portable Go references
+// everywhere. CI's forced-portable matrix leg sets it so the portable
+// sca/replay code paths run under the race detector on machines that DO
+// have the vector extensions — the bitwise asm/portable pins are only
+// meaningful when both sides actually execute.
+const ForcePortableEnv = "REPRO_FORCE_PORTABLE"
+
+// ForcedPortable reports that ForcePortableEnv disabled the SIMD
+// kernels for this process. Semantics are unaffected by construction —
+// every kernel is bitwise-pinned to its portable reference — so the
+// gate only selects which implementation runs.
+var ForcedPortable = forcedPortable(os.Getenv(ForcePortableEnv))
+
+// forcedPortable interprets the variable's value: unset, empty and "0"
+// leave the kernels on; anything else forces portable.
+func forcedPortable(v string) bool {
+	return v != "" && v != "0"
+}

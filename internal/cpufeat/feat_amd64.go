@@ -7,12 +7,14 @@
 // changes which implementation runs.
 package cpufeat
 
-// AVX reports AVX support by CPU and OS.
-var AVX = cpuHasAVX()
+// AVX reports AVX support by CPU and OS (and not disabled via
+// ForcePortableEnv).
+var AVX = !ForcedPortable && cpuHasAVX()
 
 // AVX512 reports AVX-512 Foundation support (F+DQ, the subset the
-// float64 kernels use) by CPU and OS.
-var AVX512 = cpuHasAVX512()
+// float64 kernels use) by CPU and OS (and not disabled via
+// ForcePortableEnv).
+var AVX512 = !ForcedPortable && cpuHasAVX512()
 
 // AVX512Popcnt reports the AVX512_VPOPCNTDQ extension used by the
 // replay batch VM's Hamming-weight lanes.

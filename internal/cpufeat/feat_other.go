@@ -3,7 +3,7 @@
 package cpufeat
 
 // No SIMD kernels exist off amd64; every consumer runs its portable
-// reference implementation.
+// reference implementation (ForcePortableEnv is accepted but moot).
 var (
 	AVX          = false
 	AVX512       = false

@@ -372,6 +372,13 @@ func StreamBatched(cfg Config, n int, seed int64, bs BatchStream, emit Emit) err
 	cs := chunks(n, cfg.chunkSize(), nil)
 
 	work := func(idx int) ([]item, error) {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := cfg.Gate.acquire(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		defer cfg.Gate.release()
 		c := cs[idx]
 		items := make([]item, c.end-c.start)
 		rngs := make([]*rand.Rand, 0, lanes)

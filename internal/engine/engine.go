@@ -22,6 +22,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -44,6 +45,23 @@ type Config struct {
 	// ChunkSize is the per-chunk trace count; <= 0 selects
 	// DefaultChunkSize.
 	ChunkSize int
+	// Ctx, when non-nil, cancels the run: workers observe it between
+	// chunks, so a run aborts within one chunk's worth of synthesis and
+	// Run returns the context's error. Cancellation never corrupts
+	// results — a canceled run returns no accumulators at all.
+	Ctx context.Context
+	// Gate, when non-nil, bounds chunk-synthesis concurrency across
+	// every run sharing it (see Gate). Purely a scheduling constraint:
+	// accumulator bits are unchanged by it.
+	Gate *Gate
+}
+
+// ctxErr reports the configured context's cancellation state.
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 func (c Config) workers() int {
@@ -282,6 +300,13 @@ func runChunked(cfg Config, spec Spec, fill func(c chunk, bb *batchBuf) error) (
 	}}
 
 	work := func(idx int) (*batchBuf, error) {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := cfg.Gate.acquire(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		defer cfg.Gate.release()
 		bb := batches.Get().(*batchBuf)
 		if err := fill(cs[idx], bb); err != nil {
 			batches.Put(bb)

@@ -32,6 +32,13 @@ func Stream(cfg Config, n int, seed int64, produce Produce, emit Emit) error {
 	cs := chunks(n, cfg.chunkSize(), nil)
 
 	work := func(idx int) ([]item, error) {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := cfg.Gate.acquire(cfg.Ctx); err != nil {
+			return nil, err
+		}
+		defer cfg.Gate.release()
 		c := cs[idx]
 		items := make([]item, 0, c.end-c.start)
 		for i := c.start; i < c.end; i++ {

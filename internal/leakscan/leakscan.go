@@ -8,6 +8,7 @@
 package leakscan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -168,6 +169,11 @@ type Options struct {
 	// Lanes is the lane-parallel replay batch width (0: default,
 	// negative: scalar path); results are bit-identical for every value.
 	Lanes int
+	// Ctx, when non-nil, cancels trace synthesis between chunks.
+	Ctx context.Context
+	// Gate, when non-nil, bounds synthesis concurrency across every run
+	// sharing it.
+	Gate *engine.Gate
 }
 
 // DefaultOptions returns the paper's §4 methodology scaled to the
@@ -319,7 +325,7 @@ func RunBenchmark(b *Benchmark, opt Options) (*BenchResult, error) {
 		return nil
 	}
 	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers},
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: engine.HypothesisBanks(len(b.Exprs)), Seed: opt.Seed},
 		engine.BatchGen{
 			Synth: synth,

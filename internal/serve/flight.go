@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBusy reports that the bounded job queue is full; HTTP handlers map
+// it to 429 with a Retry-After header — backpressure instead of
+// unbounded latency.
+var ErrBusy = errors.New("serve: job queue full")
+
+// limiter is the bounded compute queue over the shared engine pool: at
+// most `slots` computations run at once, at most maxWait more may queue
+// behind them, and anything beyond that is refused immediately with
+// ErrBusy.
+type limiter struct {
+	slots   chan struct{}
+	mu      sync.Mutex
+	waiting int
+	maxWait int
+}
+
+func newLimiter(concurrent, maxWait int) *limiter {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &limiter{slots: make(chan struct{}, concurrent), maxWait: maxWait}
+}
+
+// acquire takes a compute slot, queueing within the waiting bound. It
+// returns ErrBusy when the queue is full and the context's error when
+// the caller gives up first.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	l.mu.Lock()
+	if l.waiting >= l.maxWait {
+		l.mu.Unlock()
+		return ErrBusy
+	}
+	l.waiting++
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		l.mu.Unlock()
+	}()
+	if ctx == nil {
+		l.slots <- struct{}{}
+		return nil
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// saturated reports that a new computation would be refused right now —
+// the advisory pre-check async job submission uses.
+func (l *limiter) saturated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.slots) == cap(l.slots) && l.waiting >= l.maxWait
+}
+
+// flight is one in-progress computation shared by every concurrent
+// request for the same fingerprint.
+type flight struct {
+	done    chan struct{}
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// flightGroup collapses concurrent identical requests: the first
+// request for a fingerprint computes, the rest wait and share the same
+// bytes. The computation runs under its own context, derived from the
+// server's base context and canceled only when every waiter has walked
+// away — so one impatient client cannot abort a result others are
+// waiting for, while a computation nobody wants anymore stops within
+// one engine chunk and leaves the cache clean.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do returns the computation's bytes for key, starting it if no flight
+// is in progress. shared reports that the call joined an existing
+// flight. ctx is the caller's (per-request) context; base is the
+// lifetime the computation itself runs under.
+func (g *flightGroup) do(ctx, base context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		body, err = g.wait(ctx, f)
+		return body, true, err
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	fctx, cancel := context.WithCancel(base)
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		f.body, f.err = compute(fctx)
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	body, err = g.wait(ctx, f)
+	return body, false, err
+}
+
+// wait blocks until the flight finishes or the caller's context fires;
+// a departing last waiter cancels the flight.
+func (g *flightGroup) wait(ctx context.Context, f *flight) ([]byte, error) {
+	if ctx == nil {
+		<-f.done
+		return f.body, f.err
+	}
+	select {
+	case <-f.done:
+		return f.body, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		g.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// inFlight reports the number of distinct computations running.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// JobState names one phase of an async campaign job's lifecycle.
+type JobState string
+
+// The job states. A job is terminal in StateDone, StateFailed and
+// StateCanceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the polling view of a job — the body of
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	// ID is the job identifier: the campaign spec's fingerprint.
+	ID string `json:"id"`
+	// Campaign echoes the spec name.
+	Campaign string   `json:"campaign"`
+	State    JobState `json:"state"`
+	// Completed and Total count scenarios (Completed includes
+	// checkpoint-cached ones).
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Error explains StateFailed.
+	Error string `json:"error,omitempty"`
+	// ResultsURL points at the cached result once State is done.
+	ResultsURL string `json:"results_url,omitempty"`
+}
+
+// JobEvent is one SSE event of a job's progress stream.
+type JobEvent struct {
+	// Type is "scenario" for per-scenario progress and "state" for
+	// lifecycle transitions (including the terminal one).
+	Type string `json:"type"`
+	// Scenario and Headline describe a finished scenario ("scenario"
+	// events); Cached marks a checkpoint hit.
+	Scenario string `json:"scenario,omitempty"`
+	Headline string `json:"headline,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	// Status carries the full job view ("state" events).
+	Status *JobStatus `json:"status,omitempty"`
+}
+
+// job is one asynchronous campaign execution.
+type job struct {
+	id   string
+	spec *campaign.Spec
+
+	mu     sync.Mutex
+	status JobStatus
+	subs   map[chan JobEvent]struct{}
+	cancel context.CancelFunc
+}
+
+func newJob(id string, spec *campaign.Spec, total int, cancel context.CancelFunc) *job {
+	return &job{
+		id:   id,
+		spec: spec,
+		status: JobStatus{
+			ID:       id,
+			Campaign: spec.Name,
+			State:    StateQueued,
+			Total:    total,
+		},
+		subs:   map[chan JobEvent]struct{}{},
+		cancel: cancel,
+	}
+}
+
+// Status snapshots the job.
+func (j *job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// broadcast delivers ev to every subscriber without blocking the
+// runner: a subscriber that cannot keep up drops events (its next
+// "state" event resynchronizes the totals).
+func (j *job) broadcast(ev JobEvent) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// scenarioDone records one finished scenario and notifies subscribers.
+func (j *job) scenarioDone(sr *campaign.ScenarioResult, cached bool) {
+	j.mu.Lock()
+	j.status.Completed++
+	ev := JobEvent{Type: "scenario", Scenario: sr.ID, Headline: sr.Headline(), Cached: cached}
+	j.broadcast(ev)
+	j.mu.Unlock()
+}
+
+// transition moves the job to state and notifies subscribers; terminal
+// states also close every subscription.
+func (j *job) transition(state JobState, errMsg, resultsURL string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.terminal() {
+		return
+	}
+	j.status.State = state
+	j.status.Error = errMsg
+	j.status.ResultsURL = resultsURL
+	st := j.status
+	j.broadcast(JobEvent{Type: "state", Status: &st})
+	if state.terminal() {
+		for ch := range j.subs {
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+}
+
+// subscribe registers an event channel, first delivering a snapshot
+// "state" event; for already-terminal jobs the snapshot is the only
+// event and the channel closes immediately.
+func (j *job) subscribe() chan JobEvent {
+	ch := make(chan JobEvent, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	ch <- JobEvent{Type: "state", Status: &st}
+	if st.State.terminal() {
+		close(ch)
+	} else {
+		j.subs[ch] = struct{}{}
+	}
+	return ch
+}
+
+// unsubscribe removes a channel registered by subscribe.
+func (j *job) unsubscribe(ch chan JobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.subs[ch]; ok {
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// jobRegistry tracks jobs by fingerprint. Terminal jobs stay visible
+// for polling; a bounded number of them is retained (oldest pruned
+// first) so a long-lived server does not grow without bound.
+type jobRegistry struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []*job // terminal jobs in completion order
+	keep     int
+}
+
+func newJobRegistry(keep int) *jobRegistry {
+	if keep < 1 {
+		keep = 64
+	}
+	return &jobRegistry{jobs: map[string]*job{}, keep: keep}
+}
+
+// get returns the job with id.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// addUnlessActive atomically registers j unless a job with the same id
+// is already queued or running, in which case that live job is returned
+// instead (started false). A terminal previous job with the id — a
+// failed or canceled campaign being retried — is replaced. The
+// check-and-register is one critical section, so two concurrent
+// submissions of the same spec can never both start.
+func (r *jobRegistry) addUnlessActive(j *job) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.jobs[j.id]; ok && !cur.Status().State.terminal() {
+		return cur, false
+	}
+	r.jobs[j.id] = j
+	return j, true
+}
+
+// finish marks j terminal for retention pruning. Pruning only evicts a
+// job still registered under its id — a retried campaign may have
+// replaced the entry with a newer, live job that must not be dropped.
+func (r *jobRegistry) finish(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = append(r.finished, j)
+	for len(r.finished) > r.keep {
+		old := r.finished[0]
+		r.finished = r.finished[1:]
+		if cur, ok := r.jobs[old.id]; ok && cur == old {
+			delete(r.jobs, old.id)
+		}
+	}
+}
+
+// counts reports (total, running-or-queued).
+func (r *jobRegistry) counts() (total, active int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		if !j.Status().State.terminal() {
+			active++
+		}
+	}
+	return len(r.jobs), active
+}

@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastAttack is a sub-100ms fig3 request used throughout the endpoint
+// tests.
+const fastAttack = `{"figure":"fig3","traces":64,"rounds":1,"averages":1,"seed":9}`
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestAttackEndpointServesByteIdenticalFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	r1, b1 := post(t, ts.URL+"/v1/attack", fastAttack)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Scad-Cache"); got != "miss" {
+		t.Fatalf("first request disposition %q, want miss", got)
+	}
+	r2, b2 := post(t, ts.URL+"/v1/attack", fastAttack)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Scad-Cache"); got != "hit" {
+		t.Fatalf("second request disposition %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("repeated request bodies differ:\n%s\n%s", b1, b2)
+	}
+	fp := r1.Header.Get("X-Scad-Fingerprint")
+	if fp == "" || fp != r2.Header.Get("X-Scad-Fingerprint") {
+		t.Fatal("fingerprint header missing or unstable")
+	}
+
+	// The body names its fingerprint and carries the attack payload.
+	var env struct {
+		Kind        string          `json:"kind"`
+		Fingerprint string          `json:"fingerprint"`
+		Result      json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(b1, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "attack" || env.Fingerprint != fp || len(env.Result) == 0 {
+		t.Fatalf("envelope malformed: %+v", env)
+	}
+
+	// /v1/results serves the same bytes by fingerprint.
+	r3, b3 := get(t, ts.URL+"/v1/results/"+fp)
+	if r3.StatusCode != http.StatusOK || !bytes.Equal(b1, b3) {
+		t.Fatalf("results endpoint: %d, bytes equal %v", r3.StatusCode, bytes.Equal(b1, b3))
+	}
+
+	// ETag revalidation: If-None-Match on the fingerprint is a 304.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/results/"+fp, nil)
+	req.Header.Set("If-None-Match", `"`+fp+`"`)
+	r4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: %d, want 304", r4.StatusCode)
+	}
+}
+
+func TestFingerprintMismatchRecomputes(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	r1, _ := post(t, ts.URL+"/v1/attack", fastAttack)
+	// Same request, different seed: a different fingerprint, so a miss,
+	// not a cache hit.
+	r2, b2 := post(t, ts.URL+"/v1/attack", `{"figure":"fig3","traces":64,"rounds":1,"averages":1,"seed":10}`)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Scad-Cache"); got != "miss" {
+		t.Fatalf("different request served %q, want miss", got)
+	}
+	if r1.Header.Get("X-Scad-Fingerprint") == r2.Header.Get("X-Scad-Fingerprint") {
+		t.Fatal("different requests must fingerprint apart")
+	}
+	// Same request under an ablation is a third identity.
+	r3, b3 := post(t, ts.URL+"/v1/attack", `{"figure":"fig3","traces":64,"rounds":1,"averages":1,"seed":9,"ablation":"scalar"}`)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("ablated request: %d %s", r3.StatusCode, b3)
+	}
+	if r3.Header.Get("X-Scad-Fingerprint") == r1.Header.Get("X-Scad-Fingerprint") {
+		t.Fatal("ablated request must fingerprint apart")
+	}
+	if s.cache.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", s.cache.Len())
+	}
+}
+
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	const n = 6
+	var wg sync.WaitGroup
+	dispositions := make([]string, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/attack", "application/json",
+				strings.NewReader(`{"figure":"fig3","traces":256,"rounds":1,"averages":1,"seed":77}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			dispositions[i] = resp.Header.Get("X-Scad-Cache")
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("caller %d got different bytes", i)
+		}
+		switch dispositions[i] {
+		case "miss":
+			misses++
+		case "shared", "hit":
+		default:
+			t.Fatalf("caller %d disposition %q", i, dispositions[i])
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses, want exactly 1 (the one real computation)", misses)
+	}
+}
+
+func TestLeakscanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"traces":600,"averages":2,"rows":[1],"seed":5,"ablation":"no-nop-wb-zero"}`
+	r1, b1 := post(t, ts.URL+"/v1/leakscan", body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("leakscan: %d %s", r1.StatusCode, b1)
+	}
+	r2, b2 := post(t, ts.URL+"/v1/leakscan", body)
+	if r2.Header.Get("X-Scad-Cache") != "hit" || !bytes.Equal(b1, b2) {
+		t.Fatal("repeated leakscan must be a byte-identical cache hit")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct{ path, body string }{
+		{"/v1/attack", `{"figure":"warp"}`},
+		{"/v1/attack", `{"figure":"fig3","bogus":1}`},
+		{"/v1/attack", `{"figure":"fig3","ablation":"hyperdrive"}`},
+		{"/v1/attack", `not json`},
+		{"/v1/leakscan", `{"rows":[99]}`},
+		{"/v1/campaign", `{"name":""}`},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s: %d (%s), want 400", c.path, c.body, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := get(t, ts.URL+"/v1/results/deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Error("unknown fingerprint must 404")
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Error("unknown job must 404")
+	}
+}
+
+const tinyCampaign = `{"name":"tiny","seed":3,"workloads":[{"kind":"fig3","traces":[64],"rounds":1}]}`
+
+func TestCampaignJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	r1, b1 := post(t, ts.URL+"/v1/campaign", tinyCampaign)
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", r1.StatusCode, b1)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(b1, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total != 1 {
+		t.Fatalf("job status %+v", st)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body := get(t, ts.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != StateDone || st.Completed != 1 || st.ResultsURL == "" {
+		t.Fatalf("terminal status %+v", st)
+	}
+	rr, resBody := get(t, ts.URL+st.ResultsURL)
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("results: %d %s", rr.StatusCode, resBody)
+	}
+	// Resubmitting the finished campaign is a synchronous cache hit with
+	// the same bytes.
+	r2, b2 := post(t, ts.URL+"/v1/campaign", tinyCampaign)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Scad-Cache") != "hit" {
+		t.Fatalf("resubmit: %d disposition %q", r2.StatusCode, r2.Header.Get("X-Scad-Cache"))
+	}
+	if !bytes.Equal(resBody, b2) {
+		t.Fatal("resubmitted campaign bytes differ from the job's result")
+	}
+	// SSE on a finished job delivers the terminal snapshot and closes.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var sawDone bool
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"done"`) {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("SSE stream never delivered the done state")
+	}
+}
+
+func TestCampaignJobCancellationLeavesCacheClean(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	// Enough work that cancellation lands mid-run.
+	big := `{"name":"big","seed":3,"workloads":[{"kind":"fig3","traces":[60000],"rounds":2}]}`
+	r1, b1 := post(t, ts.URL+"/v1/campaign", big)
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", r1.StatusCode, b1)
+	}
+	var st JobStatus
+	json.Unmarshal(b1, &st)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/v1/jobs/"+st.ID)
+		json.Unmarshal(body, &st)
+		if st.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled job stuck in %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state %q, want canceled", st.State)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/results/"+st.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatal("canceled campaign must leave no cached result")
+	}
+	if s.cache.Len() != 0 {
+		t.Fatal("cache must stay clean after cancellation")
+	}
+}
+
+func TestConcurrentCampaignSubmissionsStartOneJob(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	const n = 5
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/campaign", "application/json", strings.NewReader(tinyCampaign))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var st JobStatus
+				if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = st.ID
+			case http.StatusOK: // raced past a just-finished job to the cache
+				var env envelope
+				if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = env.Fingerprint
+			default:
+				t.Errorf("caller %d: %d %s", i, resp.StatusCode, buf.Bytes())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("caller %d saw job %q, caller 0 saw %q", i, ids[i], ids[0])
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, ok := s.jobs.get(ids[0])
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if j.Status().State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Exactly one runJob must have executed: each run records itself in
+	// the retention list when it finishes.
+	s.jobs.mu.Lock()
+	finished := len(s.jobs.finished)
+	s.jobs.mu.Unlock()
+	if finished != 1 {
+		t.Fatalf("%d campaign executions for %d concurrent identical submissions, want 1", finished, n)
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", s.cache.Len())
+	}
+}
+
+func TestCampaignBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxConcurrent: 1, MaxQueue: -1})
+	// Occupy the only compute slot so the queue is saturated.
+	if err := s.queue.acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.release()
+	resp, body := post(t, ts.URL+"/v1/campaign", tinyCampaign)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// The synchronous path sheds load the same way.
+	resp2, body2 := post(t, ts.URL+"/v1/attack", fastAttack)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated attack: %d %s, want 429", resp2.StatusCode, body2)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	post(t, ts.URL+"/v1/attack", fastAttack)
+	post(t, ts.URL+"/v1/attack", fastAttack)
+	resp, body = get(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits < 1 || st.Cache.Entries != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+}
+
+func TestSpillServesAcrossServerRestart(t *testing.T) {
+	spill := t.TempDir() + "/results.jsonl"
+	s1, err := New(Options{SpillPath: spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	r1, b1 := post(t, ts1.URL+"/v1/attack", fastAttack)
+	fp := r1.Header.Get("X-Scad-Fingerprint")
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{SpillPath: spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	r2, b2 := post(t, ts2.URL+"/v1/attack", fastAttack)
+	if r2.Header.Get("X-Scad-Cache") != "hit" {
+		t.Fatalf("restarted server disposition %q, want hit (served from spill)", r2.Header.Get("X-Scad-Cache"))
+	}
+	if !bytes.Equal(b1, b2) || r2.Header.Get("X-Scad-Fingerprint") != fp {
+		t.Fatal("spill-served body must be byte-identical across restarts")
+	}
+}
+
+// TestEnvelopeDeterminism pins the envelope encoding: equal results
+// must produce equal bytes, or the whole caching story collapses.
+func TestEnvelopeDeterminism(t *testing.T) {
+	type payload struct {
+		A int     `json:"a"`
+		B string  `json:"b"`
+		C float64 `json:"c"`
+	}
+	p := payload{1, "x", 0.25}
+	b1, err := encodeBody("attack", "fp", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := encodeBody("attack", "fp", p)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("envelope encoding is not deterministic")
+	}
+	if b1[len(b1)-1] != '\n' {
+		t.Fatal("canonical body must end in a newline")
+	}
+	var env envelope
+	if err := json.Unmarshal(b1, &env); err != nil {
+		t.Fatalf("envelope must round-trip: %v", err)
+	}
+	if fmt.Sprint(env.Kind, env.Fingerprint) != "attackfp" {
+		t.Fatalf("envelope %+v", env)
+	}
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# scad_smoke.sh [scad-binary] — end-to-end smoke of the scad service:
+# start it on a local port, issue the same /v1/attack request twice,
+# and require (a) a miss-then-hit cache disposition and (b) strictly
+# byte-identical response bodies. Also exercises an async campaign job
+# to completion and the /v1/results retrieval path.
+set -euo pipefail
+
+SCAD=${1:-}
+if [ -z "$SCAD" ]; then
+  SCAD=$(mktemp -d)/scad
+  go build -o "$SCAD" ./cmd/scad
+fi
+
+ADDR=127.0.0.1:8715
+WORK=$(mktemp -d)
+"$SCAD" -addr "$ADDR" -spill "$WORK/results.jsonl" 2>"$WORK/scad.log" &
+SCAD_PID=$!
+trap 'kill $SCAD_PID 2>/dev/null || true; wait $SCAD_PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || {
+  echo "scad never became healthy"; cat "$WORK/scad.log"; exit 1; }
+
+REQ='{"figure":"fig3","traces":2000,"rounds":2,"seed":42}'
+curl -sf -D "$WORK/h1" -o "$WORK/r1.json" -X POST -d "$REQ" "http://$ADDR/v1/attack"
+curl -sf -D "$WORK/h2" -o "$WORK/r2.json" -X POST -d "$REQ" "http://$ADDR/v1/attack"
+
+grep -qi '^x-scad-cache: miss' "$WORK/h1" || {
+  echo "first request was not a cache miss:"; cat "$WORK/h1"; exit 1; }
+grep -qi '^x-scad-cache: hit' "$WORK/h2" || {
+  echo "second request was not served from cache:"; cat "$WORK/h2"; exit 1; }
+cmp "$WORK/r1.json" "$WORK/r2.json" || {
+  echo "repeated responses are not byte-identical"; exit 1; }
+echo "attack: miss -> hit, bodies byte-identical ($(wc -c < "$WORK/r1.json") bytes)"
+
+# Async campaign: submit, poll to completion, fetch the cached result.
+SPEC='{"name":"scad-smoke","seed":5,"workloads":[{"kind":"fig3","traces":[400],"rounds":1},{"kind":"fig4","traces":[100]}]}'
+JOB=$(curl -sf -X POST -d "$SPEC" "http://$ADDR/v1/campaign" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+for _ in $(seq 1 300); do
+  STATE=$(curl -sf "http://$ADDR/v1/jobs/$JOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  case "$STATE" in done|failed|canceled) break ;; esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || { echo "campaign job ended in state $STATE"; cat "$WORK/scad.log"; exit 1; }
+curl -sf "http://$ADDR/v1/results/$JOB" >/dev/null || { echo "campaign result not retrievable"; exit 1; }
+echo "campaign: job $JOB done, result cached and retrievable"
+
+curl -sf "http://$ADDR/v1/stats"
