@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
@@ -55,7 +56,9 @@ const exampleSpec = `{
     {"kind": "fig4", "traces": [100]},
     {"kind": "fullkey", "traces": [700], "rounds": 1},
     {"kind": "rankevo", "counts": [100, 200, 400, 800], "rounds": 1},
-    {"kind": "table2", "ablations": ["no-nop-wb-zero", "no-align-buffer"], "traces": [4000], "rows": [1, 7]}
+    {"kind": "table2", "ablations": ["no-nop-wb-zero", "no-align-buffer"], "traces": [4000], "rows": [1, 7]},
+    {"kind": "maskcpa", "gadgets": ["sbox"], "countermeasures": ["none", "mask"], "orders": [1, 2], "traces": [1500]},
+    {"kind": "tvla", "rows": [2, 6], "traces": [600]}
   ]
 }
 `
@@ -70,6 +73,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -out instead of starting over")
 	report := flag.Bool("report", false, "with -results: print the Markdown report to stdout")
 	updateDoc := flag.String("update-doc", "", "with -results: rewrite the campaign-marked sections of this file")
+	sections := flag.String("sections", "", "with -update-doc: comma-separated section allow-list; unlisted marked regions stay verbatim")
 	initSpec := flag.Bool("init-spec", false, "print an example spec and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-scenario progress lines")
 	flag.Parse()
@@ -93,7 +97,11 @@ func main() {
 		}
 		switch {
 		case *updateDoc != "":
-			if err := spliceDoc(*updateDoc, res); err != nil {
+			var only []string
+			if *sections != "" {
+				only = strings.Split(*sections, ",")
+			}
+			if err := spliceDoc(*updateDoc, res, only); err != nil {
 				fail(err.Error())
 			}
 		case *report:
@@ -150,13 +158,14 @@ func main() {
 	fmt.Printf("wrote %s, %s, %s\n", jsonPath, csvPath, mdPath)
 }
 
-// spliceDoc rewrites the campaign-marked regions of path in place.
-func spliceDoc(path string, res *campaign.Results) error {
+// spliceDoc rewrites the campaign-marked regions of path in place,
+// restricted to the only allow-list when non-nil.
+func spliceDoc(path string, res *campaign.Results, only []string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	updated, err := campaign.UpdateDoc(string(raw), res)
+	updated, err := campaign.UpdateDocSections(string(raw), res, only)
 	if err != nil {
 		return err
 	}

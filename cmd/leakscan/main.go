@@ -8,7 +8,12 @@
 //
 // Usage:
 //
-//	leakscan [-traces N] [-row K] [-workers W] [-replay auto|replay|simulate] [-noalign] [-nonopreset] [-scalar]
+//	leakscan [-traces N] [-row K] [-order 1|2] [-tvla] [-workers W] [-replay auto|replay|simulate] [-noalign] [-nonopreset] [-scalar]
+//
+// -order 2 scans centered products of sample pairs inside each
+// expression window (second-order CPA; cells are unscored since Table 2
+// is first-order ground truth). -tvla runs the non-specific
+// fixed-vs-random Welch t-test instead of the model-based scan.
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 	ef.RegisterReplay(flag.CommandLine)
 	traces := flag.Int("traces", opt.Traces, "acquisitions per benchmark (paper: 100k on hardware)")
 	row := flag.Int("row", 0, "run a single Table 2 row (1..7); 0 runs all")
+	order := flag.Int("order", 1, "CPA combining order: 1 or 2 (centered products)")
+	tvla := flag.Bool("tvla", false, "run the fixed-vs-random Welch t-test instead of the CPA scan")
 	noAlign := flag.Bool("noalign", false, "ablation: remove the LSU align buffer")
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
@@ -40,7 +47,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "leakscan: -traces must be >= 8, got %d\n", *traces)
 		os.Exit(1)
 	}
+	if *order != 1 && *order != 2 {
+		fmt.Fprintf(os.Stderr, "leakscan: -order must be 1 or 2, got %d\n", *order)
+		os.Exit(1)
+	}
 	opt.Traces = *traces
+	opt.Order = *order
 	opt.Workers = ef.Workers
 	opt.Lanes = ef.Lanes
 	opt.Synth = ef.Mode
@@ -54,14 +66,38 @@ func main() {
 		opt.Core.DualIssue = false
 	}
 
-	var results []*leakscan.BenchResult
+	rows := []int{1, 2, 3, 4, 5, 6, 7}
 	if *row != 0 {
 		all := leakscan.Benchmarks()
 		if *row < 1 || *row > len(all) {
 			fmt.Fprintf(os.Stderr, "leakscan: -row must be in 1..%d, got %d\n", len(all), *row)
 			os.Exit(1)
 		}
-		b := all[*row-1]
+		rows = []int{*row}
+	}
+
+	if *tvla {
+		fmt.Println("Fixed-vs-random Welch t-test over the Table 2 benchmarks")
+		fmt.Printf("criterion: |t| > %g at any sample, %d traces per group\n\n", leakscan.TVLAThreshold, opt.Traces/2)
+		for _, rw := range rows {
+			b, _ := leakscan.BenchmarkByRow(rw)
+			r, err := leakscan.RunTVLA(&b, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "leakscan:", err)
+				os.Exit(1)
+			}
+			verdict := "no leak"
+			if r.Detected {
+				verdict = "LEAK"
+			}
+			fmt.Printf("Row %d: %-10s max |t| = %8.2f at sample %-5d %s\n", b.Row, b.Name, r.MaxT, r.Sample, verdict)
+		}
+		return
+	}
+
+	var results []*leakscan.BenchResult
+	if *row != 0 {
+		b, _ := leakscan.BenchmarkByRow(*row)
 		r, err := leakscan.RunBenchmark(&b, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leakscan:", err)

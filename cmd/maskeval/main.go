@@ -1,0 +1,91 @@
+// Command maskeval evaluates software masking countermeasures against
+// the modelled micro-architecture (§4.2): a keyed CPA attacks one
+// two-share gadget schedule under a countermeasure combination, at
+// first or second order, and reports whether the key byte survives.
+//
+// The paper's central dichotomy reproduces directly: a first-order
+// attack fails against a leakage-free schedule of the masked S-box but
+// succeeds against a naive schedule whose adjacent share writebacks
+// recombine in the Ex/Wb buffer — and succeeds against the dual-issue
+// EOR schedule the moment the core is ablated to single-issue.
+//
+// Usage:
+//
+//	maskeval [-gadget naive|separated|dualissue|sbox] [-ctr none|mask|mask+shuffle|...]
+//	         [-order 1|2] [-key 0x2b] [-traces N] [-seed S] [-scalar] [-workers W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/masking"
+	"repro/internal/pipeline"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "maskeval:", err)
+	os.Exit(1)
+}
+
+func main() {
+	def := masking.DefaultKeyedOptions()
+	var ef cliutil.EngineFlags
+	ef.Register(flag.CommandLine)
+	gadget := flag.String("gadget", def.Schedule, "gadget schedule (naive, separated, dualissue, sbox)")
+	ctrFlag := flag.String("ctr", def.Ctr.String(), `countermeasures: "none" or "+"-joined of mask|shuffle|jitter`)
+	order := flag.Int("order", def.Order, "CPA combining order: 1 or 2 (centered products)")
+	keyFlag := flag.Uint("key", 0x2B, "secret key byte under attack")
+	traces := flag.Int("traces", def.Traces, "number of acquisitions")
+	avg := flag.Int("avg", def.Averages, "per-acquisition averaging factor")
+	seed := flag.Int64("seed", def.Seed, "master seed (per-trace streams derive from it)")
+	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
+	flag.Parse()
+
+	if *keyFlag > 0xFF {
+		fail(fmt.Errorf("-key must be a byte, got %#x", *keyFlag))
+	}
+	if err := ef.Finish(); err != nil {
+		fail(err)
+	}
+	ctr, err := masking.ParseCountermeasure(*ctrFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	opt := def
+	opt.Schedule = *gadget
+	opt.Ctr = ctr
+	opt.Order = *order
+	opt.Key = byte(*keyFlag)
+	opt.Traces = *traces
+	opt.Averages = *avg
+	opt.Seed = *seed
+	opt.Workers = ef.Workers
+	if *scalar {
+		opt.Core = pipeline.ScalarConfig()
+	}
+
+	res, err := masking.EvaluateKeyedCPA(opt)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("gadget %s, countermeasures %s, order-%d CPA, %d traces (%d samples",
+		res.Schedule, res.Ctr, res.Order, res.Traces, res.Samples)
+	if res.Pairs > 0 {
+		fmt.Printf(", %d centered pairs", res.Pairs)
+	}
+	fmt.Println(")")
+	verdict := "key NOT recovered — countermeasure holds at this order"
+	if res.Success {
+		verdict = "key RECOVERED — the schedule leaks at this order"
+	}
+	fmt.Printf("true key %#02x, best guess %#02x (rank %d): %s\n", res.Key, res.Recovered, res.Rank, verdict)
+	fmt.Printf("best |r| %+.3f, true-key r %+.3f, confidence %.4f\n", res.BestCorr, res.TrueCorr, res.Confidence)
+	if !res.Success {
+		os.Exit(3)
+	}
+}

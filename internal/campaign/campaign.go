@@ -29,10 +29,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 
 	"repro/internal/aes"
 	"repro/internal/attack"
+	"repro/internal/leakscan"
+	"repro/internal/masking"
 )
 
 // Kind names one workload family a scenario can execute.
@@ -61,11 +64,19 @@ const (
 	// KindRankEvo records the true key's rank at increasing trace counts
 	// from a single checkpointed streaming run.
 	KindRankEvo Kind = "rankevo"
+	// KindMaskCPA runs a keyed CPA against one masked-gadget schedule
+	// under a countermeasure combination, at first or second order
+	// (internal/masking.EvaluateKeyedCPA) — the §4.2 secure-vs-broken
+	// scheduling evaluation.
+	KindMaskCPA Kind = "maskcpa"
+	// KindTVLA runs the fixed-vs-random Welch t-test on Table 2
+	// benchmark rows (internal/leakscan.RunTVLA).
+	KindTVLA Kind = "tvla"
 )
 
 // Kinds lists every workload kind in canonical order.
 func Kinds() []Kind {
-	return []Kind{KindTable1, KindFigure2, KindTable2, KindFig3, KindFig4, KindFullKey, KindRankEvo}
+	return []Kind{KindTable1, KindFigure2, KindTable2, KindFig3, KindFig4, KindFullKey, KindRankEvo, KindMaskCPA, KindTVLA}
 }
 
 func validKind(k Kind) bool {
@@ -131,6 +142,34 @@ type Workload struct {
 	Counts []int `json:"counts,omitempty"`
 	// Confidence is the table2 detection criterion (0: 0.995).
 	Confidence float64 `json:"confidence,omitempty"`
+	// Gadgets lists maskcpa gadget schedules to sweep
+	// (masking.Schedules()); empty means ["sbox"]. Maskcpa only.
+	Gadgets []string `json:"gadgets,omitempty"`
+	// Countermeasures lists maskcpa countermeasure combinations to sweep
+	// ("none" or "+"-joined subsets of mask|shuffle|jitter); empty means
+	// ["mask"]. Maskcpa only.
+	Countermeasures []string `json:"countermeasures,omitempty"`
+	// Orders lists maskcpa CPA combining orders to sweep (1 and/or 2);
+	// empty means [1]. Maskcpa only.
+	Orders []int `json:"orders,omitempty"`
+}
+
+// maskAxes resolves the maskcpa sweep axes with their defaults: the
+// masked S-box gadget, plain masking, first-order CPA.
+func (w *Workload) maskAxes() (gadgets, ctrs []string, orders []int) {
+	gadgets = w.Gadgets
+	if len(gadgets) == 0 {
+		gadgets = []string{masking.ScheduleSbox}
+	}
+	ctrs = w.Countermeasures
+	if len(ctrs) == 0 {
+		ctrs = []string{"mask"}
+	}
+	orders = w.Orders
+	if len(orders) == 0 {
+		orders = []int{1}
+	}
+	return gadgets, ctrs, orders
 }
 
 // Spec is a declarative campaign: a seeded, ordered set of workload
@@ -252,6 +291,45 @@ func (s *Spec) Validate() error {
 		}
 		if w.Confidence < 0 || w.Confidence >= 1 {
 			return fmt.Errorf("campaign: workload %d (%s): confidence must be in [0,1)", wi, w.Kind)
+		}
+		if w.Kind == KindTVLA && w.Confidence != 0 {
+			return fmt.Errorf("campaign: workload %d (tvla): the t-test uses the fixed |t| > %g threshold; remove confidence", wi, leakscan.TVLAThreshold)
+		}
+		if w.Kind == KindMaskCPA {
+			gadgets, ctrs, orders := w.maskAxes()
+			for _, g := range gadgets {
+				if !slices.Contains(masking.Schedules(), g) {
+					return fmt.Errorf("campaign: workload %d (maskcpa): unknown gadget %q (want one of %v)", wi, g, masking.Schedules())
+				}
+			}
+			seenCtr := map[string]bool{}
+			for _, c := range ctrs {
+				ctr, err := masking.ParseCountermeasure(c)
+				if err != nil {
+					return fmt.Errorf("campaign: workload %d (maskcpa): %w", wi, err)
+				}
+				if seenCtr[ctr.String()] {
+					return fmt.Errorf("campaign: workload %d (maskcpa): countermeasure %q listed twice", wi, ctr)
+				}
+				seenCtr[ctr.String()] = true
+				for _, g := range gadgets {
+					if err := masking.ValidateCombination(g, ctr); err != nil {
+						return fmt.Errorf("campaign: workload %d (maskcpa): %w", wi, err)
+					}
+				}
+			}
+			seenOrder := map[int]bool{}
+			for _, o := range orders {
+				if o != 1 && o != 2 {
+					return fmt.Errorf("campaign: workload %d (maskcpa): order must be 1 or 2, got %d", wi, o)
+				}
+				if seenOrder[o] {
+					return fmt.Errorf("campaign: workload %d (maskcpa): order %d listed twice", wi, o)
+				}
+				seenOrder[o] = true
+			}
+		} else if len(w.Gadgets) > 0 || len(w.Countermeasures) > 0 || len(w.Orders) > 0 {
+			return fmt.Errorf("campaign: workload %d (%s): gadgets/countermeasures/orders apply to maskcpa only", wi, w.Kind)
 		}
 	}
 	if _, err := s.Enumerate(); err != nil {

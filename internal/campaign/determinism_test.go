@@ -27,6 +27,8 @@ func testSpec() *Spec {
 			{Kind: KindFig4, Traces: []int{60}, Averages: 4, Rounds: 1},
 			{Kind: KindFullKey, Traces: []int{100}, Averages: 1, Rounds: 1},
 			{Kind: KindRankEvo, Counts: []int{60, 120}, Averages: 1, Rounds: 1},
+			{Kind: KindMaskCPA, Gadgets: []string{"naive"}, Countermeasures: []string{"mask"}, Orders: []int{1, 2}, Traces: []int{150}, Averages: 2},
+			{Kind: KindTVLA, Rows: []int{2}, Traces: []int{120}, Averages: 2},
 		},
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpi"
 	"repro/internal/engine"
 	"repro/internal/leakscan"
+	"repro/internal/masking"
 )
 
 // Execute runs one scenario to completion and returns its structured
@@ -52,6 +53,10 @@ func ExecuteContext(ctx context.Context, sc *Scenario, key [aes.KeySize]byte, wo
 		err = execFullKey(sc, out, key, ex)
 	case KindRankEvo:
 		err = execRankEvo(sc, out, key, ex)
+	case KindMaskCPA:
+		err = execMaskCPA(sc, out, key, ex)
+	case KindTVLA:
+		err = execTVLA(sc, out, ex)
 	default:
 		err = fmt.Errorf("campaign: unknown kind %q", sc.Kind)
 	}
@@ -338,6 +343,98 @@ func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex ex
 	return nil
 }
 
+func execMaskCPA(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
+	ctr, err := masking.ParseCountermeasure(sc.Ctr)
+	if err != nil {
+		return err
+	}
+	opt := masking.DefaultKeyedOptions()
+	opt.Schedule = sc.Gadget
+	opt.Ctr = ctr
+	opt.Order = sc.Order
+	opt.Key = key[sc.KeyByte]
+	opt.Core = sc.Ablation.Core
+	opt.Model = sc.Ablation.Model
+	opt.Model.NoiseSigma = sc.sigma()
+	opt.Seed = sc.Seed
+	opt.Workers = ex.workers
+	opt.Ctx = ex.ctx
+	opt.Gate = ex.gate
+	if sc.Traces > 0 {
+		opt.Traces = sc.Traces
+	}
+	if sc.Averages > 0 {
+		opt.Averages = sc.Averages
+	}
+	res, err := masking.EvaluateKeyedCPA(opt)
+	if err != nil {
+		return err
+	}
+	out.MaskCPA = &MaskCPAResult{
+		Gadget:     res.Schedule,
+		Ctr:        res.Ctr,
+		Order:      res.Order,
+		TrueKey:    fmt.Sprintf("%#02x", res.Key),
+		Recovered:  fmt.Sprintf("%#02x", res.Recovered),
+		Rank:       res.Rank,
+		Success:    res.Success,
+		BestCorr:   res.BestCorr,
+		TrueCorr:   res.TrueCorr,
+		Confidence: res.Confidence,
+		Traces:     res.Traces,
+		Samples:    res.Samples,
+		Pairs:      res.Pairs,
+	}
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
+func execTVLA(sc *Scenario, out *ScenarioResult, ex execEnv) error {
+	opt := leakscan.DefaultOptions()
+	opt.Core = sc.Ablation.Core
+	opt.Model = sc.Ablation.Model
+	opt.Model.NoiseSigma = sc.sigma()
+	opt.Seed = sc.Seed
+	opt.Workers = ex.workers
+	opt.Lanes = ex.lanes
+	opt.Ctx = ex.ctx
+	opt.Gate = ex.gate
+	opt.Synth = sc.Synth
+	if sc.Traces > 0 {
+		opt.Traces = sc.Traces
+	}
+	if sc.Averages > 0 {
+		opt.Averages = sc.Averages
+	}
+	rows := sc.Rows
+	if len(rows) == 0 {
+		rows = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	res := &TVLAResult{Traces: opt.Traces, Averages: opt.Averages}
+	for _, row := range rows {
+		b, ok := leakscan.BenchmarkByRow(row)
+		if !ok {
+			return fmt.Errorf("no Table 2 row %d", row)
+		}
+		tr, err := leakscan.RunTVLA(&b, opt)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, TVLARow{
+			Row: b.Row, Name: b.Name,
+			MaxT: tr.MaxT, Sample: tr.Sample,
+			Detected:       tr.Detected,
+			TracesPerGroup: tr.TracesPerGroup,
+		})
+		if tr.Detected {
+			res.Detected++
+		}
+	}
+	out.TVLA = res
+	out.Traces, out.Averages, out.NoiseSigma, out.Synth = opt.Traces, opt.Averages, opt.Model.NoiseSigma, sc.Synth.String()
+	return nil
+}
+
 // Headline summarizes a result in one line — the headline metric of its
 // kind — shared by progress logs, the summary report table and
 // cmd/campaign's recap.
@@ -360,6 +457,16 @@ func (sr *ScenarioResult) Headline() string {
 			return "rank evolution: key never recovered"
 		}
 		return fmt.Sprintf("rank evolution first success @ %d traces", sr.RankEvo.FirstSuccess)
+	case sr.MaskCPA != nil:
+		m := sr.MaskCPA
+		outcome := "key NOT recovered"
+		if m.Success {
+			outcome = "key recovered"
+		}
+		return fmt.Sprintf("%s/%s order-%d CPA: %s (rank %d, r=%+.3f)",
+			m.Gadget, m.Ctr, m.Order, outcome, m.Rank, m.BestCorr)
+	case sr.TVLA != nil:
+		return fmt.Sprintf("TVLA: %d/%d rows above |t|=%g", sr.TVLA.Detected, len(sr.TVLA.Rows), leakscan.TVLAThreshold)
 	}
 	return "done"
 }

@@ -10,7 +10,7 @@ import (
 // own and spliced into documentation between campaign markers, in the
 // order Report concatenates them.
 func SectionNames() []string {
-	return []string{"summary", "table1", "figure2", "table2", "fig3", "fig4", "keyrank", "ablations"}
+	return []string{"summary", "table1", "figure2", "table2", "fig3", "fig4", "keyrank", "countermeasures", "tvla", "ablations"}
 }
 
 // RenderSection renders one named fragment of the results as Markdown.
@@ -32,6 +32,10 @@ func RenderSection(r *Results, name string) (string, error) {
 		return renderFig4(r), nil
 	case "keyrank":
 		return renderKeyRank(r), nil
+	case "countermeasures":
+		return renderCountermeasures(r), nil
+	case "tvla":
+		return renderTVLA(r), nil
 	case "ablations":
 		return renderAblations(r), nil
 	}
@@ -409,6 +413,76 @@ func renderKeyRank(r *Results) string {
 	return sb.String()
 }
 
+// renderCountermeasures renders the maskcpa scenarios as the
+// countermeasure-evaluation tables: per gadget schedule, one row per
+// (countermeasure, order, acquisition) point with the attack outcome.
+func renderCountermeasures(r *Results) string {
+	ss := scenariosOf(r, KindMaskCPA)
+	if len(ss) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("## Countermeasure evaluation — masked gadgets under CPA (§4.2)\n\n")
+	sb.WriteString("Keyed CPA against two-share masked gadgets: first-order attacks must\n")
+	sb.WriteString("fail on leakage-free schedules and succeed when the instruction\n")
+	sb.WriteString("schedule recombines shares in a shared micro-architectural buffer;\n")
+	sb.WriteString("second-order (centered-product) attacks defeat plain masking\n")
+	sb.WriteString("regardless of schedule.\n\n")
+	// Group by gadget, preserving enumeration order of first appearance.
+	var gadgets []string
+	byGadget := map[string][]*ScenarioResult{}
+	for _, sr := range ss {
+		g := sr.MaskCPA.Gadget
+		if _, ok := byGadget[g]; !ok {
+			gadgets = append(gadgets, g)
+		}
+		byGadget[g] = append(byGadget[g], sr)
+	}
+	for _, g := range gadgets {
+		fmt.Fprintf(&sb, "**Gadget `%s`**\n\n", g)
+		sb.WriteString("| countermeasures | order | ablation | acquisition | outcome | best r | true-key r | confidence |\n")
+		sb.WriteString("|---|---|---|---|---|---|---|---|\n")
+		for _, sr := range byGadget[g] {
+			m := sr.MaskCPA
+			outcome := fmt.Sprintf("key recovered (%s)", m.Recovered)
+			if !m.Success {
+				outcome = fmt.Sprintf("key NOT recovered (rank %d)", m.Rank)
+			}
+			fmt.Fprintf(&sb, "| `%s` | %d | `%s` | %s | %s | %+.3f | %+.3f | %.4f |\n",
+				m.Ctr, m.Order, sr.Ablation, sr.acqDesc(), outcome, m.BestCorr, m.TrueCorr, m.Confidence)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderTVLA renders the fixed-vs-random t-test workloads.
+func renderTVLA(r *Results) string {
+	ss := scenariosOf(r, KindTVLA)
+	if len(ss) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("## TVLA — fixed-vs-random t-test\n\n")
+	sb.WriteString("Non-specific Welch t-test over the Table 2 benchmark rows; detection\n")
+	sb.WriteString("at the conventional |t| > 4.5 threshold.\n\n")
+	for _, sr := range ss {
+		t := sr.TVLA
+		fmt.Fprintf(&sb, "**Ablation `%s`** — %s: %d/%d rows detected.\n\n",
+			sr.Ablation, sr.acqDesc(), t.Detected, len(t.Rows))
+		sb.WriteString("| # | benchmark | max \\|t\\| | at sample | detected |\n|---|---|---|---|---|\n")
+		for _, rw := range t.Rows {
+			det := "✗"
+			if rw.Detected {
+				det = "✓"
+			}
+			fmt.Fprintf(&sb, "| %d | `%s` | %.2f | %d | %s |\n", rw.Row, rw.Name, rw.MaxT, rw.Sample, det)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
 func renderAblations(r *Results) string {
 	var ss []*ScenarioResult
 	for i := range r.Scenarios {
@@ -450,6 +524,27 @@ const (
 // are errors. Applying UpdateDoc twice with the same results is a no-op,
 // which is what lets CI fail on documentation drift.
 func UpdateDoc(doc string, r *Results) (string, error) {
+	return UpdateDocSections(doc, r, nil)
+}
+
+// UpdateDocSections is UpdateDoc restricted to a section allow-list:
+// marked regions whose name is not in only are left byte-for-byte
+// verbatim (still validated for well-formed markers), so one document
+// can interleave regions owned by different campaigns — each regenerated
+// from its own results file without clobbering the others. A nil list
+// selects every region.
+func UpdateDocSections(doc string, r *Results, only []string) (string, error) {
+	selected := func(name string) bool {
+		if only == nil {
+			return true
+		}
+		for _, n := range only {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
 	lines := strings.Split(doc, "\n")
 	var out []string
 	for i := 0; i < len(lines); i++ {
@@ -463,10 +558,6 @@ func UpdateDoc(doc string, r *Results) (string, error) {
 			continue
 		}
 		name := strings.TrimSuffix(strings.TrimPrefix(trimmed, markerBegin), markerClose)
-		section, err := RenderSection(r, name)
-		if err != nil {
-			return "", err
-		}
 		end := -1
 		for j := i + 1; j < len(lines); j++ {
 			t := strings.TrimSpace(lines[j])
@@ -480,6 +571,15 @@ func UpdateDoc(doc string, r *Results) (string, error) {
 		}
 		if end < 0 {
 			return "", fmt.Errorf("campaign: unterminated region %q", name)
+		}
+		if !selected(name) {
+			out = append(out, lines[i:end+1]...)
+			i = end
+			continue
+		}
+		section, err := RenderSection(r, name)
+		if err != nil {
+			return "", err
 		}
 		out = append(out, line)
 		if section != "" {

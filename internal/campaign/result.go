@@ -137,6 +137,51 @@ type RankEvoResult struct {
 	FirstSuccess int `json:"first_success"`
 }
 
+// MaskCPAResult is the campaign form of one keyed countermeasure
+// evaluation (masking.EvaluateKeyedCPA).
+type MaskCPAResult struct {
+	// Gadget, Ctr and Order echo the scenario's countermeasure axes.
+	Gadget string `json:"gadget"`
+	Ctr    string `json:"ctr"`
+	Order  int    `json:"order"`
+	// TrueKey is the attacked key byte, Recovered the best-ranked
+	// hypothesis, Rank the true key's 0-based rank.
+	TrueKey   string `json:"true_key"`
+	Recovered string `json:"recovered"`
+	Rank      int    `json:"rank"`
+	Success   bool   `json:"success"`
+	// BestCorr and TrueCorr are the winning and true-key peak
+	// correlations; Confidence distinguishes winner from runner-up.
+	BestCorr   float64 `json:"best_corr"`
+	TrueCorr   float64 `json:"true_corr"`
+	Confidence float64 `json:"confidence"`
+	Traces     int     `json:"traces"`
+	Samples    int     `json:"samples"`
+	// Pairs is the centered-product pair count (0 at first order).
+	Pairs int `json:"pairs,omitempty"`
+}
+
+// TVLARow is one benchmark row of a fixed-vs-random t-test workload.
+type TVLARow struct {
+	Row  int    `json:"row"`
+	Name string `json:"name"`
+	// MaxT is the largest absolute t statistic; Sample its index.
+	MaxT   float64 `json:"max_t"`
+	Sample int     `json:"sample"`
+	// Detected applies the conventional |t| > 4.5 threshold.
+	Detected       bool `json:"detected"`
+	TracesPerGroup int  `json:"traces_per_group"`
+}
+
+// TVLAResult is the campaign form of one TVLA workload.
+type TVLAResult struct {
+	Traces   int       `json:"traces"`
+	Averages int       `json:"averages"`
+	Rows     []TVLARow `json:"rows"`
+	// Detected counts rows above threshold.
+	Detected int `json:"detected"`
+}
+
 // ScenarioResult is one executed scenario: its identity axes plus
 // exactly one kind-specific payload. Every field is a deterministic
 // function of (Spec, scenario ID) — wall-clock time and host identity
@@ -162,6 +207,8 @@ type ScenarioResult struct {
 	Fig4    *AttackResult  `json:"fig4,omitempty"`
 	FullKey *FullKeyResult `json:"fullkey,omitempty"`
 	RankEvo *RankEvoResult `json:"rankevo,omitempty"`
+	MaskCPA *MaskCPAResult `json:"maskcpa,omitempty"`
+	TVLA    *TVLAResult    `json:"tvla,omitempty"`
 }
 
 // Results is a campaign's complete structured outcome, ordered by
@@ -256,6 +303,18 @@ func (r *Results) CSV() string {
 				count(fmt.Sprintf("rank@%d", c), sr.RankEvo.Ranks[j])
 			}
 			count("first_success", sr.RankEvo.FirstSuccess)
+		case sr.MaskCPA != nil:
+			count("rank", sr.MaskCPA.Rank)
+			boolean("success", sr.MaskCPA.Success)
+			num("best_corr", sr.MaskCPA.BestCorr)
+			num("true_corr", sr.MaskCPA.TrueCorr)
+			num("confidence", sr.MaskCPA.Confidence)
+			count("pairs", sr.MaskCPA.Pairs)
+		case sr.TVLA != nil:
+			count("tvla_detected", sr.TVLA.Detected)
+			for _, rw := range sr.TVLA.Rows {
+				num(fmt.Sprintf("max_t:row%d:%s", rw.Row, rw.Name), rw.MaxT)
+			}
 		}
 	}
 	return sb.String()

@@ -362,6 +362,10 @@ func DecodeResults(raw []byte) (*Results, error) {
 			ok = sr.FullKey != nil
 		case KindRankEvo:
 			ok = sr.RankEvo != nil && len(sr.RankEvo.Ranks) == len(sr.RankEvo.Counts)
+		case KindMaskCPA:
+			ok = sr.MaskCPA != nil
+		case KindTVLA:
+			ok = sr.TVLA != nil && len(sr.TVLA.Rows) > 0
 		}
 		if !ok {
 			return nil, fmt.Errorf("campaign: scenario %d (%q) lacks a well-formed %s payload", i, sr.ID, sr.Kind)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/masking"
 )
 
 // Scenario is one fully resolved experiment: a workload kind under one
@@ -44,6 +45,12 @@ type Scenario struct {
 	Rows       []int
 	Counts     []int
 	Confidence float64
+	// Gadget, Ctr and Order are the maskcpa countermeasure axes: the
+	// gadget schedule, the canonical countermeasure spelling, and the
+	// CPA combining order (empty/zero outside maskcpa).
+	Gadget string
+	Ctr    string
+	Order  int
 	// Seed is the scenario's private seed, derived from the campaign
 	// seed and ID — never from Index, so sibling scenarios keep their
 	// seeds when the spec grows.
@@ -57,10 +64,17 @@ func parseSynth(s string) (engine.Mode, error) {
 	return engine.ParseMode(s)
 }
 
+// maskPoint is one resolved point of the maskcpa countermeasure axes.
+type maskPoint struct {
+	gadget string
+	ctr    string
+	order  int
+}
+
 // scenarioID renders the canonical identifier from the axes that
 // distinguish the scenario. Axis order and spellings are frozen: IDs
 // feed checkpoint matching and seed derivation.
-func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth engine.Mode) string {
+func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth engine.Mode, mp maskPoint) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s/ablation=%s", k, ab)
 	if k != KindTable1 && k != KindFigure2 {
@@ -82,7 +96,12 @@ func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth
 		if w.Reps > 0 {
 			fmt.Fprintf(&sb, "/reps=%d", w.Reps)
 		}
-	case KindTable2:
+	case KindMaskCPA:
+		fmt.Fprintf(&sb, "/gadget=%s/ctr=%s/order=%d", mp.gadget, mp.ctr, mp.order)
+		if w.KeyByte > 0 {
+			fmt.Fprintf(&sb, "/keybyte=%d", w.KeyByte)
+		}
+	case KindTVLA, KindTable2:
 		if len(w.Rows) > 0 {
 			parts := make([]string, len(w.Rows))
 			for i, r := range w.Rows {
@@ -147,6 +166,26 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 		sort.Ints(counts)
 		wc := *w
 		wc.Rows, wc.Counts = rows, counts
+		// The maskcpa countermeasure axes collapse to one empty point for
+		// every other kind. Countermeasure spellings canonicalize here so
+		// the ID (and thus the derived seed) never depends on how the
+		// spec spelled the combination.
+		points := []maskPoint{{}}
+		if w.Kind == KindMaskCPA {
+			points = points[:0]
+			gadgets, ctrs, orders := w.maskAxes()
+			for _, g := range gadgets {
+				for _, c := range ctrs {
+					ctr, err := masking.ParseCountermeasure(c)
+					if err != nil {
+						return nil, fmt.Errorf("campaign: workload %d (maskcpa): %w", wi, err)
+					}
+					for _, o := range orders {
+						points = append(points, maskPoint{gadget: g, ctr: ctr.String(), order: o})
+					}
+				}
+			}
+		}
 		for _, ab := range abs {
 			for _, n := range traces {
 				for _, sg := range sigmas {
@@ -155,28 +194,33 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 						if err != nil {
 							return nil, fmt.Errorf("campaign: workload %d (%s): %w", wi, w.Kind, err)
 						}
-						id := scenarioID(w.Kind, ab.Name, &wc, n, sg, mode)
-						if seen[id] {
-							return nil, fmt.Errorf("campaign: duplicate scenario %q", id)
+						for _, mp := range points {
+							id := scenarioID(w.Kind, ab.Name, &wc, n, sg, mode, mp)
+							if seen[id] {
+								return nil, fmt.Errorf("campaign: duplicate scenario %q", id)
+							}
+							seen[id] = true
+							out = append(out, Scenario{
+								ID:         id,
+								Index:      len(out),
+								Kind:       w.Kind,
+								Ablation:   ab,
+								Traces:     n,
+								Averages:   w.Averages,
+								NoiseSigma: sg,
+								Synth:      mode,
+								KeyByte:    w.KeyByte,
+								Rounds:     w.Rounds,
+								Reps:       w.Reps,
+								Rows:       rows,
+								Counts:     counts,
+								Confidence: w.Confidence,
+								Gadget:     mp.gadget,
+								Ctr:        mp.ctr,
+								Order:      mp.order,
+								Seed:       engine.DeriveSeed(s.Seed, id),
+							})
 						}
-						seen[id] = true
-						out = append(out, Scenario{
-							ID:         id,
-							Index:      len(out),
-							Kind:       w.Kind,
-							Ablation:   ab,
-							Traces:     n,
-							Averages:   w.Averages,
-							NoiseSigma: sg,
-							Synth:      mode,
-							KeyByte:    w.KeyByte,
-							Rounds:     w.Rounds,
-							Reps:       w.Reps,
-							Rows:       rows,
-							Counts:     counts,
-							Confidence: w.Confidence,
-							Seed:       engine.DeriveSeed(s.Seed, id),
-						})
 					}
 				}
 			}

@@ -90,6 +90,23 @@ type Bank struct {
 	// each trace's class through Sample.Class[bank] instead of filling
 	// Sample.Hyps[bank]. All rows must have length Hyps.
 	Classes [][]float64
+	// Order2, when non-nil on a class bank, switches it to second-order
+	// accumulation (sca.ClassCPA2): each raw trace is expanded into
+	// centered products over the window's sample pairs before class
+	// bucketing. Requires Classes.
+	Order2 *Order2
+}
+
+// Order2 configures a class bank's second-order combining pass.
+type Order2 struct {
+	// Means is the centering vector (length Spec.Samples), typically the
+	// mean trace of a first engine pass over the same (Seed, Traces) —
+	// both passes draw the per-trace streams identically, so the means
+	// correspond exactly to the traces being combined.
+	Means []float64
+	// Lo, Hi bound the combining window [Lo, Hi) over raw sample
+	// indices; Hi == 0 selects the full trace.
+	Lo, Hi int
 }
 
 // HypothesisBanks builds classic per-trace-hypothesis bank specs, one
@@ -185,6 +202,23 @@ func (s *Spec) validate() error {
 				}
 			}
 		}
+		if bank.Order2 != nil {
+			if bank.Classes == nil {
+				return fmt.Errorf("engine: bank %d sets Order2 without Classes", b)
+			}
+			if len(bank.Order2.Means) != s.Samples {
+				return fmt.Errorf("engine: bank %d centering vector has %d samples, want %d",
+					b, len(bank.Order2.Means), s.Samples)
+			}
+			lo, hi := bank.Order2.Lo, bank.Order2.Hi
+			if hi == 0 {
+				hi = s.Samples
+			}
+			if lo < 0 || hi > s.Samples || lo >= hi {
+				return fmt.Errorf("engine: bank %d combining window [%d,%d) out of [0,%d)",
+					b, lo, hi, s.Samples)
+			}
+		}
 	}
 	for i, n := range s.Checkpoints {
 		if n < 1 || n > s.Traces {
@@ -231,9 +265,12 @@ func newBanks(banks []Bank, samples int) ([]sca.Accumulator, error) {
 	out := make([]sca.Accumulator, len(banks))
 	for b, bank := range banks {
 		var err error
-		if bank.Classes != nil {
+		switch {
+		case bank.Order2 != nil:
+			out[b], err = sca.NewClassCPA2(samples, bank.Classes, bank.Order2.Means, bank.Order2.Lo, bank.Order2.Hi)
+		case bank.Classes != nil:
 			out[b], err = sca.NewClassCPA(samples, bank.Classes)
-		} else {
+		default:
 			out[b], err = sca.NewCPA(bank.Hyps, samples)
 		}
 		if err != nil {
@@ -326,6 +363,8 @@ func runChunked(cfg Config, spec Spec, fill func(c chunk, bb *batchBuf) error) (
 				err = a.AddBatch(bb.traces[:n], bb.hyps[b][:n])
 			case *sca.ClassCPA:
 				err = a.AddBatch(bb.classes[b][:n], bb.traces[:n])
+			case *sca.ClassCPA2:
+				err = a.AddBatch(bb.classes[b][:n], bb.traces[:n])
 			}
 			if err != nil {
 				return fmt.Errorf("engine: chunk %d: %w", idx, err)
@@ -398,6 +437,8 @@ func oneTrace(i int, spec Spec, gen Generate, s *Sample, banks []sca.Accumulator
 		case *sca.CPA:
 			err = a.Add(s.Trace, s.Hyps[b])
 		case *sca.ClassCPA:
+			err = a.Add(s.Class[b], s.Trace)
+		case *sca.ClassCPA2:
 			err = a.Add(s.Class[b], s.Trace)
 		}
 		if err != nil {

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sca"
+)
+
+// order2Spec builds a class-bank spec whose traces carry a masked
+// two-share signal (samples 1 and 4), with the centering means computed
+// by a first engine pass over the identical per-trace streams — the
+// two-pass scheme the masked-gadget workloads use.
+func order2Spec(t *testing.T, traces, samples int) (Spec, Generate) {
+	t.Helper()
+	const nClass, nHyp = 8, 8
+	table := make([][]float64, nClass)
+	for p := range table {
+		table[p] = make([]float64, nHyp)
+		for k := range table[p] {
+			table[p][k] = float64(sca.HW8(byte((p ^ k) * 113)))
+		}
+	}
+	gen := func(i int, rng *rand.Rand, s *Sample) error {
+		p := rng.Intn(nClass)
+		v := byte((p ^ 5) * 113)
+		m := byte(rng.Intn(256))
+		tr := make([]float64, samples)
+		for j := range tr {
+			tr[j] = rng.NormFloat64()
+		}
+		tr[1] += float64(sca.HW8(m))
+		tr[4] += float64(sca.HW8(v ^ m))
+		s.Trace = tr
+		s.Class[0] = p
+		return nil
+	}
+	meanSpec := Spec{Traces: traces, Samples: samples, Seed: 99,
+		Banks: []Bank{{Hyps: nHyp, Classes: table}}}
+	mb, err := Run(Config{}, meanSpec, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := mb[0].(*sca.ClassCPA).MeanTrace()
+	spec := meanSpec
+	spec.Banks = []Bank{{Hyps: nHyp, Classes: table, Order2: &Order2{Means: means}}}
+	return spec, gen
+}
+
+func TestOrder2StreamingEqualsSerialBitForBit(t *testing.T) {
+	spec, gen := order2Spec(t, 60, 6)
+	want := serialReference(t, spec, gen)
+	for _, workers := range []int{1, 4} {
+		for _, chunk := range []int{spec.Traces, 8, 3} {
+			got, err := Run(Config{Workers: workers, ChunkSize: chunk}, spec, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[0].(*sca.ClassCPA2).Equal(want[0].(*sca.ClassCPA2)) {
+				t.Errorf("workers=%d chunk=%d: order-2 bank differs from serial accumulator", workers, chunk)
+			}
+		}
+	}
+}
+
+func TestOrder2RecoversMaskedKey(t *testing.T) {
+	spec, gen := order2Spec(t, 3000, 6)
+	banks, err := Run(Config{}, spec, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := banks[0].(*sca.ClassCPA2).Result()
+	if att.RankOf(5) != 0 {
+		best, _ := att.Best()
+		t.Errorf("order-2 engine rank of true key = %d (best hyp %d)", att.RankOf(5), best)
+	}
+}
+
+func TestOrder2SpecValidation(t *testing.T) {
+	table := [][]float64{{0, 1}, {1, 0}}
+	gen := func(i int, rng *rand.Rand, s *Sample) error { return nil }
+	cases := []struct {
+		name string
+		bank Bank
+	}{
+		{"order2 without classes", Bank{Hyps: 2, Order2: &Order2{Means: make([]float64, 4)}}},
+		{"short means", Bank{Hyps: 2, Classes: table, Order2: &Order2{Means: make([]float64, 3)}}},
+		{"bad window", Bank{Hyps: 2, Classes: table, Order2: &Order2{Means: make([]float64, 4), Lo: 3, Hi: 2}}},
+		{"window past trace", Bank{Hyps: 2, Classes: table, Order2: &Order2{Means: make([]float64, 4), Lo: 0, Hi: 5}}},
+	}
+	for _, c := range cases {
+		spec := Spec{Traces: 4, Samples: 4, Seed: 1, Banks: []Bank{c.bank}}
+		if _, err := Run(Config{}, spec, gen); err == nil {
+			t.Errorf("%s: invalid spec must be rejected", c.name)
+		}
+	}
+}

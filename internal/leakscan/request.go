@@ -30,6 +30,9 @@ type Request struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Synth is the trace-synthesis mode ("": auto).
 	Synth string `json:"synth,omitempty"`
+	// Order is the CPA combining order (0: first order; 2: centered-
+	// product second-order scan, whose cells are unscored).
+	Order int `json:"order,omitempty"`
 }
 
 // Normalize validates the request and rewrites it into its canonical
@@ -54,6 +57,12 @@ func (r *Request) Normalize() error {
 	}
 	if _, err := engine.ParseMode(r.Synth); err != nil {
 		return err
+	}
+	if r.Order == 0 {
+		r.Order = 1
+	}
+	if r.Order != 1 && r.Order != 2 {
+		return fmt.Errorf("leakscan: CPA order %d not supported (want 1 or 2)", r.Order)
 	}
 	slices.Sort(r.Rows)
 	r.Rows = slices.Compact(r.Rows)
@@ -106,6 +115,7 @@ type Response struct {
 	Confidence float64   `json:"confidence"`
 	Seed       int64     `json:"seed"`
 	Synth      string    `json:"synth"`
+	Order      int       `json:"order"`
 	Rows       []RowJSON `json:"rows"`
 	// Match and Total count scored cells (plus dual-issue columns)
 	// agreeing with the published Table 2.
@@ -129,6 +139,7 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 	if r.NoiseSigma != nil {
 		opt.Model.NoiseSigma = *r.NoiseSigma
 	}
+	opt.Order = r.Order
 	opt.Workers = env.Workers
 	opt.Lanes = env.Lanes
 	opt.Ctx = env.Ctx
@@ -147,6 +158,7 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 		Confidence: opt.Confidence,
 		Seed:       opt.Seed,
 		Synth:      r.Synth,
+		Order:      r.Order,
 	}
 	for _, row := range rows {
 		b, ok := BenchmarkByRow(row)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 	"repro/internal/sca"
+	"repro/internal/trace"
 )
 
 // TVLAResult is the outcome of a fixed-vs-random Welch t-test leakage
@@ -30,6 +32,12 @@ const TVLAThreshold = 4.5
 // group 0 re-runs the sequence with one fixed operand draw, group 1 with
 // fresh random draws, and the per-sample Welch t statistic flags any
 // data-dependent consumption without assuming a power model.
+//
+// Traces are synthesized through the engine's batched replay path; the
+// group-1 operand draws and all measurement noise come from each
+// trace's private stream, and the Welch accumulation happens on the
+// ordered reducer — so the t statistics are bit-identical for any
+// worker count, lane width and synthesis mode.
 func RunTVLA(b *Benchmark, opt Options) (*TVLAResult, error) {
 	if opt.Traces < 8 {
 		return nil, fmt.Errorf("leakscan: need at least 8 traces, got %d", opt.Traces)
@@ -41,8 +49,6 @@ func RunTVLA(b *Benchmark, opt Options) (*TVLAResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	fixedRng := rand.New(rand.NewSource(opt.Seed ^ 0x0f1ced))
 
 	calCore, err := pipeline.New(opt.Core, nil)
 	if err != nil {
@@ -54,28 +60,60 @@ func RunTVLA(b *Benchmark, opt Options) (*TVLAResult, error) {
 		return nil, err
 	}
 	nSamples := len(cal.Timeline) * opt.Model.SamplesPerCycle
-	w := sca.NewWelch(nSamples)
 
-	for n := 0; n < opt.Traces; n++ {
-		group := n & 1
-		c, err := pipeline.New(opt.Core, nil)
-		if err != nil {
-			return nil, err
-		}
-		if group == 0 {
-			// Fixed group: replay the same operand draw every time.
-			b.Setup(rand.New(rand.NewSource(fixedRng.Int63()*0+42)), c)
+	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, prog)
+	if err != nil {
+		return nil, err
+	}
+	// Group 0 (even indices) replays one fixed operand draw; group 1
+	// draws fresh operands from the trace's private stream.
+	fixedSeed := opt.Seed ^ 0x0f1ced
+	setup := func(i int, rng *rand.Rand, core *pipeline.Core) {
+		if i&1 == 0 {
+			b.Setup(rand.New(rand.NewSource(fixedSeed)), core)
 		} else {
-			b.Setup(rng, c)
+			b.Setup(rng, core)
 		}
-		res, err := c.Run(prog)
-		if err != nil {
-			return nil, err
+	}
+	scalar := func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
+		var tr trace.Trace
+		err := synth.Run(
+			func(core *pipeline.Core) { setup(i, rng, core) },
+			func(tl pipeline.Timeline, _ *pipeline.Core) error {
+				tr = opt.Model.SynthesizeAveraged(tl, rng, opt.Averages)
+				return nil
+			})
+		return tr, nil, err
+	}
+
+	w := sca.NewWelch(nSamples)
+	emit := func(i int, tr trace.Trace, _ []byte) error {
+		if len(tr) != nSamples {
+			return fmt.Errorf("leakscan: %s: trace length changed across runs (%d vs %d)",
+				b.Name, len(tr), nSamples)
 		}
-		tr := opt.Model.SynthesizeAveraged(res.Timeline, rng, opt.Averages)
-		if err := w.Add(group, tr); err != nil {
-			return nil, err
-		}
+		return w.Add(i&1, tr)
+	}
+	err = engine.StreamBatched(
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
+		opt.Traces, opt.Seed,
+		engine.BatchStream{
+			Synth: synth,
+			Model: &opt.Model,
+			Lanes: opt.Lanes,
+			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error) {
+				setup(i, rng, core)
+				return nil, nil
+			},
+			Acquire: func(i int, rng *rand.Rand, cycles []float64, core *pipeline.Core, aux []byte) (trace.Trace, error) {
+				tr, _ := opt.Model.AveragedCyclesInto(nil, nil, cycles, rng, opt.Averages)
+				return tr, nil
+			},
+			Scalar: scalar,
+		},
+		emit)
+	if err != nil {
+		return nil, err
 	}
 	ts := w.T()
 	maxT, idx := sca.MaxAbs(ts)

@@ -1,0 +1,164 @@
+package masking
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// Satellite prerequisite: the dynamic evaluator must be a bit-stable
+// pure function of (gadget, config, traces, seed) — in particular
+// invariant to the worker count, which the old shared-*rand.Rand loop
+// was not.
+func TestEvaluateLeakageDeterministic(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	want, err := EvaluateLeakage(NaiveXor(), cfg, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EvaluateLeakage(NaiveXor(), cfg, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(want.MaxCorr) != math.Float64bits(again.MaxCorr) ||
+		math.Float64bits(want.Confidence) != math.Float64bits(again.Confidence) {
+		t.Fatalf("two identical runs differ: %+v vs %+v", want, again)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got, err := EvaluateLeakageOpt(NaiveXor(), cfg, EvalOptions{Traces: 300, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.MaxCorr) != math.Float64bits(want.MaxCorr) ||
+			math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+			t.Errorf("workers=%d: MaxCorr %v / conf %v, want %v / %v",
+				workers, got.MaxCorr, got.Confidence, want.MaxCorr, want.Confidence)
+		}
+	}
+}
+
+func TestParseCountermeasure(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Countermeasure
+	}{
+		{"none", Countermeasure{}},
+		{"", Countermeasure{}},
+		{"mask", Countermeasure{Mask: true}},
+		{"mask+shuffle", Countermeasure{Mask: true, Shuffle: true}},
+		{"mask+jitter", Countermeasure{Mask: true, Jitter: true}},
+		{"mask+shuffle+jitter", Countermeasure{Mask: true, Shuffle: true, Jitter: true}},
+	}
+	for _, c := range cases {
+		got, err := ParseCountermeasure(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("%q: got %+v", c.in, got)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Errorf("%q: round-trips to %q", c.in, got.String())
+		}
+	}
+	if _, err := ParseCountermeasure("mask+rowhammer"); err == nil {
+		t.Error("unknown countermeasure must be rejected")
+	}
+}
+
+func keyedOpt(sched, ctr string, order, traces int) KeyedOptions {
+	c, err := ParseCountermeasure(ctr)
+	if err != nil {
+		panic(err)
+	}
+	opt := DefaultKeyedOptions()
+	opt.Schedule, opt.Ctr, opt.Order, opt.Traces = sched, c, order, traces
+	opt.Key = 0x2B
+	opt.Seed = 5
+	return opt
+}
+
+// The keyed evaluator carries the engine's worker-invariance contract:
+// order-2 runs the engine twice, and both passes must see identical
+// per-trace streams for any worker count.
+func TestEvaluateKeyedCPAWorkerInvariance(t *testing.T) {
+	opt := keyedOpt(ScheduleSbox, "mask+jitter", 2, 200)
+	opt.Workers = 1
+	want, err := EvaluateKeyedCPA(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		opt.Workers = workers
+		got, err := EvaluateKeyedCPA(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.BestCorr) != math.Float64bits(want.BestCorr) ||
+			math.Float64bits(got.TrueCorr) != math.Float64bits(want.TrueCorr) ||
+			got.Recovered != want.Recovered || got.Rank != want.Rank {
+			t.Errorf("workers=%d: result differs from single-worker reference", workers)
+		}
+	}
+}
+
+// The §4.2 dichotomy at small trace budgets: the back-to-back schedule
+// breaks the masking at first order, the separated and dual-issued
+// schedules do not — until either the combining order rises to two or
+// the dual-issued binary runs on a scalar core.
+func TestKeyedCPADichotomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario CPA sweep")
+	}
+	naive, err := EvaluateKeyedCPA(keyedOpt(ScheduleNaive, "mask", 1, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Success {
+		t.Errorf("naive schedule must break the masking at first order (rank %d)", naive.Rank)
+	}
+	dual1, err := EvaluateKeyedCPA(keyedOpt(ScheduleDualIssue, "mask", 1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual1.Success {
+		t.Error("dual-issued schedule must resist first-order CPA")
+	}
+	dual2, err := EvaluateKeyedCPA(keyedOpt(ScheduleDualIssue, "mask", 2, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dual2.Success {
+		t.Errorf("second-order CPA must break the first-order masking (rank %d)", dual2.Rank)
+	}
+	scalarOpt := keyedOpt(ScheduleDualIssue, "mask", 1, 2000)
+	scalarOpt.Core = pipeline.ScalarConfig()
+	scalar, err := EvaluateKeyedCPA(scalarOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scalar.Success {
+		t.Errorf("the same binary on a scalar core must recombine the shares (rank %d)", scalar.Rank)
+	}
+}
+
+func TestEvaluateKeyedCPAValidation(t *testing.T) {
+	opt := keyedOpt(ScheduleSbox, "mask", 1, 100)
+	opt.Traces = 2
+	if _, err := EvaluateKeyedCPA(opt); err == nil {
+		t.Error("too few traces must be rejected")
+	}
+	opt = keyedOpt(ScheduleSbox, "mask", 3, 100)
+	if _, err := EvaluateKeyedCPA(opt); err == nil {
+		t.Error("order 3 must be rejected")
+	}
+	opt = keyedOpt("rot13", "mask", 1, 100)
+	if _, err := EvaluateKeyedCPA(opt); err == nil {
+		t.Error("unknown schedule must be rejected")
+	}
+	opt = keyedOpt(ScheduleSbox, "mask+shuffle", 1, 100)
+	if _, err := EvaluateKeyedCPA(opt); err == nil {
+		t.Error("shuffle on the lookup gadget must be rejected")
+	}
+}

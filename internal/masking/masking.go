@@ -15,10 +15,12 @@
 package masking
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -182,59 +184,99 @@ type LeakResult struct {
 	Traces   int
 }
 
+// EvalOptions configures a dynamic gadget evaluation. The zero value
+// plus Traces and Seed reproduces EvaluateLeakage.
+type EvalOptions struct {
+	// Traces is the number of gadget executions to acquire.
+	Traces int
+	// Seed derives every trace's private random stream (engine.TraceRNG).
+	Seed int64
+	// Averages is the per-acquisition averaging factor (0: 16, the
+	// paper's setting).
+	Averages int
+	// Workers sizes the synthesis pool (0: one per core). Results are
+	// bit-identical for every value.
+	Workers int
+	// Ctx, when non-nil, cancels the run between chunks; Gate, when
+	// non-nil, bounds synthesis concurrency across runs sharing it.
+	Ctx  context.Context
+	Gate *engine.Gate
+}
+
+func (o *EvalOptions) averages() int {
+	if o.Averages > 0 {
+		return o.Averages
+	}
+	return 16
+}
+
 // EvaluateLeakage runs a first-order CPA-style test: the secret varies
 // randomly per execution (with a fresh masking each time) and the
 // evaluator checks whether HW(secret) correlates anywhere in the power
 // trace. A sound first-order masking shows nothing; a recombining
 // schedule leaks.
 func EvaluateLeakage(g Gadget, cfg pipeline.Config, traces int, seed int64) (*LeakResult, error) {
-	if traces < 8 {
-		return nil, fmt.Errorf("masking: need at least 8 traces, got %d", traces)
+	return EvaluateLeakageOpt(g, cfg, EvalOptions{Traces: traces, Seed: seed})
+}
+
+// EvaluateLeakageOpt is EvaluateLeakage with explicit acquisition
+// options. Every per-trace draw — the secret, the gadget's fresh
+// masks, the measurement noise, the decoy hypothesis — comes from the
+// trace's private SplitMix64 stream, so the result is a bit-stable pure
+// function of (gadget, config, options) regardless of worker count.
+func EvaluateLeakageOpt(g Gadget, cfg pipeline.Config, opt EvalOptions) (*LeakResult, error) {
+	if opt.Traces < 8 {
+		return nil, fmt.Errorf("masking: need at least 8 traces, got %d", opt.Traces)
 	}
 	model := power.DefaultModel()
-	rng := rand.New(rand.NewSource(seed))
 
 	calCore, err := pipeline.New(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	g.Setup(rng, calCore, 0)
+	// The timeline length is input-independent; any fixed setup works.
+	g.Setup(rand.New(rand.NewSource(1)), calCore, 0)
 	cal, err := calCore.Run(g.Prog)
 	if err != nil {
 		return nil, err
 	}
 	nSamples := len(cal.Timeline) * model.SamplesPerCycle
 
-	cpa, err := sca.NewCPA(2, nSamples)
-	if err != nil {
-		return nil, err
-	}
-	for n := 0; n < traces; n++ {
+	avg := opt.averages()
+	gen := func(i int, rng *rand.Rand, s *engine.Sample) error {
 		secret := rng.Uint32()
 		c, err := pipeline.New(cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g.Setup(rng, c, secret)
 		res, err := c.Run(g.Prog)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tr := model.SynthesizeAveraged(res.Timeline, rng, 16)
+		tr, scratch := model.SynthesizeAveragedInto(s.Trace, s.Scratch, res.Timeline, rng, avg)
+		s.Trace, s.Scratch = tr, scratch
 		// Hypothesis 0 is the secret's HW; hypothesis 1 a decoy so the
 		// CPA engine has its required second column.
-		if err := cpa.Add(tr, []float64{float64(sca.HW(secret)), rng.Float64()}); err != nil {
-			return nil, err
-		}
+		s.Hyps[0][0] = float64(sca.HW(secret))
+		s.Hyps[0][1] = rng.Float64()
+		return nil
 	}
-	peak, _ := cpa.Peak(0)
-	conf := sca.CorrConfidence(peak, traces)
+	banks, err := engine.Run(
+		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
+		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: engine.HypothesisBanks(2), Seed: opt.Seed},
+		gen)
+	if err != nil {
+		return nil, err
+	}
+	peak, _ := banks[0].Peak(0)
+	conf := sca.CorrConfidence(peak, opt.Traces)
 	// Bonferroni over the full trace: the evaluator scans every sample.
 	thr := 1 - (1-0.995)/float64(nSamples)
 	return &LeakResult{
 		MaxCorr:    peak,
 		Confidence: conf,
 		Detected:   conf > thr,
-		Traces:     traces,
+		Traces:     opt.Traces,
 	}, nil
 }

@@ -198,6 +198,37 @@ func TestLeakscanEndpoint(t *testing.T) {
 	}
 }
 
+// The order field reaches the scan and is echoed in the response; a
+// second-order request is a distinct cache entry from its first-order
+// twin.
+func TestLeakscanEndpointOrder2(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"traces":200,"averages":2,"rows":[2],"seed":5,"order":2}`
+	r1, b1 := post(t, ts.URL+"/v1/leakscan", body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("leakscan order 2: %d %s", r1.StatusCode, b1)
+	}
+	var resp struct {
+		Result struct {
+			Order int `json:"order"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Order != 2 {
+		t.Fatalf("response order = %d, want 2", resp.Result.Order)
+	}
+	first := `{"traces":200,"averages":2,"rows":[2],"seed":5}`
+	r2, b2 := post(t, ts.URL+"/v1/leakscan", first)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("leakscan order 1: %d %s", r2.StatusCode, b2)
+	}
+	if r2.Header.Get("X-Scad-Cache") == "hit" {
+		t.Fatal("first-order request must not hit the order-2 cache entry")
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	cases := []struct{ path, body string }{
@@ -206,6 +237,7 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/attack", `{"figure":"fig3","ablation":"hyperdrive"}`},
 		{"/v1/attack", `not json`},
 		{"/v1/leakscan", `{"rows":[99]}`},
+		{"/v1/leakscan", `{"order":3}`},
 		{"/v1/campaign", `{"name":""}`},
 	}
 	for _, c := range cases {

@@ -3,6 +3,13 @@
 # committed campaign results. CI runs this and fails on any diff, so
 # the experiment record cannot drift from the committed results (which
 # are themselves byte-compared against a fresh campaign run).
+#
+# Two campaigns share the document, so each update is scoped to its own
+# marker regions: the paper campaign owns the reproduction sections, the
+# countermeasure campaign owns the masking-evaluation and TVLA sections.
 set -eu
 cd "$(dirname "$0")/.."
-go run ./cmd/campaign -results campaigns/paper.results.json -update-doc EXPERIMENTS.md
+go run ./cmd/campaign -results campaigns/paper.results.json -update-doc EXPERIMENTS.md \
+	-sections summary,table1,figure2,table2,fig3,fig4,keyrank,ablations
+go run ./cmd/campaign -results campaigns/countermeasures.results.json -update-doc EXPERIMENTS.md \
+	-sections countermeasures,tvla
