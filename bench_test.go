@@ -23,7 +23,9 @@ import (
 	"repro/internal/masking"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/replay"
 	"repro/internal/sca"
+	"repro/internal/znorm"
 )
 
 var benchKey = [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
@@ -437,6 +439,12 @@ func BenchmarkEngineCPA10kReplayScalar(b *testing.B) { benchEngineCPA10k(b, 0, e
 // The result is bit-identical to every other variant — only faster.
 func BenchmarkEngineCPA10kParallel(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto, 0) }
 
+// BenchmarkEngineCPA10kLanes32 / 64 are the explicit-width legs of the
+// lane sweep behind the DefaultLanes choice (the default leg above
+// covers DefaultLanes itself).
+func BenchmarkEngineCPA10kLanes32(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto, 32) }
+func BenchmarkEngineCPA10kLanes64(b *testing.B) { benchEngineCPA10k(b, 0, engine.ModeAuto, 64) }
+
 // BenchmarkReplayVM measures the compiled-replay VM alone on the
 // one-round AES schedule — the per-trace synthesis floor, to compare
 // against BenchmarkPipelineSimulation's per-execution cost. One warmup
@@ -506,6 +514,45 @@ func BenchmarkBatchVM(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(engine.DefaultLanes)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+// benchNormSource is a SplitMix64-backed power.NormSource for the
+// expansion microbenchmark — the same bulk sampler the engine feeds the
+// fused path.
+type benchNormSource struct{ state uint64 }
+
+func (s *benchNormSource) FillNorm(dst []float64) { znorm.Fill(dst, &s.state) }
+
+// BenchmarkFusedExpand measures the fused block expansion alone: one
+// iteration expands a MaxLanes-wide block of one-round-AES cycle powers
+// into sample-major noisy trace lanes (batched Gaussian noise included),
+// the work RunBatched performs per lane group after the batch VM run.
+func BenchmarkFusedExpand(b *testing.B) {
+	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), benchKey, aes.ProgramOptions{Rounds: 1, PadNops: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, _, err := tgt.Run([16]byte{1, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := power.DefaultModel()
+	cycles := m.CyclePowers(nil, res.Timeline)
+	const lanes = replay.MaxLanes
+	be := &power.BatchExpand{Lanes: lanes, Avg: 1}
+	srcs := make([]*benchNormSource, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		be.Rows = append(be.Rows, cycles)
+		be.Out = append(be.Out, nil)
+		srcs[lane] = &benchNormSource{state: uint64(lane)}
+		be.Noise = append(be.Noise, srcs[lane])
+	}
+	m.ExpandCyclesBatch(be) // size the trace buffers outside the timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExpandCyclesBatch(be)
+	}
+	b.ReportMetric(float64(lanes)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 }
 
 // BenchmarkEngineFullKey measures the sixteen-bank streaming recovery of

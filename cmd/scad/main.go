@@ -15,6 +15,7 @@
 //
 //	scad [-addr :8715] [-workers W] [-lanes L] [-max-jobs N] [-queue N]
 //	     [-cache N] [-spill results.jsonl] [-gate W] [-keep-jobs N]
+//	     [-pprof addr]
 //
 // Example session:
 //
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,10 +55,30 @@ func main() {
 	spill := flag.String("spill", "", "JSONL spill file persisting results across restarts (empty: memory only)")
 	gate := flag.Int("gate", 0, "total chunk-synthesis concurrency across all computations (0: one per core, negative: ungated)")
 	keepJobs := flag.Int("keep-jobs", 0, "finished campaign jobs kept for polling (0: 64)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listen address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 
 	if err := ef.Finish(); err != nil {
 		fail(err.Error())
+	}
+
+	// The profiling endpoints never share the service listener: they
+	// stay off unless asked for, and then bind their own (typically
+	// loopback-only) address with an explicit mux, so the default
+	// ServeMux's auto-registered handlers cannot leak into the API.
+	if *pprofAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, dbg); err != nil {
+				fmt.Fprintln(os.Stderr, "scad: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "scad: pprof on %s/debug/pprof/\n", *pprofAddr)
 	}
 
 	srv, err := serve.New(serve.Options{

@@ -271,15 +271,21 @@ func fig3Generate(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) e
 
 // fig3BatchGen is fig3Generate split for the lane-parallel path: the
 // plaintext draw, core initialization and class report happen in
-// Prepare (the plaintext rides in s.Aux); the functional check and the
-// noise-drawing expansion of the fused cycle powers happen per lane
-// after the batch replay. The per-trace rng draw order matches the
-// scalar generator exactly.
+// Prepare (the plaintext rides in s.Aux); the functional check runs per
+// lane after the batch replay, and the engine's fused batch expansion
+// (Averages) turns the whole lane block into traces in one pass —
+// bit-identical to the scalar generator, since each trace's stream
+// draws the plaintext then the noise exactly as before.
 func fig3BatchGen(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.BatchGen {
+	avg := opt.Averages
+	if avg < 1 {
+		avg = 1 // the scalar expansion clamps identically
+	}
 	return engine.BatchGen{
-		Synth: synth,
-		Model: &opt.Model,
-		Lanes: opt.Lanes,
+		Synth:    synth,
+		Model:    &opt.Model,
+		Lanes:    opt.Lanes,
+		Averages: avg,
 		Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
 			var pt [aes.BlockSize]byte
 			rng.Read(pt[:])
@@ -293,10 +299,6 @@ func fig3BatchGen(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) e
 			copy(pt[:], s.Aux)
 			_, err := tgt.VerifyOutput(core.Mem(), pt)
 			return err
-		},
-		Acquire: func(i int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
-			s.Trace, s.Scratch = opt.Model.AveragedCyclesInto(s.Trace, s.Scratch, cycles, rng, opt.Averages)
-			return nil
 		},
 		Scalar: fig3Generate(tgt, synth, opt),
 	}

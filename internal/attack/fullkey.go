@@ -94,9 +94,10 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
 		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(aes.BlockSize), Seed: opt.Seed},
 		engine.BatchGen{
-			Synth: synth,
-			Model: &opt.Model,
-			Lanes: opt.Lanes,
+			Synth:    synth,
+			Model:    &opt.Model,
+			Lanes:    opt.Lanes,
+			Averages: max(opt.Averages, 1), // the scalar expansion clamps identically
 			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
 				var pt [aes.BlockSize]byte
 				rng.Read(pt[:])
@@ -112,10 +113,6 @@ func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, err
 				copy(pt[:], s.Aux)
 				_, err := tgt.VerifyOutput(core.Mem(), pt)
 				return err
-			},
-			Acquire: func(i int, rng *rand.Rand, cycles []float64, s *engine.Sample) error {
-				s.Trace, s.Scratch = opt.Model.AveragedCyclesInto(s.Trace, s.Scratch, cycles, rng, opt.Averages)
-				return nil
 			},
 			Scalar: scalar,
 		})

@@ -82,7 +82,7 @@ func TestFig3AutoEqualsSimulateAcrossAblations(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cfg %#x simulate: %v", mask, err)
 		}
-		for _, lanes := range []int{-1, 1, 8, 16, 32} {
+		for _, lanes := range []int{-1, 1, 8, 16, 32, 64} {
 			opt.Synth = engine.ModeAuto
 			opt.Lanes = lanes
 			auto, err := RunFigure3(key, opt)

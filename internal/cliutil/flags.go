@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/replay"
 )
 
 // EngineFlags bundles the shared engine flags. Register the subsets a
@@ -40,7 +41,8 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 // 0 defers to the spec).
 func (f *EngineFlags) RegisterWorkersUsage(fs *flag.FlagSet, workersUsage string) {
 	fs.IntVar(&f.Workers, "workers", 0, workersUsage)
-	fs.IntVar(&f.Lanes, "lanes", 0, "lane-parallel replay batch width (0: default, negative: scalar per-trace replay)")
+	fs.IntVar(&f.Lanes, "lanes", 0, fmt.Sprintf(
+		"lane-parallel replay batch width, up to %d (0: default, negative: scalar per-trace replay)", replay.MaxLanes))
 }
 
 // RegisterSeed adds -seed with the given default.

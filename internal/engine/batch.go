@@ -13,11 +13,14 @@ import (
 )
 
 // DefaultLanes is the default batch width of the lane-parallel replay
-// path: wide enough to amortize schedule decoding and event walking,
-// narrow enough that a lane batch's working set (cores, value rows, the
-// fused power block) stays cache-resident. Like ChunkSize it is pure
-// scheduling — results are bit-identical for every lane width.
-const DefaultLanes = 16
+// path: the full DefaultChunkSize, so a steady-state chunk is exactly
+// one lane group and the per-step schedule walk, scatter setup and
+// fused expansion amortize over the widest supported batch. The
+// end-to-end lane sweep (BenchmarkEngineCPA10kParallel/Lanes32/Lanes64)
+// ranks 64 ahead of 16 and 32 since the per-lane execution was reduced
+// to hoisted-decode value work. Like ChunkSize it is pure scheduling —
+// results are bit-identical for every lane width.
+const DefaultLanes = replay.MaxLanes
 
 // errBatchFallback reports that a lane batch could not run (the replay
 // schedule is unavailable, still inside its verification window, or a
@@ -90,10 +93,12 @@ func (s *Synthesizer) batchProgram() *replay.BatchProgram {
 }
 
 // batchScratch is one worker's lane-batch state: one pooled core per
-// lane plus the SoA batch VM.
+// lane plus the SoA batch VM and the lane-major row views handed to
+// BlockRunner.Block.
 type batchScratch struct {
 	cores []*pipeline.Core
 	vm    *replay.BatchVM
+	rows  [][]float64
 }
 
 // ensure grows the scratch to n lanes over program bp.
@@ -133,6 +138,48 @@ func (sc *batchScratch) ensure(cfg pipeline.Config, bp *replay.BatchProgram, n i
 // traces through Run; any other error is a genuine failure. RunBatch is
 // safe to call concurrently with itself and with Run.
 func (s *Synthesizer) RunBatch(m *power.Model, n int, init func(lane int, core *pipeline.Core) error, use func(lane int, cycles []float64, core *pipeline.Core) error) error {
+	return s.RunBatchBlock(m, n, &funcBlockRunner{init: init, use: use})
+}
+
+// BlockRunner is the callback pair of RunBatchBlock: InitLane prepares
+// one lane's initial architectural state, Block consumes the whole lane
+// batch at once. The interface form (rather than function values) lets
+// hot callers keep one persistent runner per worker, so the steady-state
+// batch path allocates nothing per chunk.
+type BlockRunner interface {
+	// InitLane prepares lane's initial architectural state on a freshly
+	// wiped core; called once per lane in ascending order.
+	InitLane(lane int, core *pipeline.Core) error
+	// Block receives the whole batch after the VM replayed all lanes:
+	// rows[lane] is that lane's per-cycle noiseless power (bit-identical
+	// to power.Model.CyclePowers over the execution's timeline) and
+	// cores[lane] holds its final architectural state. Both are valid
+	// only during the call.
+	Block(rows [][]float64, cores []*pipeline.Core) error
+}
+
+// funcBlockRunner adapts RunBatch's per-lane callbacks to BlockRunner.
+type funcBlockRunner struct {
+	init func(lane int, core *pipeline.Core) error
+	use  func(lane int, cycles []float64, core *pipeline.Core) error
+}
+
+func (f *funcBlockRunner) InitLane(lane int, core *pipeline.Core) error { return f.init(lane, core) }
+func (f *funcBlockRunner) Block(rows [][]float64, cores []*pipeline.Core) error {
+	for lane := range rows {
+		if err := f.use(lane, rows[lane], cores[lane]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBatchBlock is RunBatch delivering the batch as one block: after
+// the lane-parallel VM replays all n lanes with fused power synthesis,
+// r.Block receives every lane's cycle-power row together — the shape
+// the fused batch expansion (power.ExpandCyclesBatch) consumes. Same
+// fallback and bit-identity contract as RunBatch.
+func (s *Synthesizer) RunBatchBlock(m *power.Model, n int, r BlockRunner) error {
 	if n < 1 || n > replay.MaxLanes {
 		return fmt.Errorf("engine: batch of %d lanes out of [1,%d]", n, replay.MaxLanes)
 	}
@@ -153,7 +200,7 @@ func (s *Synthesizer) RunBatch(m *power.Model, n int, init func(lane int, core *
 		core.ResetState()
 		core.SetHierarchy(nil)
 		core.Mem().Wipe()
-		if err := init(lane, core); err != nil {
+		if err := r.InitLane(lane, core); err != nil {
 			return err
 		}
 	}
@@ -167,12 +214,12 @@ func (s *Synthesizer) RunBatch(m *power.Model, n int, init func(lane int, core *
 		return fmt.Errorf("%w: %v", errBatchFallback, err)
 	}
 	s.batchRuns.Add(1)
+	rows := sc.rows[:0]
 	for lane := 0; lane < n; lane++ {
-		if err := use(lane, sc.vm.Power(lane), sc.cores[lane]); err != nil {
-			return err
-		}
+		rows = append(rows, sc.vm.Power(lane))
 	}
-	return nil
+	sc.rows = rows
+	return r.Block(rows, sc.cores[:n])
 }
 
 // BatchGen is the batched form of a Generate: the same per-trace
@@ -200,9 +247,19 @@ type BatchGen struct {
 	// Verify, if set, checks the final architectural state (the
 	// functional oracle). Errors are genuine failures, not fallbacks.
 	Verify func(i int, core *pipeline.Core, s *Sample) error
+	// Averages, when positive, selects the fused batch expansion: the
+	// engine expands every lane's cycle powers into its trace in one
+	// lane-major pass (power.ExpandCyclesBatch) with Averages-fold
+	// averaging, drawing each trace's Gaussian noise in bulk from its
+	// private stream — bit-identical to Averages repetitions of
+	// Model.ExpandCyclesInto averaged per trace, and to the Acquire
+	// form below over the same streams. Acquire is then unused.
+	Averages int
 	// Acquire expands the lane's fused cycle powers into s.Trace,
 	// drawing the trace's noise from rng — bit-identical to the scalar
-	// path's timeline synthesis.
+	// path's timeline synthesis. Only consulted when Averages == 0,
+	// for acquisitions the fused expansion cannot express (e.g. the
+	// OS-noise model's extra draws).
 	Acquire func(i int, rng *rand.Rand, cycles []float64, s *Sample) error
 	// Scalar is the equivalent per-trace generator, used before the
 	// replay schedule is batch-ready and whenever a batch falls back.
@@ -219,7 +276,8 @@ func (bg *BatchGen) lanes() int {
 
 // batchable reports whether the batch path is configured at all.
 func (bg *BatchGen) batchable() bool {
-	return bg.Synth != nil && bg.Model != nil && bg.Prepare != nil && bg.Acquire != nil && bg.Lanes >= 0
+	return bg.Synth != nil && bg.Model != nil && bg.Prepare != nil &&
+		(bg.Averages > 0 || bg.Acquire != nil) && bg.Lanes >= 0
 }
 
 // runGroups drives the shared lane-group control flow of the batched
@@ -266,11 +324,29 @@ func RunBatched(cfg Config, spec Spec, bg BatchGen) ([]sca.Accumulator, error) {
 		n := c.end - c.start
 		j := 0
 		if bg.batchable() {
-			var err error
-			j, err = runGroups(n, bg.lanes(), func(start, l int) error {
-				return bg.runGroup(&spec, c.start+start, l, bb, start)
-			})
-			if err != nil {
+			// The group loop is inlined (no runGroups closure) and drives
+			// the persistent per-buffer runner, so a steady-state chunk
+			// on the fused path allocates nothing.
+			lanes := bg.lanes()
+			gr := &bb.group
+			gr.bg, gr.spec, gr.bb = &bg, &spec, bb
+			for j < n {
+				l := lanes
+				if l > n-j {
+					l = n - j
+				}
+				gr.base, gr.slot = c.start+j, j
+				err := bg.Synth.RunBatchBlock(bg.Model, l, gr)
+				if err == nil {
+					j += l
+					continue
+				}
+				if errors.Is(err, errBatchFallback) {
+					// The batch path is unavailable or a lane diverged:
+					// the rest of the chunk synthesizes on the scalar
+					// path, which re-detects any divergence.
+					break
+				}
 				return err
 			}
 		}
@@ -294,33 +370,78 @@ func RunBatched(cfg Config, spec Spec, bg BatchGen) ([]sca.Accumulator, error) {
 	return runChunked(cfg, spec, fill)
 }
 
-// runGroup synthesizes the l traces [base, base+l) as one lane batch
-// into the chunk buffer, starting at sample slot `slot`.
-func (bg *BatchGen) runGroup(spec *Spec, base, l int, bb *batchBuf, slot int) error {
-	init := func(lane int, core *pipeline.Core) error {
-		i, j := base+lane, slot+lane
-		s := &bb.samples[j]
-		s.Trace = s.Trace[:0]
-		reseedTraceRNG(bb.rngs[j], spec.Seed, i)
-		if err := bg.Prepare(i, bb.rngs[j], core, s); err != nil {
-			return fmt.Errorf("engine: trace %d: %w", i, err)
-		}
-		return nil
+// groupRunner is the persistent BlockRunner of the batched CPA path:
+// one lives in every chunk buffer, repointed per lane group, so the
+// steady-state fused path allocates nothing. It synthesizes the l
+// traces [base, base+l) into the chunk buffer starting at sample slot
+// `slot`.
+type groupRunner struct {
+	bg         *BatchGen
+	spec       *Spec
+	bb         *batchBuf
+	base, slot int
+}
+
+// InitLane reseeds the lane's private stream and runs Prepare — the
+// same leading draws the scalar path makes.
+func (g *groupRunner) InitLane(lane int, core *pipeline.Core) error {
+	i, j := g.base+lane, g.slot+lane
+	s := &g.bb.samples[j]
+	s.Trace = s.Trace[:0]
+	reseedTraceRNG(g.bb.rngs[j], g.spec.Seed, i)
+	if err := g.bg.Prepare(i, g.bb.rngs[j], core, s); err != nil {
+		return fmt.Errorf("engine: trace %d: %w", i, err)
 	}
-	use := func(lane int, cycles []float64, core *pipeline.Core) error {
-		i, j := base+lane, slot+lane
-		s := &bb.samples[j]
-		if bg.Verify != nil {
-			if err := bg.Verify(i, core, s); err != nil {
+	return nil
+}
+
+// Block verifies every lane's final state, expands the lane block into
+// traces — through the fused batch expansion when Averages is set,
+// otherwise per lane through Acquire — and records the results. Each
+// trace's stream continues exactly where Prepare left it (Prepare's
+// draws, then the noise draws, in lane order), so the chunk is
+// bit-identical to the scalar path.
+func (g *groupRunner) Block(rows [][]float64, cores []*pipeline.Core) error {
+	bg, bb := g.bg, g.bb
+	if bg.Verify != nil {
+		for lane := range rows {
+			i := g.base + lane
+			if err := bg.Verify(i, cores[lane], &bb.samples[g.slot+lane]); err != nil {
 				return fmt.Errorf("engine: trace %d: %w", i, err)
 			}
 		}
-		if err := bg.Acquire(i, bb.rngs[j], cycles, s); err != nil {
-			return fmt.Errorf("engine: trace %d: %w", i, err)
-		}
-		return bb.record(spec, j, i)
 	}
-	return bg.Synth.RunBatch(bg.Model, l, init, use)
+	if bg.Averages > 0 {
+		be := &bb.expand
+		be.Rows = rows
+		be.Lanes = len(rows)
+		be.Avg = bg.Averages
+		be.Out = be.Out[:0]
+		be.Noise = be.Noise[:0]
+		for lane := range rows {
+			j := g.slot + lane
+			be.Out = append(be.Out, bb.samples[j].Trace)
+			be.Noise = append(be.Noise, bb.srcs[j])
+		}
+		bg.Model.ExpandCyclesBatch(be)
+		for lane := range rows {
+			bb.samples[g.slot+lane].Trace = be.Out[lane]
+		}
+		be.Rows = nil
+	} else {
+		for lane := range rows {
+			i, j := g.base+lane, g.slot+lane
+			if err := bg.Acquire(i, bb.rngs[j], rows[lane], &bb.samples[j]); err != nil {
+				return fmt.Errorf("engine: trace %d: %w", i, err)
+			}
+		}
+	}
+	for lane := range rows {
+		if err := bb.record(g.spec, g.slot+lane, g.base+lane); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // BatchStream is the batched form of a Produce, with the same phase

@@ -54,7 +54,8 @@ func (f *batchFixture) hyps(v uint32, hyps []float64) {
 }
 
 // gen builds the matched scalar generator and batch generator over a
-// fresh Synthesizer of the given mode.
+// fresh Synthesizer of the given mode. The batch generator uses the
+// per-lane Acquire form; genFused swaps in the fused block expansion.
 func (f *batchFixture) gen(t *testing.T, mode Mode, lanes int) (BatchGen, *Synthesizer) {
 	t.Helper()
 	synth, err := NewSynthesizer(mode, f.cfg, f.prog)
@@ -89,10 +90,23 @@ func (f *batchFixture) gen(t *testing.T, mode Mode, lanes int) (BatchGen, *Synth
 	}, synth
 }
 
+// genFused is gen with the fused block expansion in place of the
+// per-lane Acquire: the engine expands the whole lane block itself,
+// drawing each trace's noise in bulk.
+func (f *batchFixture) genFused(t *testing.T, mode Mode, lanes int) (BatchGen, *Synthesizer) {
+	t.Helper()
+	bg, synth := f.gen(t, mode, lanes)
+	bg.Averages = 2
+	bg.Acquire = nil
+	return bg, synth
+}
+
 // TestRunBatchedBitIdenticalToScalar is the engine-level lane sweep:
 // for every lane width (including one disabling the batch path, the
 // single-lane degenerate batch, widths that do not divide the chunk
-// size, and the maximum), any worker count and chunk size, the global
+// size, the widths beyond the old 32-lane mask word — 33, 48 — and the
+// 64-lane maximum), any worker count and chunk size, and on both the
+// per-lane Acquire form and the fused block expansion, the global
 // accumulators must be bit-identical.
 func TestRunBatchedBitIdenticalToScalar(t *testing.T) {
 	f := newBatchFixture(333)
@@ -103,21 +117,30 @@ func TestRunBatchedBitIdenticalToScalar(t *testing.T) {
 	}
 	for _, tc := range []struct{ lanes, workers, chunk int }{
 		{0, 1, 0}, {1, 1, 0}, {8, 2, 0}, {16, 4, 32}, {32, 3, 48}, {24, 2, 50}, {5, 1, 7},
+		{33, 2, 50}, {48, 3, 0}, {64, 2, 96}, {64, 1, 70},
 	} {
-		bg, synth := f.gen(t, ModeAuto, tc.lanes)
-		got, err := RunBatched(Config{Workers: tc.workers, ChunkSize: tc.chunk}, f.spec, bg)
-		if err != nil {
-			t.Fatalf("lanes=%d workers=%d: %v", tc.lanes, tc.workers, err)
-		}
-		if !got[0].(*sca.CPA).Equal(ref[0].(*sca.CPA)) {
-			t.Fatalf("lanes=%d workers=%d chunk=%d: accumulator differs from scalar path",
-				tc.lanes, tc.workers, tc.chunk)
-		}
-		if synth.BatchRuns() == 0 {
-			t.Fatalf("lanes=%d: batch path never ran", tc.lanes)
-		}
-		if reason := synth.BatchDisabledReason(); reason != "" {
-			t.Fatalf("lanes=%d: batch disabled: %s", tc.lanes, reason)
+		for _, fused := range []bool{false, true} {
+			var bg BatchGen
+			var synth *Synthesizer
+			if fused {
+				bg, synth = f.genFused(t, ModeAuto, tc.lanes)
+			} else {
+				bg, synth = f.gen(t, ModeAuto, tc.lanes)
+			}
+			got, err := RunBatched(Config{Workers: tc.workers, ChunkSize: tc.chunk}, f.spec, bg)
+			if err != nil {
+				t.Fatalf("lanes=%d workers=%d fused=%v: %v", tc.lanes, tc.workers, fused, err)
+			}
+			if !got[0].(*sca.CPA).Equal(ref[0].(*sca.CPA)) {
+				t.Fatalf("lanes=%d workers=%d chunk=%d fused=%v: accumulator differs from scalar path",
+					tc.lanes, tc.workers, tc.chunk, fused)
+			}
+			if synth.BatchRuns() == 0 {
+				t.Fatalf("lanes=%d fused=%v: batch path never ran", tc.lanes, fused)
+			}
+			if reason := synth.BatchDisabledReason(); reason != "" {
+				t.Fatalf("lanes=%d fused=%v: batch disabled: %s", tc.lanes, fused, reason)
+			}
 		}
 	}
 }
@@ -247,20 +270,24 @@ func TestRunBatchedDivergenceFallsBackToSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := newDivergeFixture(traces, bad)
-	bg, synth := f.gen(t, ModeAuto, 8)
-	got, err := RunBatched(Config{Workers: 1}, f.spec, bg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if synth.BatchRuns() == 0 {
-		t.Fatal("batch path never ran before the divergence")
-	}
-	if !synth.FellBack() {
-		t.Fatal("auto mode did not fall back on the diverging trace")
-	}
-	if !got[0].(*sca.CPA).Equal(want[0].(*sca.CPA)) {
-		t.Fatal("diverging run differs from pure simulation")
+	// Lane widths on both sides of the old 32-lane mask word: divergence
+	// detection and fallback parity must be width-independent.
+	for _, lanes := range []int{8, 48, 64} {
+		f := newDivergeFixture(traces, bad)
+		bg, synth := f.gen(t, ModeAuto, lanes)
+		got, err := RunBatched(Config{Workers: 1}, f.spec, bg)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if synth.BatchRuns() == 0 {
+			t.Fatalf("lanes=%d: batch path never ran before the divergence", lanes)
+		}
+		if !synth.FellBack() {
+			t.Fatalf("lanes=%d: auto mode did not fall back on the diverging trace", lanes)
+		}
+		if !got[0].(*sca.CPA).Equal(want[0].(*sca.CPA)) {
+			t.Fatalf("lanes=%d: diverging run differs from pure simulation", lanes)
+		}
 	}
 }
 
@@ -313,7 +340,7 @@ func TestStreamBatchedBitIdenticalToStream(t *testing.T) {
 		return traces, auxes
 	}
 	refT, refA := mk(-1)
-	for _, lanes := range []int{0, 1, 16} {
+	for _, lanes := range []int{0, 1, 16, 33, 64} {
 		gotT, gotA := mk(lanes)
 		for i := range refT {
 			if len(gotT[i]) != len(refT[i]) {
@@ -337,7 +364,7 @@ func TestRunBatchedValidation(t *testing.T) {
 	if _, err := RunBatched(Config{}, f.spec, BatchGen{}); err == nil {
 		t.Error("missing scalar generator accepted")
 	}
-	bg, _ := f.gen(t, ModeAuto, 64)
+	bg, _ := f.gen(t, ModeAuto, 65)
 	if _, err := RunBatched(Config{}, f.spec, bg); err == nil {
 		t.Error("lane width beyond MaxLanes accepted")
 	}
@@ -355,5 +382,32 @@ func TestRunBatchedValidation(t *testing.T) {
 	}
 	if _, err := RunBatched(Config{Workers: 1}, f2.spec, bg2); !errors.Is(err, errBoom) {
 		t.Errorf("prepare error not propagated: %v", err)
+	}
+}
+
+// TestRunBatchedSteadyStateAllocs is the allocation regression for the
+// fused batch path: once the pools are warm, a steady-state chunk —
+// lane-group execution, fused block expansion, batched noise and
+// class accumulation — must allocate nothing. Measured as the
+// allocation delta between runs differing only in chunk count, so the
+// per-run fixed costs (accumulators, goroutines, chunk list) cancel.
+func TestRunBatchedSteadyStateAllocs(t *testing.T) {
+	const chunk = DefaultChunkSize
+	measure := func(extra int) float64 {
+		f := newBatchFixture(VerifyRuns + extra*chunk)
+		bg, _ := f.genFused(t, ModeAuto, 0)
+		run := func() {
+			if _, err := RunBatched(Config{Workers: 1}, f.spec, bg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the buffer pools and the synthesizer's verify window
+		return testing.AllocsPerRun(3, run)
+	}
+	base := measure(4)
+	wide := measure(24)
+	if perChunk := (wide - base) / 20; perChunk > 0.5 {
+		t.Errorf("fused batch path allocates %.2f per steady-state chunk (%.0f at 4 extra chunks, %.0f at 24)",
+			perChunk, base, wide)
 	}
 }

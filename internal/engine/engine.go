@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/power"
 	"repro/internal/sca"
 )
 
@@ -314,6 +315,7 @@ func runChunked(cfg Config, spec Spec, fill func(c chunk, bb *batchBuf) error) (
 			hyps:    make([][][]float64, len(spec.Banks)),
 			classes: make([][]int, len(spec.Banks)),
 			rngs:    make([]*rand.Rand, chunkCap),
+			srcs:    make([]*splitMixSource, chunkCap),
 		}
 		for j := range bb.samples {
 			s := &bb.samples[j]
@@ -324,7 +326,8 @@ func runChunked(cfg Config, spec Spec, fill func(c chunk, bb *batchBuf) error) (
 					s.Hyps[b] = make([]float64, bank.Hyps)
 				}
 			}
-			bb.rngs[j] = rand.New(&splitMixSource{})
+			bb.srcs[j] = &splitMixSource{}
+			bb.rngs[j] = rand.New(bb.srcs[j])
 		}
 		for b, bank := range spec.Banks {
 			if bank.Classes == nil {
@@ -411,13 +414,20 @@ func (bb *batchBuf) record(spec *Spec, j, traceIdx int) error {
 
 // batchBuf is one chunk of in-flight acquisitions: Sample slots with
 // their per-trace private rngs, plus the views handed to the reducer's
-// AddBatch calls.
+// AddBatch calls. srcs[j] is the raw stream under rngs[j] — the fused
+// batch expansion draws noise in bulk straight off it, continuing the
+// exact stream position the rand.Rand wrapper left. group and expand
+// are the persistent per-buffer state of the fused path, kept here so
+// steady-state chunks allocate nothing.
 type batchBuf struct {
 	samples []Sample
 	traces  [][]float64
 	hyps    [][][]float64 // [bank][trace] prediction vectors (classic banks)
 	classes [][]int       // [bank][trace] model-input classes (class banks)
 	rngs    []*rand.Rand
+	srcs    []*splitMixSource
+	group   groupRunner
+	expand  power.BatchExpand
 }
 
 // oneTrace synthesizes trace i and feeds it to the accumulators — the

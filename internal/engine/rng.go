@@ -1,6 +1,10 @@
 package engine
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/znorm"
+)
 
 // splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mix with
 // full avalanche, the standard generator for seeding parallel random
@@ -32,6 +36,14 @@ func (s *splitMixSource) Uint64() uint64 {
 // Int63 implements rand.Source by truncating Uint64, as rand.Source64
 // consumers expect.
 func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// FillNorm draws len(dst) standard normals from the stream, bit-identical
+// to len(dst) successive NormFloat64 calls on a rand.Rand wrapping this
+// source (rand.Rand keeps no draw state of its own beyond the byte
+// buffer of Read, which NormFloat64 never touches). It implements
+// power.NormSource, the bulk seam of the fused batch expansion; the
+// draw-for-draw pin against math/rand lives in rng_test.go.
+func (s *splitMixSource) FillNorm(dst []float64) { znorm.Fill(dst, &s.state) }
 
 // Seed installs the 64-bit stream state verbatim (no folding), so a
 // reseeded pooled source draws bit-identically to a fresh

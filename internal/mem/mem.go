@@ -26,6 +26,16 @@ const pageSize = 1 << pageBits
 // zero, matching SRAM-after-clear behaviour of the bare-metal benchmarks.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	// Single-entry lookup cache. The bare-metal benchmarks' working sets
+	// live in one or two pages, so the last-hit page answers almost every
+	// access without a map probe — measurable on the replay hot path,
+	// where each lane's loads and stores go through page(). A non-nil
+	// lastPage is always the live mapping of lastKey; operations that
+	// replace the page map (Reset) clear it, while in-place mutations
+	// (Wipe, CopyFrom) keep it valid.
+	lastKey  uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -34,17 +44,23 @@ func NewMemory() *Memory {
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	if p := m.lastPage; p != nil && m.lastKey == key {
+		return p
+	}
 	if m.pages == nil {
 		if !create {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	key := addr >> pageBits
 	p := m.pages[key]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[key] = p
+	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
 	}
 	return p
 }
@@ -143,6 +159,7 @@ func (m *Memory) Clone() *Memory {
 // Reset drops all contents.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*[pageSize]byte)
+	m.lastKey, m.lastPage = 0, nil
 }
 
 // Wipe zeroes every mapped page in place, keeping the pages allocated.

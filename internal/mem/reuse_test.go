@@ -71,3 +71,38 @@ func TestWordAccessorsSinglePage(t *testing.T) {
 		t.Errorf("unmapped read = %#x, want 0", v)
 	}
 }
+
+// TestPageCacheInvalidation covers the single-entry page cache around
+// every operation that replaces or mutates the page map: a stale cached
+// page must never answer a read.
+func TestPageCacheInvalidation(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x100, 0xDEADBEEF) // cache now holds page 0
+	m.Reset()
+	if v := m.Read32(0x100); v != 0 {
+		t.Fatalf("Read32 after Reset = %#x, want 0 (stale page cache)", v)
+	}
+	m.Write32(0x100, 0x11111111)
+	m.Wipe()
+	if v := m.Read32(0x100); v != 0 {
+		t.Fatalf("Read32 after Wipe = %#x, want 0", v)
+	}
+	src := NewMemory()
+	src.Write32(0x100, 0x22222222)
+	m.Write32(0x5000, 0x33333333) // cache the page src lacks
+	m.CopyFrom(src)
+	if v := m.Read32(0x5000); v != 0 {
+		t.Fatalf("Read32 after CopyFrom = %#x, want 0", v)
+	}
+	if v := m.Read32(0x100); v != 0x22222222 {
+		t.Fatalf("Read32 after CopyFrom = %#x, want 0x22222222", v)
+	}
+	// Alternating pages through the cache stays correct.
+	for i := 0; i < 8; i++ {
+		a := uint32(0x100 + 0x4000*uint32(i&1))
+		m.Write32(a, uint32(i))
+		if v := m.Read32(a); v != uint32(i) {
+			t.Fatalf("alternating read %d = %#x", i, v)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+)
+
+// The batched replay VM executes the same instruction once per lane per
+// step. ExecValues re-derives the decode-static half of that work — the
+// source-register list, the operand-bus plan, the op-class dispatch
+// chains and the config-dependent width facts — from the instruction
+// word on every call. ExecDecoded caches that half at compile time so
+// the per-lane residue is pure value work. Exec reproduces ExecValues'
+// value semantics exactly: the same values in the same canonical drive
+// order, the same architectural effects. It fills only the DriveValues
+// fields the batched consumers read — N, Vals, Addr, Taken, Target,
+// FlagsSet — leaving Roles and Kinds untouched (the batch VM scatters
+// values by position, never by role), which is what keeps the lean path
+// cheaper than a memoized ExecValues.
+
+// execClass is the hoisted op-class dispatch of ExecValues' main switch.
+type execClass uint8
+
+const (
+	ecNop execClass = iota
+	ecB
+	ecBL
+	ecBX
+	ecMem
+	ecMul
+	ecDataProc
+)
+
+// ExecDecoded is the decode-static plan of one issued instruction under
+// fixed Limits: everything ExecValues derives from the instruction word
+// and the config, none of what it derives from machine state. Build one
+// per schedule step with DecodeExec; it is immutable afterwards and safe
+// for concurrent Exec calls against distinct states.
+type ExecDecoded struct {
+	cls  execClass
+	cond isa.Cond
+
+	// Register-file read ports, already clipped to lim.RF.
+	src  [isa.MaxSrcRegs]isa.Reg
+	nSrc uint8
+
+	// IS/EX operand-bus plan, already clipped to lim.Bus: register reads
+	// for ordinary instructions, nBusZero zero drives for the nop. The
+	// two are mutually exclusive.
+	bus      [3]isa.Reg
+	nBus     uint8
+	nBusZero uint8
+	nNopWB   uint8
+
+	// Failed conditional drives a zero on the write-back bus
+	// (cfg.NopZeroesWB, and for data processing only with a destination).
+	annulZeroWB bool
+
+	// Branches.
+	target  int
+	linkVal uint32  // BL: the pc+1 link value
+	rm      isa.Reg // BX target register
+
+	// Multiply.
+	rn, rmul, ra isa.Reg
+	mla          bool
+
+	// Data processing.
+	op          isa.Op
+	usesRn      bool
+	op2Imm      bool
+	imm         uint32
+	shiftKind   isa.ShiftKind
+	op2Reg      isa.Reg
+	shiftAmt    uint32
+	shiftByReg  bool
+	shiftReg    isa.Reg
+	usesShifter bool
+	hasDest     bool
+	flagsSet    bool // SetFlags || IsCompare: the flags update fires
+
+	// Memory.
+	memBase   isa.Reg
+	hasOffReg bool
+	offReg    isa.Reg
+	offImm    int32
+	postIndex bool
+	load      bool
+	width     uint8
+	align     bool // sub-word access with the align buffer modelled
+	laneRepl  bool // store lane replication on the memory bus
+	baseWB    bool
+	baseWBReg isa.Reg
+
+	// Shared destination / transfer register.
+	rd isa.Reg
+}
+
+// Passed evaluates the instruction's condition against the flags.
+func (d *ExecDecoded) Passed(f isa.Flags) bool { return d.cond.Passed(f) }
+
+// DecodeExec builds the decode-static plan ExecValues would follow for
+// in at pc under lim.
+func DecodeExec(cfg *Config, in *isa.Instr, pc int, lim Limits) ExecDecoded {
+	d := ExecDecoded{cond: in.Cond, rd: in.Rd}
+
+	var srcBuf [isa.MaxSrcRegs]isa.Reg
+	for i, r := range in.AppendSrcRegs(srcBuf[:0]) {
+		if i >= lim.RF {
+			break
+		}
+		d.src[d.nSrc] = r
+		d.nSrc++
+	}
+
+	addBus := func(r isa.Reg) {
+		if int(d.nBus) < lim.Bus {
+			d.bus[d.nBus] = r
+			d.nBus++
+		}
+	}
+	switch {
+	case in.Op == isa.NOP:
+		d.cls = ecNop
+		if n := lim.Bus; n > 0 {
+			if n > 2 {
+				n = 2
+			}
+			d.nBusZero = uint8(n)
+		}
+		if lim.NopWB > 0 {
+			d.nNopWB = uint8(lim.NopWB)
+		}
+
+	case in.Op.IsMul():
+		d.cls = ecMul
+		addBus(in.Rn)
+		addBus(in.Rm)
+		if in.Op == isa.MLA {
+			addBus(in.Ra)
+			d.mla = true
+		}
+		d.rn, d.rmul, d.ra = in.Rn, in.Rm, in.Ra
+		d.flagsSet = in.SetFlags
+		d.annulZeroWB = cfg.NopZeroesWB
+
+	case in.Op.IsMem():
+		d.cls = ecMem
+		if in.Op.IsStore() {
+			addBus(in.Rd)
+		}
+		d.memBase = in.Mem.Base
+		d.hasOffReg = in.Mem.HasOffReg
+		d.offReg = in.Mem.OffReg
+		if in.Mem.OffImm {
+			d.offImm = in.Mem.Imm
+		}
+		d.postIndex = in.Mem.PostIndex
+		d.load = in.Op.IsLoad()
+		d.width = uint8(in.Op.AccessBytes())
+		d.align = d.width < 4 && cfg.AlignBuffer
+		d.laneRepl = cfg.StoreLaneReplication
+		d.baseWBReg, d.baseWB = in.BaseWriteBack()
+
+	case in.Op.IsBranch():
+		switch in.Op {
+		case isa.B:
+			d.cls = ecB
+		case isa.BL:
+			d.cls = ecBL
+			d.linkVal = uint32(pc + 1)
+		case isa.BX:
+			d.cls = ecBX
+			d.rm = in.Rm
+		}
+		d.target = in.Target
+
+	default: // data processing
+		d.cls = ecDataProc
+		d.op = in.Op
+		d.rn = in.Rn
+		d.usesRn = in.Op.UsesRn()
+		i := 0
+		if d.usesRn {
+			addBus(in.Rn)
+			i++
+		}
+		if !in.Op2.IsImm {
+			addBus(in.Op2.Reg)
+			i++
+			if in.Op2.ShiftByReg {
+				addBus(in.Op2.ShiftReg)
+			}
+		}
+		d.op2Imm = in.Op2.IsImm
+		d.imm = in.Op2.Imm
+		d.shiftKind = in.Op2.Shift
+		d.op2Reg = in.Op2.Reg
+		d.shiftAmt = uint32(in.Op2.ShiftAmt)
+		d.shiftByReg = in.Op2.ShiftByReg
+		d.shiftReg = in.Op2.ShiftReg
+		d.usesShifter = in.UsesShifter()
+		d.hasDest = in.Op.HasDest()
+		d.flagsSet = in.SetFlags || in.Op.IsCompare()
+		d.annulZeroWB = cfg.NopZeroesWB && d.hasDest
+	}
+	return d
+}
+
+// Exec executes the decoded instruction's value semantics against st:
+// bit-identical drive values in ExecValues' canonical order, identical
+// register, flag and memory effects. Only N, Vals, Addr, Taken, Target
+// and FlagsSet of dv are written.
+func (d *ExecDecoded) Exec(passed bool, st *ExecState, dv *DriveValues) {
+	dv.Addr = 0
+	dv.Taken = false
+	dv.Target = 0
+	dv.FlagsSet = false
+
+	n := 0
+	vals := &dv.Vals
+	for i := 0; i < int(d.nSrc); i++ {
+		vals[n] = st.Regs[d.src[i]]
+		n++
+	}
+	for i := 0; i < int(d.nBus); i++ {
+		vals[n] = st.Regs[d.bus[i]]
+		n++
+	}
+	for i := 0; i < int(d.nBusZero); i++ {
+		vals[n] = 0
+		n++
+	}
+
+	switch d.cls {
+	case ecNop:
+		for i := 0; i < int(d.nNopWB); i++ {
+			vals[n] = 0
+			n++
+		}
+
+	case ecB:
+		if passed {
+			dv.Taken, dv.Target = true, d.target
+		}
+
+	case ecBL:
+		if passed {
+			st.Regs[isa.LR] = d.linkVal
+			dv.Taken, dv.Target = true, d.target
+		}
+
+	case ecBX:
+		if passed {
+			t := st.Regs[d.rm]
+			dv.Taken = true
+			if t >= HaltTarget {
+				dv.Target = int(^uint(0) >> 1)
+			} else {
+				dv.Target = int(t)
+			}
+		}
+
+	case ecMem:
+		base := st.Regs[d.memBase]
+		off := d.offImm
+		if d.hasOffReg {
+			off = int32(st.Regs[d.offReg])
+		}
+		addr := base
+		if !d.postIndex {
+			addr = uint32(int64(base) + int64(off))
+		}
+		dv.Addr = addr
+		vals[n] = addr
+		n++
+		if !passed {
+			break
+		}
+		if d.load {
+			word := st.Mem.Read32(addr)
+			var val uint32
+			switch d.width {
+			case 4:
+				val = word
+			case 2:
+				val = uint32(st.Mem.Read16(addr))
+			case 1:
+				val = uint32(st.Mem.Read8(addr))
+			}
+			vals[n] = word
+			n++
+			if d.align {
+				vals[n] = val
+				n++
+			}
+			st.Regs[d.rd] = val
+			vals[n] = val
+			n++
+		} else {
+			data := st.Regs[d.rd]
+			var busWord uint32
+			switch d.width {
+			case 4:
+				busWord = data
+				st.Mem.Write32(addr, data)
+			case 2:
+				h := data & 0xFFFF
+				busWord = h
+				if d.laneRepl {
+					busWord = h | h<<16
+				}
+				st.Mem.Write16(addr, uint16(h))
+			case 1:
+				b := data & 0xFF
+				busWord = b
+				if d.laneRepl {
+					busWord = b | b<<8 | b<<16 | b<<24
+				}
+				st.Mem.Write8(addr, uint8(b))
+			}
+			vals[n] = busWord
+			n++
+			if d.align {
+				vals[n] = data & ((1 << (8 * uint(d.width))) - 1)
+				n++
+			}
+			vals[n] = data
+			n++
+		}
+		if d.baseWB {
+			st.Regs[d.baseWBReg] = uint32(int64(base) + int64(off))
+		}
+
+	case ecMul:
+		if !passed {
+			if d.annulZeroWB {
+				vals[n] = 0
+				n++
+			}
+			break
+		}
+		a, b := st.Regs[d.rn], st.Regs[d.rmul]
+		v := a * b
+		if d.mla {
+			v += st.Regs[d.ra]
+		}
+		vals[n] = a
+		vals[n+1] = b
+		vals[n+2] = v
+		n += 3
+		st.Regs[d.rd] = v
+		vals[n] = v
+		n++
+		if d.flagsSet {
+			st.Flags.N = v&(1<<31) != 0
+			st.Flags.Z = v == 0
+			dv.FlagsSet = true
+		}
+
+	case ecDataProc:
+		a := uint32(0)
+		if d.usesRn {
+			a = st.Regs[d.rn]
+		}
+		var sh isa.ShiftResult
+		if d.op2Imm {
+			sh = isa.ShiftResult{Value: d.imm, CarryOut: st.Flags.C}
+		} else {
+			amt := d.shiftAmt
+			if d.shiftByReg {
+				amt = st.Regs[d.shiftReg] & 0xFF
+			}
+			sh = isa.EvalShift(d.shiftKind, st.Regs[d.op2Reg], amt, st.Flags.C)
+		}
+		if !passed {
+			if d.annulZeroWB {
+				vals[n] = 0
+				n++
+			}
+			break
+		}
+		r := isa.EvalDataProc(d.op, a, sh.Value, sh.CarryOut, st.Flags)
+		if d.usesShifter {
+			vals[n] = sh.Value
+			n++
+		}
+		if d.usesRn {
+			vals[n] = a
+			vals[n+1] = sh.Value
+			n += 2
+		} else {
+			vals[n] = sh.Value
+			n++
+		}
+		vals[n] = r.Value
+		n++
+		if d.hasDest {
+			st.Regs[d.rd] = r.Value
+			vals[n] = r.Value
+			n++
+		}
+		if d.flagsSet {
+			st.Flags = r.Flags
+			dv.FlagsSet = true
+		}
+	}
+	dv.N = n
+}

@@ -1,0 +1,73 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func expand4SetAVX512(dst, cycles, z *float64, nPairs int, shape8 *float64, baseline, sigma float64)
+//
+// Per iteration, two cycles (eight samples at four samples per cycle):
+// broadcast the two cycle powers into the ZMM halves, then
+// v = baseline + (p-baseline)*shape followed by v += z*sigma — one
+// VSUBPD, VMULPD, VADDPD, VMULPD, VADDPD chain (no fused multiply-add),
+// the identical rounding sequence of expandNormGeneric. Overwrites dst.
+TEXT ·expand4SetAVX512(SB), NOSPLIT, $0-56
+	MOVQ         dst+0(FP), DI
+	MOVQ         cycles+8(FP), SI
+	MOVQ         z+16(FP), DX
+	MOVQ         nPairs+24(FP), CX
+	MOVQ         shape8+32(FP), R8
+	VBROADCASTSD baseline+40(FP), Z5
+	VBROADCASTSD sigma+48(FP), Z6
+	VMOVUPD      (R8), Z7
+
+setloop:
+	VBROADCASTSD (SI), Y1
+	VBROADCASTSD 8(SI), Y2
+	VINSERTF64X4 $1, Y2, Z1, Z1
+	VSUBPD       Z5, Z1, Z2
+	VMULPD       Z7, Z2, Z2
+	VADDPD       Z5, Z2, Z2
+	VMOVUPD      (DX), Z3
+	VMULPD       Z6, Z3, Z3
+	VADDPD       Z3, Z2, Z2
+	VMOVUPD      Z2, (DI)
+	ADDQ         $16, SI
+	ADDQ         $64, DX
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          setloop
+	VZEROUPPER
+	RET
+
+// func expand4AddAVX512(dst, cycles, z *float64, nPairs int, shape8 *float64, baseline, sigma float64)
+//
+// expand4SetAVX512 with one extra VADDPD from dst — the averaging
+// loop's accumulate, same rounding sequence as the generic add path.
+TEXT ·expand4AddAVX512(SB), NOSPLIT, $0-56
+	MOVQ         dst+0(FP), DI
+	MOVQ         cycles+8(FP), SI
+	MOVQ         z+16(FP), DX
+	MOVQ         nPairs+24(FP), CX
+	MOVQ         shape8+32(FP), R8
+	VBROADCASTSD baseline+40(FP), Z5
+	VBROADCASTSD sigma+48(FP), Z6
+	VMOVUPD      (R8), Z7
+
+addloop:
+	VBROADCASTSD (SI), Y1
+	VBROADCASTSD 8(SI), Y2
+	VINSERTF64X4 $1, Y2, Z1, Z1
+	VSUBPD       Z5, Z1, Z2
+	VMULPD       Z7, Z2, Z2
+	VADDPD       Z5, Z2, Z2
+	VMOVUPD      (DX), Z3
+	VMULPD       Z6, Z3, Z3
+	VADDPD       Z3, Z2, Z2
+	VADDPD       (DI), Z2, Z2
+	VMOVUPD      Z2, (DI)
+	ADDQ         $16, SI
+	ADDQ         $64, DX
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          addloop
+	VZEROUPPER
+	RET

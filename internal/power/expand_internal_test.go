@@ -1,0 +1,60 @@
+//go:build amd64
+
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpandKernelsFallbackBitIdentical is the CPU-feature fallback
+// check for the fused expansion kernels: with the AVX-512 gate forced
+// off, the portable reference must reproduce the assembly kernels bit
+// for bit on random inputs — both the overwriting and accumulating
+// variants, at every cycle count including odd tails. Without the
+// extension both sides run the portable code and the test degenerates
+// to a self-check.
+func TestExpandKernelsFallbackBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	saved := useExpandKernels
+	defer func() { useExpandKernels = saved }()
+
+	shape := make([]float64, 4)
+	for i := range shape {
+		shape[i] = rng.Float64()
+	}
+	for _, n := range []int{1, 2, 3, 8, 15, 64, 129} {
+		for trial := 0; trial < 4; trial++ {
+			cycles := make([]float64, n)
+			z := make([]float64, n*4)
+			dst0 := make([]float64, n*4)
+			for i := range cycles {
+				cycles[i] = rng.NormFloat64() * 8
+			}
+			for i := range z {
+				z[i] = rng.NormFloat64()
+				dst0[i] = rng.NormFloat64()
+			}
+			baseline := rng.NormFloat64()
+			sigma := rng.Float64() + 0.1
+
+			for _, add := range []bool{false, true} {
+				useExpandKernels = saved
+				dstA := append([]float64(nil), dst0...)
+				expandNorm(dstA, cycles, shape, baseline, sigma, z, add)
+
+				useExpandKernels = false
+				dstB := append([]float64(nil), dst0...)
+				expandNorm(dstB, cycles, shape, baseline, sigma, z, add)
+
+				for i := range dstA {
+					if math.Float64bits(dstA[i]) != math.Float64bits(dstB[i]) {
+						t.Fatalf("n=%d add=%v sample %d: kernel %x (%g), portable %x (%g)",
+							n, add, i, math.Float64bits(dstA[i]), dstA[i], math.Float64bits(dstB[i]), dstB[i])
+					}
+				}
+			}
+		}
+	}
+}

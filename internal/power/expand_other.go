@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package power
+
+// expandNorm renders one noisy repetition of the per-cycle power vector
+// into dst; without vector kernels it is the portable reference itself.
+func expandNorm(dst, cycles, shape []float64, baseline, sigma float64, z []float64, add bool) {
+	expandNormGeneric(dst, cycles, shape, baseline, sigma, z, add)
+}

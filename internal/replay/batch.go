@@ -46,8 +46,8 @@ import (
 )
 
 // MaxLanes is the widest supported batch: per-conditional-step lane
-// masks are single words.
-const MaxLanes = 32
+// masks are single 64-bit words.
+const MaxLanes = 64
 
 // Event kinds of the fused power walk.
 const (
@@ -86,6 +86,28 @@ type BatchProgram struct {
 	vsMap  []int32  // per slot: value-slot row, or -1 when unobserved
 	conds  []uint16 // per step: dense conditional index, or noCond
 	events []batchEvent
+
+	// Precomputed scatter lists: for step si, scat[scatOff[si]:
+	// scatOff[si+1]] names the drive values the power model observes —
+	// the first scatHead[si] entries are outcome-invariant head slots,
+	// the remainder executed-tail slots (scattered only for passing
+	// lanes). Hoisting the per-slot vsMap probe out of the lane loop
+	// removes a branchy lookup per slot per lane from Run's hot path.
+	scat     []scatterSlot
+	scatOff  []uint32
+	scatHead []uint16
+
+	// dec holds each step's decode-static execution plan
+	// (pipeline.DecodeExec): the batch VM executes the hoisted form once
+	// per lane instead of re-deriving the decode in ExecValues.
+	dec []pipeline.ExecDecoded
+}
+
+// scatterSlot maps one observed drive value (dv.Vals[j]) to its
+// value-slot row.
+type scatterSlot struct {
+	j  uint8
+	vs int32
 }
 
 // Program returns the underlying scalar replay program.
@@ -217,6 +239,40 @@ func CompileBatch(p *Program) (*BatchProgram, error) {
 		bp.events = append(bp.events, ev)
 		g = h
 	}
+
+	// Build the per-step scatter lists now that every observed slot has
+	// its value-slot row assigned.
+	bp.scatOff = make([]uint32, len(p.steps)+1)
+	bp.scatHead = make([]uint16, len(p.steps))
+	for si := range p.steps {
+		st := &p.steps[si]
+		bp.scatOff[si] = uint32(len(bp.scat))
+		off := int(st.slotOff)
+		for j := 0; j < int(st.nHead); j++ {
+			if vs := bp.vsMap[off+j]; vs >= 0 {
+				bp.scat = append(bp.scat, scatterSlot{j: uint8(j), vs: vs})
+			}
+		}
+		bp.scatHead[si] = uint16(len(bp.scat) - int(bp.scatOff[si]))
+		if st.cond {
+			for j := int(st.nHead); j < int(st.nHead)+int(st.nExec); j++ {
+				if vs := bp.vsMap[off+j]; vs >= 0 {
+					bp.scat = append(bp.scat, scatterSlot{j: uint8(j), vs: vs})
+				}
+			}
+		}
+	}
+	bp.scatOff[len(p.steps)] = uint32(len(bp.scat))
+
+	// Hoist each step's instruction decode. The pinned equivalence
+	// (pipeline's decoded-exec tests plus this package's scalar-parity
+	// sweeps) keeps the lean path honest.
+	bp.dec = make([]pipeline.ExecDecoded, len(p.steps))
+	for si := range p.steps {
+		st := &p.steps[si]
+		bp.dec[si] = pipeline.DecodeExec(&p.cfg, &p.prog.Instrs[st.pc], int(st.pc),
+			pipeline.Limits{RF: int(st.nRF), Bus: int(st.nBus), NopWB: int(st.nNopWB)})
+	}
 	return bp, nil
 }
 
@@ -238,7 +294,7 @@ type BatchVM struct {
 
 	valBuf []uint32  // [vs*n + lane]: per-drive values of the running batch
 	last   []uint32  // [comp*n + lane]: fill-forward state per component
-	masks  []uint32  // per conditional step: lane pass mask
+	masks  []uint64  // per conditional step: lane pass mask
 	powerT []float64 // [cycle*n + lane]: fused power block (cycle-major)
 	rows   []float64 // [lane*cycles + cycle]: transposed result
 
@@ -271,7 +327,7 @@ func NewBatchVM(bp *BatchProgram, lanes int) (*BatchVM, error) {
 		lanes:  lanes,
 		valBuf: make([]uint32, bp.nVS*lanes),
 		last:   make([]uint32, int(pipeline.NumComponents)*lanes),
-		masks:  make([]uint32, bp.nCond),
+		masks:  make([]uint64, bp.nCond),
 		powerT: make([]float64, bp.p.cycles*lanes),
 		rows:   make([]float64, lanes*bp.p.cycles),
 	}, nil
@@ -333,18 +389,18 @@ func (vm *BatchVM) Run(cores []*pipeline.Core) error {
 	var dv pipeline.DriveValues
 	for si := range p.steps {
 		stp := &p.steps[si]
-		in := &p.prog.Instrs[stp.pc]
-		lim := pipeline.Limits{RF: int(stp.nRF), Bus: int(stp.nBus), NopWB: int(stp.nNopWB)}
-		off := int(stp.slotOff)
+		d := &bp.dec[si]
 		ci := bp.conds[si]
+		scat := bp.scat[bp.scatOff[si]:bp.scatOff[si+1]]
+		headScat := scat[:bp.scatHead[si]]
 		for lane := 0; lane < n; lane++ {
 			st := cores[lane].State()
-			passed := in.Cond.Passed(st.Flags)
+			passed := d.Passed(st.Flags)
 			if !stp.cond && passed != stp.executed {
 				return fmt.Errorf("%w: lane %d step %d (pc %d, %s) condition resolved %v, reference %v",
-					ErrDiverged, lane, si, stp.pc, in, passed, stp.executed)
+					ErrDiverged, lane, si, stp.pc, &p.prog.Instrs[stp.pc], passed, stp.executed)
 			}
-			pipeline.ExecValues(&p.cfg, in, int(stp.pc), passed, lim, st, &dv)
+			d.Exec(passed, st, &dv)
 
 			nSlots := int(stp.nHead)
 			if stp.cond {
@@ -357,21 +413,21 @@ func (vm *BatchVM) Run(cores []*pipeline.Core) error {
 			}
 			if dv.N != nSlots {
 				return fmt.Errorf("%w: lane %d step %d (pc %d, %s) drives %d values, schedule has %d slots",
-					ErrDiverged, lane, si, stp.pc, in, dv.N, nSlots)
+					ErrDiverged, lane, si, stp.pc, &p.prog.Instrs[stp.pc], dv.N, nSlots)
 			}
 
-			// Scatter the observed values into their value-slot rows.
-			// The annulled tail never owns a slot (its only drive is the
-			// shared write-back zero, reproduced by the evBoth event),
-			// so only head and executed-tail indices can map.
-			nScatter := int(stp.nHead)
+			// Scatter the observed values into their value-slot rows,
+			// via the precompiled per-step lists. The annulled tail never
+			// owns a slot (its only drive is the shared write-back zero,
+			// reproduced by the evBoth event), so the lists cover only
+			// head and executed-tail indices.
+			sl := headScat
 			if stp.cond && passed {
-				nScatter += int(stp.nExec)
+				sl = scat
 			}
-			for j := 0; j < nScatter; j++ {
-				if vs := bp.vsMap[off+j]; vs >= 0 {
-					vm.valBuf[int(vs)*n+lane] = dv.Vals[j]
-				}
+			for k := range sl {
+				sc := &sl[k]
+				vm.valBuf[int(sc.vs)*n+lane] = dv.Vals[sc.j]
 			}
 
 			if stp.bx {

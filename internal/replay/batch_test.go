@@ -121,7 +121,10 @@ func TestBatchVMMatchesScalarVMAES(t *testing.T) {
 		t.Fatal(err)
 	}
 	bvm.SetWeights(&m.HDWeights, &m.HWWeights, m.Baseline)
-	for _, lanes := range []int{1, 8, 16, replay.MaxLanes, 5} {
+	// 33 and 48 put conditional pass masks beyond the old 32-lane word:
+	// per-lane branch outcomes above bit 31 must resolve exactly as the
+	// scalar VM's.
+	for _, lanes := range []int{1, 8, 16, 33, 48, replay.MaxLanes, 5} {
 		cores := make([]*pipeline.Core, lanes)
 		want := make([][]float64, lanes)
 		var pts [][16]byte

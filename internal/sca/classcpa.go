@@ -155,8 +155,7 @@ func (c *ClassCPA) Add(class int, t []float64) error {
 	if len(t) != c.samples {
 		return fmt.Errorf("sca: trace has %d samples, want %d", len(t), c.samples)
 	}
-	sumSqInto(c.sumT, c.sumTT, t)
-	vaddInto(c.classSum[class*c.samples:(class+1)*c.samples], t)
+	classAddInto(c.sumT, c.sumTT, c.classSum[class*c.samples:(class+1)*c.samples], t)
 	c.classN[class]++
 	c.count++
 	c.derived = nil
@@ -178,9 +177,8 @@ func (c *ClassCPA) AddBatch(classes []int, traces [][]float64) error {
 		}
 	}
 	for i, t := range traces {
-		sumSqInto(c.sumT, c.sumTT, t)
 		p := classes[i]
-		vaddInto(c.classSum[p*c.samples:(p+1)*c.samples], t)
+		classAddInto(c.sumT, c.sumTT, c.classSum[p*c.samples:(p+1)*c.samples], t)
 		c.classN[p]++
 	}
 	c.count += len(traces)

@@ -188,3 +188,48 @@ func TestVaddFallbackBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestClassAddFallbackBitIdentical pins the fused class-accumulation
+// kernel three ways: vector vs portable, and fused vs the unfused
+// sumSq + vadd sweeps it replaced.
+func TestClassAddFallbackBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	saved := hasAVX512
+	defer func() { hasAVX512 = saved }()
+	for n := 0; n < 70; n++ {
+		x := make([]float64, n)
+		st0 := make([]float64, n)
+		stt0 := make([]float64, n)
+		cls0 := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			st0[i] = rng.NormFloat64()
+			stt0[i] = rng.NormFloat64()
+			cls0[i] = rng.NormFloat64()
+		}
+		run := func(vec bool, fused bool) (st, stt, cls []float64) {
+			hasAVX512 = vec && saved
+			st = append([]float64(nil), st0...)
+			stt = append([]float64(nil), stt0...)
+			cls = append([]float64(nil), cls0...)
+			if fused {
+				classAddInto(st, stt, cls, x)
+			} else {
+				sumSqInto(st, stt, x)
+				vaddInto(cls, x)
+			}
+			return
+		}
+		wantT, wantTT, wantC := run(false, false)
+		for _, mode := range []struct{ vec, fused bool }{{true, true}, {false, true}, {true, false}} {
+			gotT, gotTT, gotC := run(mode.vec, mode.fused)
+			for i := 0; i < n; i++ {
+				if math.Float64bits(gotT[i]) != math.Float64bits(wantT[i]) ||
+					math.Float64bits(gotTT[i]) != math.Float64bits(wantTT[i]) ||
+					math.Float64bits(gotC[i]) != math.Float64bits(wantC[i]) {
+					t.Fatalf("n=%d i=%d vec=%v fused=%v: mismatch", n, i, mode.vec, mode.fused)
+				}
+			}
+		}
+	}
+}

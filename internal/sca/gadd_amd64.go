@@ -57,6 +57,29 @@ func sumSqInto(sumT, sumTT, x []float64) {
 	}
 }
 
+// classAddAVX512 is the assembly kernel sumT[j] += x[j]; sumTT[j] +=
+// x[j]*x[j]; cls[j] += x[j] over n elements, n a multiple of 8.
+func classAddAVX512(sumT, sumTT, cls, x *float64, n int)
+
+// classAddInto fuses a trace's Σt, Σt² and class-sum accumulation into
+// one sweep, bit-identically to classAddGeneric (and therefore to
+// sumSqInto followed by vaddInto on the class row).
+func classAddInto(sumT, sumTT, cls, x []float64) {
+	n := len(x)
+	if !hasAVX512 || n < 8 {
+		classAddGeneric(sumT, sumTT, cls, x)
+		return
+	}
+	vec := n &^ 7
+	classAddAVX512(&sumT[0], &sumTT[0], &cls[0], &x[0], vec)
+	for j := vec; j < n; j++ {
+		v := x[j]
+		sumT[j] += v
+		sumTT[j] += v * v
+		cls[j] += v
+	}
+}
+
 // vaddInto accumulates dst[j] += x[j] — one rounded add per element,
 // bit-identically to vaddGeneric.
 func vaddInto(dst, x []float64) {

@@ -154,3 +154,33 @@ g8:
 gdone:
 	VZEROUPPER
 	RET
+
+// func classAddAVX512(sumT, sumTT, cls, x *float64, n int)
+//
+// sumT[j] += x[j]; sumTT[j] += x[j]*x[j]; cls[j] += x[j] for j in
+// [0, n), n a multiple of 8 — per output row the same add / multiply-add
+// / add sequence as classAddGeneric (no FMA), so the result is
+// bit-identical to the unfused sumSq + vadd sweeps.
+TEXT ·classAddAVX512(SB), NOSPLIT, $0-40
+	MOVQ sumT+0(FP), DI
+	MOVQ sumTT+8(FP), SI
+	MOVQ cls+16(FP), DX
+	MOVQ x+24(FP), R8
+	MOVQ n+32(FP), CX
+
+	XORQ AX, AX
+caloop:
+	VMOVUPD (R8)(AX*8), Z1
+	VMOVUPD (DI)(AX*8), Z2
+	VADDPD  Z1, Z2, Z2
+	VMOVUPD Z2, (DI)(AX*8)
+	VMULPD  Z1, Z1, Z3
+	VADDPD  (SI)(AX*8), Z3, Z3
+	VMOVUPD Z3, (SI)(AX*8)
+	VADDPD  (DX)(AX*8), Z1, Z1
+	VMOVUPD Z1, (DX)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, CX
+	JLT     caloop
+	VZEROUPPER
+	RET

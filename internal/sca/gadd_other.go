@@ -16,6 +16,9 @@ func vaddInto(dst, x []float64) { vaddGeneric(dst, x) }
 // sumSqInto accumulates a trace into the Σt and Σt² rows.
 func sumSqInto(sumT, sumTT, x []float64) { sumSqGeneric(sumT, sumTT, x) }
 
+// classAddInto fuses a trace's Σt, Σt² and class-sum accumulation.
+func classAddInto(sumT, sumTT, cls, x []float64) { classAddGeneric(sumT, sumTT, cls, x) }
+
 // gaddInto accumulates the product rows named by offs into dst in
 // offset order.
 func gaddInto(dst, prod []float64, offs []uint32) { gaddGeneric(dst, prod, offs) }

@@ -227,6 +227,27 @@ func sumSqGeneric(sumT, sumTT, x []float64) {
 	}
 }
 
+// classAddGeneric is the fused per-trace accumulation of the class-sum
+// engines: one pass folding a trace into the Σt and Σt² rows and its
+// class's conditional sum. Per element the op sequences per output row
+// are exactly sumSqGeneric's followed by vaddGeneric's — one rounded
+// add into sumT, one rounded multiply and add into sumTT, one rounded
+// add into cls — so fusing the sweeps changes no accumulated bit, only
+// the number of passes over the trace.
+func classAddGeneric(sumT, sumTT, cls, x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_ = sumT[len(x)-1]
+	_ = sumTT[len(x)-1]
+	_ = cls[len(x)-1]
+	for j, v := range x {
+		sumT[j] += v
+		sumTT[j] += v * v
+		cls[j] += v
+	}
+}
+
 // gaddGeneric accumulates dst[j] += prod[o+j] for every offset o in
 // order — the portable add-only kernel. Per element, contributions are
 // applied in offset (trace) order, the accumulation order the whole

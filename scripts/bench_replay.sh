@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_replay.sh — run the 10k-trace streaming-CPA benchmark suite
 # (serial simulate, parallel simulate, scalar replay, lane-parallel
-# batched replay) plus the per-execution synthesis microbenchmarks, and
-# write machine-readable results:
+# batched replay, the 32/64-lane width sweep) plus the per-execution
+# synthesis microbenchmarks and the fused-expansion stage benchmark,
+# and write machine-readable results:
 #
 #   BENCH_replay.json — ns/op, B/op, allocs/op and traces/s per
 #     benchmark, with every speedup_* field re-derived from this run
@@ -12,34 +13,49 @@
 #     recorded BenchmarkEngineCPA10kParallel throughput (read from the
 #     existing BENCH_replay.json before it is overwritten) as the
 #     recorded-baseline reference.
+#   BENCH_fused.json — the fused synthesis/accumulation record: the
+#     end-to-end auto-mode pipeline (now defaulting to 64 lanes), the
+#     explicit 32/64-lane legs, the 64-lane batch VM, and the fused
+#     expand+noise+accumulate stage in isolation, with fresh speedups
+#     and the previously recorded batch throughput (read from the
+#     existing BENCH_batch.json before it is overwritten) as the
+#     pre-fusion baseline.
 #
-# Usage: scripts/bench_replay.sh [replay_out.json] [batch_out.json]
+# Usage: scripts/bench_replay.sh [replay_out.json] [batch_out.json] [fused_out.json]
 #   BENCH_TIME=3x scripts/bench_replay.sh    # more iterations
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_replay.json}"
 batchout="${2:-BENCH_batch.json}"
+fusedout="${3:-BENCH_fused.json}"
 benchtime="${BENCH_TIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# The recorded baseline: the parallel benchmark's throughput in the
-# existing BENCH_replay.json, captured before this run overwrites it.
+# The recorded baselines, captured before this run overwrites them: the
+# parallel benchmark's throughput in the existing BENCH_replay.json and
+# the batch record's throughput in the existing BENCH_batch.json (the
+# pre-fusion pipeline that BENCH_fused.json measures itself against).
 recorded_tps=""
 recorded_ns=""
 if [ -f "$out" ]; then
 	recorded_tps="$(awk -F'"traces_per_s": ' '/BenchmarkEngineCPA10kParallel/ {split($2, a, "}"); print a[1]}' "$out" | head -n1)"
 	recorded_ns="$(awk -F'"ns_per_op": ' '/BenchmarkEngineCPA10kParallel/ {split($2, a, ","); print a[1]}' "$out" | head -n1)"
 fi
+recorded_batch_tps=""
+if [ -f "$batchout" ]; then
+	recorded_batch_tps="$(awk -F'"traces_per_s": ' '/"batch":/ {split($2, a, ","); print a[1]}' "$batchout" | head -n1)"
+fi
 
 go test -run '^$' \
-	-bench '^(BenchmarkEngineCPA10kSerial|BenchmarkEngineCPA10kSimulate|BenchmarkEngineCPA10kReplayScalar|BenchmarkEngineCPA10kParallel|BenchmarkReplayVM|BenchmarkBatchVM|BenchmarkPipelineSimulation)$' \
+	-bench '^(BenchmarkEngineCPA10kSerial|BenchmarkEngineCPA10kSimulate|BenchmarkEngineCPA10kReplayScalar|BenchmarkEngineCPA10kParallel|BenchmarkEngineCPA10kLanes32|BenchmarkEngineCPA10kLanes64|BenchmarkFusedExpand|BenchmarkReplayVM|BenchmarkBatchVM|BenchmarkPipelineSimulation)$' \
 	-benchtime "$benchtime" -benchmem . | tee "$raw"
 
-awk -v out="$out" -v batchout="$batchout" \
+awk -v out="$out" -v batchout="$batchout" -v fusedout="$fusedout" \
 	-v goversion="$(go version | awk '{print $3}')" \
-	-v recorded_tps="$recorded_tps" -v recorded_ns="$recorded_ns" '
+	-v recorded_tps="$recorded_tps" -v recorded_ns="$recorded_ns" \
+	-v recorded_batch_tps="$recorded_batch_tps" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -53,6 +69,13 @@ awk -v out="$out" -v batchout="$batchout" \
 	order[n++] = name
 }
 /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+function leg(name, label, dest) {
+	if (name in ns)
+		printf "  \"%s\": {\"ns_per_op\": %s, \"traces_per_s\": %s, \"batched\": %s},\n", \
+			label, ns[name], tps[name], (name in batched ? batched[name] : "null") >> dest
+	else
+		printf "  \"%s\": null,\n", label >> dest
+}
 END {
 	serial   = ns["BenchmarkEngineCPA10kSerial"]
 	simulate = ns["BenchmarkEngineCPA10kSimulate"]
@@ -116,7 +139,42 @@ END {
 		printf "  \"speedup_batch_vs_recorded_parallel\": null\n" >> batchout
 	}
 	printf "}\n"                                               >> batchout
+
+	# The fused record. end_to_end is the auto-mode pipeline at the
+	# default lane width (64 after the lane-cap lift); the lanes_32 /
+	# lanes_64 legs are the explicit-width sweep behind that default.
+	printf "{\n"                                               > fusedout
+	printf "  \"experiment\": \"fused synthesis/accumulation pipeline, 10k-trace figure-3 streaming CPA, 1-round AES\",\n" >> fusedout
+	printf "  \"go\": \"%s\",\n", goversion                    >> fusedout
+	printf "  \"cpu\": \"%s\",\n", cpu                         >> fusedout
+	leg("BenchmarkEngineCPA10kParallel", "end_to_end", fusedout)
+	leg("BenchmarkEngineCPA10kLanes32", "lanes_32", fusedout)
+	leg("BenchmarkEngineCPA10kLanes64", "lanes_64", fusedout)
+	if ("BenchmarkBatchVM" in ns)
+		printf "  \"batch_vm_64\": {\"ns_per_op\": %s, \"traces_per_s\": %s},\n", ns["BenchmarkBatchVM"], tps["BenchmarkBatchVM"] >> fusedout
+	else
+		printf "  \"batch_vm_64\": null,\n"                    >> fusedout
+	if ("BenchmarkFusedExpand" in ns)
+		printf "  \"fused_expand\": {\"ns_per_op\": %s, \"traces_per_s\": %s},\n", ns["BenchmarkFusedExpand"], tps["BenchmarkFusedExpand"] >> fusedout
+	else
+		printf "  \"fused_expand\": null,\n"                   >> fusedout
+	if (scalar != "" && batch != "")
+		printf "  \"speedup_fused_vs_scalar_replay\": %.2f,\n", scalar / batch >> fusedout
+	else
+		printf "  \"speedup_fused_vs_scalar_replay\": null,\n" >> fusedout
+	if (serial != "" && batch != "")
+		printf "  \"speedup_fused_vs_serial_simulate\": %.2f,\n", serial / batch >> fusedout
+	else
+		printf "  \"speedup_fused_vs_serial_simulate\": null,\n" >> fusedout
+	if (recorded_batch_tps != "" && tps["BenchmarkEngineCPA10kParallel"] != "") {
+		printf "  \"recorded_batch_traces_per_s\": %s,\n", recorded_batch_tps >> fusedout
+		printf "  \"speedup_fused_vs_recorded_batch\": %.2f\n", tps["BenchmarkEngineCPA10kParallel"] / recorded_batch_tps >> fusedout
+	} else {
+		printf "  \"recorded_batch_traces_per_s\": null,\n"     >> fusedout
+		printf "  \"speedup_fused_vs_recorded_batch\": null\n"  >> fusedout
+	}
+	printf "}\n"                                               >> fusedout
 }
 ' "$raw"
 
-echo "wrote $out and $batchout"
+echo "wrote $out, $batchout and $fusedout"
