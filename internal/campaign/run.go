@@ -57,6 +57,41 @@ type checkpointHeader struct {
 	SpecFingerprint string `json:"spec_fingerprint"`
 }
 
+// Checkpoint is the exported checkpoint seam: the JSONL scenario log
+// shared by Run and the cluster coordinator, so a campaign interrupted
+// under one executor resumes under the other. The format is one header
+// line (campaign name, seed, spec fingerprint) followed by one
+// ScenarioResult per line; every line is fsynced on its own.
+type Checkpoint struct {
+	w *checkpointWriter
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path for spec.
+// With resume set, previously completed scenarios are returned keyed by
+// ID — a checkpoint written by a different spec is refused — and a torn
+// final line from a hard kill is truncated away before appending
+// continues.
+func OpenCheckpoint(path string, spec *Spec, resume bool) (done map[string]*ScenarioResult, ck *Checkpoint, err error) {
+	header := checkpointHeader{Campaign: spec.Name, Seed: spec.Seed, SpecFingerprint: spec.Fingerprint()}
+	done = map[string]*ScenarioResult{}
+	if resume {
+		if done, err = loadCheckpoint(path, header); err != nil {
+			return nil, nil, err
+		}
+	}
+	w, err := newCheckpointWriter(path, header, resume && len(done) > 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return done, &Checkpoint{w: w}, nil
+}
+
+// Append durably records one finished scenario.
+func (c *Checkpoint) Append(sr *ScenarioResult) error { return c.w.append(sr) }
+
+// Close releases the underlying file.
+func (c *Checkpoint) Close() error { return c.w.close() }
+
 // loadCheckpoint reads a JSONL checkpoint, returning the completed
 // scenarios keyed by ID. A missing file is an empty checkpoint.
 func loadCheckpoint(path string, want checkpointHeader) (map[string]*ScenarioResult, error) {
@@ -253,20 +288,13 @@ func Run(spec *Spec, opt RunOptions) (*Results, error) {
 		shards = len(scenarios)
 	}
 
-	header := checkpointHeader{Campaign: spec.Name, Seed: spec.Seed, SpecFingerprint: spec.Fingerprint()}
 	done := map[string]*ScenarioResult{}
-	var ckpt *checkpointWriter
+	var ckpt *Checkpoint
 	if opt.CheckpointPath != "" {
-		if opt.Resume {
-			if done, err = loadCheckpoint(opt.CheckpointPath, header); err != nil {
-				return nil, err
-			}
-		}
-		resumed := opt.Resume && len(done) > 0
-		if ckpt, err = newCheckpointWriter(opt.CheckpointPath, header, resumed); err != nil {
+		if done, ckpt, err = OpenCheckpoint(opt.CheckpointPath, spec, opt.Resume); err != nil {
 			return nil, err
 		}
-		defer ckpt.close()
+		defer ckpt.Close()
 	}
 
 	logf := func(format string, args ...any) {
@@ -304,7 +332,7 @@ func Run(spec *Spec, opt RunOptions) (*Results, error) {
 		}
 		results[i] = sr
 		if ckpt != nil {
-			if err := ckpt.append(sr); err != nil {
+			if err := ckpt.Append(sr); err != nil {
 				return fmt.Errorf("campaign: checkpoint: %w", err)
 			}
 		}
@@ -318,7 +346,7 @@ func Run(spec *Spec, opt RunOptions) (*Results, error) {
 		return nil, err
 	}
 
-	out := &Results{Campaign: spec.Name, Seed: spec.Seed, SpecFingerprint: header.SpecFingerprint}
+	out := &Results{Campaign: spec.Name, Seed: spec.Seed, SpecFingerprint: spec.Fingerprint()}
 	for _, sr := range results {
 		out.Scenarios = append(out.Scenarios, *sr)
 	}

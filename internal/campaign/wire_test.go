@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// wireTestSpec enumerates at least one scenario of every axis shape the
+// wire form has to carry: default axes, explicit acquisition points,
+// rows/counts lists, and the maskcpa countermeasure point.
+func wireTestSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := ParseSpec([]byte(`{
+	  "name": "wire",
+	  "seed": 7,
+	  "workloads": [
+	    {"kind": "table1", "reps": 10},
+	    {"kind": "table2", "traces": [120], "averages": 2, "rows": [5, 1], "confidence": 0.9},
+	    {"kind": "fig3", "traces": [64], "rounds": 1, "noise_sigmas": [2], "synth": ["simulate"]},
+	    {"kind": "rankevo", "counts": [16, 32], "rounds": 1},
+	    {"kind": "maskcpa", "gadgets": ["sbox"], "countermeasures": ["mask"], "orders": [2], "traces": [64]},
+	    {"kind": "tvla", "rows": [2], "traces": [64]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestScenarioWireRoundTrip proves the wire form is lossless and
+// self-validating: every enumerated scenario survives
+// WireRequest -> JSON -> Resolve with identical axes and an identical
+// derived seed, and the fingerprint is stable across the round trip.
+func TestScenarioWireRoundTrip(t *testing.T) {
+	spec := wireTestSpec(t)
+	scenarios, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scenarios {
+		sc := &scenarios[i]
+		req := sc.WireRequest(spec.Name, spec.Seed, spec.Key)
+		raw, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ScenarioRequest
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Fingerprint() != req.Fingerprint() {
+			t.Fatalf("%s: fingerprint changed across JSON round trip", sc.ID)
+		}
+		got, key, err := back.Resolve()
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", sc.ID, err)
+		}
+		wantKey, err := spec.AttackKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != wantKey {
+			t.Fatalf("%s: key did not survive the round trip", sc.ID)
+		}
+		if got.ID != sc.ID || got.Seed != sc.Seed || got.Kind != sc.Kind ||
+			got.Ablation.Name != sc.Ablation.Name || got.Traces != sc.Traces ||
+			got.Averages != sc.Averages || got.NoiseSigma != sc.NoiseSigma ||
+			got.Synth != sc.Synth || got.KeyByte != sc.KeyByte || got.Rounds != sc.Rounds ||
+			got.Reps != sc.Reps || got.Confidence != sc.Confidence ||
+			got.Gadget != sc.Gadget || got.Ctr != sc.Ctr || got.Order != sc.Order {
+			t.Fatalf("%s: scenario did not survive the round trip:\n got %+v\nwant %+v", sc.ID, got, sc)
+		}
+	}
+}
+
+// TestScenarioRequestRejectsTamperedID proves Resolve is
+// self-validating: changing a result-affecting axis without respelling
+// the ID (or vice versa) is refused, so a corrupted request cannot
+// execute under the wrong seed.
+func TestScenarioRequestRejectsTamperedID(t *testing.T) {
+	spec := wireTestSpec(t)
+	scenarios, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := scenarios[2].WireRequest(spec.Name, spec.Seed, spec.Key) // fig3 with explicit axes
+	req.Traces *= 2
+	if _, _, err := req.Resolve(); err == nil {
+		t.Fatal("tampered traces with a stale ID must be refused")
+	}
+	req = scenarios[2].WireRequest(spec.Name, spec.Seed, spec.Key)
+	req.ID = scenarios[3].ID
+	if _, _, err := req.Resolve(); err == nil {
+		t.Fatal("an ID belonging to different axes must be refused")
+	}
+	req = scenarios[2].WireRequest(spec.Name, spec.Seed, spec.Key)
+	req.Ablation = "definitely-not-a-toggle"
+	if _, _, err := req.Resolve(); err == nil {
+		t.Fatal("an unknown ablation must be refused")
+	}
+}
+
+// TestMergeResultsIsCompletionOrderIndependent proves the merge seam
+// orders by enumeration, not completion, and refuses holes and
+// strays.
+func TestMergeResultsIsCompletionOrderIndependent(t *testing.T) {
+	spec := wireTestSpec(t)
+	scenarios, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*ScenarioResult{}
+	// Fill in reverse completion order with distinguishable stubs.
+	for i := len(scenarios) - 1; i >= 0; i-- {
+		byID[scenarios[i].ID] = &ScenarioResult{ID: scenarios[i].ID, Kind: scenarios[i].Kind, Seed: scenarios[i].Seed}
+	}
+	res, err := MergeResults(spec, scenarios, byID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Scenarios {
+		if res.Scenarios[i].ID != scenarios[i].ID {
+			t.Fatalf("merge order slot %d: got %q want %q", i, res.Scenarios[i].ID, scenarios[i].ID)
+		}
+	}
+	if res.SpecFingerprint != spec.Fingerprint() {
+		t.Fatal("merge must stamp the spec fingerprint")
+	}
+
+	delete(byID, scenarios[0].ID)
+	if _, err := MergeResults(spec, scenarios, byID); err == nil {
+		t.Fatal("a missing scenario must fail the merge")
+	}
+	byID[scenarios[0].ID] = &ScenarioResult{ID: scenarios[0].ID}
+	byID["stray"] = &ScenarioResult{ID: "stray"}
+	if _, err := MergeResults(spec, scenarios, byID); err == nil {
+		t.Fatal("a stray result must fail the merge")
+	}
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// ErrWorkerLost classifies an execution failure as "this worker is
+// gone": the scenario did not complete there, and both it and the rest
+// of the worker's queue must be re-partitioned onto the survivors. Any
+// other runner error is fatal to the whole run.
+var ErrWorkerLost = errors.New("cluster: worker lost")
+
+// runner executes one scenario on one worker. Implementations return
+// the finished result (cached reporting a cache or checkpoint hit), an
+// error wrapping ErrWorkerLost to surrender the worker, or any other
+// error to abort the run. The HTTP client is the production runner; the
+// property and fault tests substitute scripted ones.
+type runner interface {
+	run(ctx context.Context, worker int, sc *campaign.Scenario) (sr *campaign.ScenarioResult, cached bool, err error)
+}
+
+// Partition deals the scenario indexes idxs across k queues
+// round-robin: queue w receives idxs[w], idxs[w+k], … — a pure
+// function, so the initial assignment is reproducible for a given
+// (scenario list, worker list). Balance matters only for wall-clock
+// time; the merged results are identical for any assignment.
+func Partition(idxs []int, k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]int, k)
+	for i, idx := range idxs {
+		out[i%k] = append(out[i%k], idx)
+	}
+	return out
+}
+
+// dispatcher owns the scheduling state of one cluster run: per-worker
+// pending queues, the dead set, and the completed results. One
+// goroutine per worker pulls from its own queue; an idle worker steals
+// from the longest live queue, and a lost worker's queue (plus its
+// in-flight scenario) is re-partitioned onto the survivors. Every
+// transition holds mu; cond wakes waiters on new work, completion and
+// failure.
+type dispatcher struct {
+	scenarios []campaign.Scenario
+	r         runner
+	// onDone observes every completed scenario (checkpoint append, logs,
+	// progress). A non-nil error aborts the run.
+	onDone func(worker int, sr *campaign.ScenarioResult, cached bool) error
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pending       [][]int
+	dead          []bool
+	outstanding   int
+	results       map[string]*campaign.ScenarioResult
+	failure       error
+	lost          int
+	repartitioned int
+}
+
+func newDispatcher(scenarios []campaign.Scenario, pendingIdx []int, workers int, r runner, onDone func(int, *campaign.ScenarioResult, bool) error) *dispatcher {
+	d := &dispatcher{
+		scenarios:   scenarios,
+		r:           r,
+		onDone:      onDone,
+		pending:     Partition(pendingIdx, workers),
+		dead:        make([]bool, workers),
+		outstanding: len(pendingIdx),
+		results:     map[string]*campaign.ScenarioResult{},
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// markDead pre-declares worker w dead before dispatch begins (it failed
+// the initial liveness probe); its queue re-partitions immediately.
+func (d *dispatcher) markDead(w int, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loseLocked(w, nil, cause)
+}
+
+// run executes until every outstanding scenario completed or the run
+// failed. Cancellation of ctx aborts promptly even for workers parked
+// in cond.Wait.
+func (d *dispatcher) run(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { d.fail(ctx.Err()) })
+	defer stop()
+	var wg sync.WaitGroup
+	for w := range d.pending {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d.workerLoop(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failure != nil {
+		return d.failure
+	}
+	if d.outstanding != 0 {
+		return fmt.Errorf("cluster: %d scenarios never completed", d.outstanding)
+	}
+	return nil
+}
+
+func (d *dispatcher) workerLoop(ctx context.Context, w int) {
+	for {
+		idx, ok := d.next(w)
+		if !ok {
+			return
+		}
+		sr, cached, err := d.r.run(ctx, w, &d.scenarios[idx])
+		switch {
+		case err == nil:
+			if !d.complete(w, sr, cached) {
+				return
+			}
+		case errors.Is(err, ErrWorkerLost):
+			d.mu.Lock()
+			d.loseLocked(w, &idx, err)
+			d.mu.Unlock()
+			return
+		default:
+			d.fail(err)
+			return
+		}
+	}
+}
+
+// next blocks until worker w has a scenario to execute, stealing from
+// the longest live queue when its own is empty. It returns false when
+// the run is over for w: everything completed, the run failed, or w was
+// declared dead.
+func (d *dispatcher) next(w int) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.failure != nil || d.outstanding == 0 || d.dead[w] {
+			return 0, false
+		}
+		if q := d.pending[w]; len(q) > 0 {
+			d.pending[w] = q[1:]
+			return q[0], true
+		}
+		if idx, ok := d.stealLocked(w); ok {
+			return idx, true
+		}
+		d.cond.Wait()
+	}
+}
+
+// stealLocked takes the tail of the longest live queue other than w's —
+// the scenario its owner would reach last. Callers hold mu.
+func (d *dispatcher) stealLocked(w int) (int, bool) {
+	best, n := -1, 0
+	for i := range d.pending {
+		if i != w && !d.dead[i] && len(d.pending[i]) > n {
+			best, n = i, len(d.pending[i])
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	q := d.pending[best]
+	idx := q[len(q)-1]
+	d.pending[best] = q[:len(q)-1]
+	return idx, true
+}
+
+// complete records one finished scenario; a failing onDone (checkpoint
+// write error) aborts the run. Returns false when the worker should
+// stop.
+func (d *dispatcher) complete(w int, sr *campaign.ScenarioResult, cached bool) bool {
+	if d.onDone != nil {
+		if err := d.onDone(w, sr, cached); err != nil {
+			d.fail(err)
+			return false
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.results[sr.ID] = sr
+	d.outstanding--
+	d.cond.Broadcast()
+	return d.failure == nil
+}
+
+// loseLocked declares worker w dead and re-partitions its remaining
+// queue — the orphaned in-flight scenario first, it has waited longest
+// — across the survivors. Losing the last worker fails the run. Callers
+// hold mu.
+func (d *dispatcher) loseLocked(w int, inflight *int, cause error) {
+	if d.dead[w] {
+		return
+	}
+	d.dead[w] = true
+	d.lost++
+	var orphans []int
+	if inflight != nil {
+		orphans = append(orphans, *inflight)
+	}
+	orphans = append(orphans, d.pending[w]...)
+	d.pending[w] = nil
+	var live []int
+	for i := range d.pending {
+		if !d.dead[i] {
+			live = append(live, i)
+		}
+	}
+	switch {
+	case len(orphans) == 0:
+		// Nothing to move; survivors (if any) keep draining.
+	case len(live) == 0:
+		if d.failure == nil {
+			d.failure = fmt.Errorf("cluster: every worker lost with %d scenarios unfinished (last: %w)", d.outstanding, cause)
+		}
+	default:
+		for i, idx := range orphans {
+			lw := live[i%len(live)]
+			d.pending[lw] = append(d.pending[lw], idx)
+		}
+		d.repartitioned += len(orphans)
+	}
+	d.cond.Broadcast()
+}
+
+func (d *dispatcher) fail(err error) {
+	if err == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failure == nil {
+		d.failure = err
+	}
+	d.cond.Broadcast()
+}
+
+// snapshot returns the completed results and loss counters.
+func (d *dispatcher) snapshot() (map[string]*campaign.ScenarioResult, int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.results, d.lost, d.repartitioned
+}

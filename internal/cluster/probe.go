@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// WorkerStatus is one worker's answer to a liveness probe.
+type WorkerStatus struct {
+	URL    string       `json:"url"`
+	Alive  bool         `json:"alive"`
+	Health serve.Health `json:"health,omitzero"`
+	Err    string       `json:"error,omitempty"`
+}
+
+// Probe queries every worker's /healthz concurrently and reports what
+// each said, in the order given. A worker that cannot be reached or
+// returns garbage is reported dead rather than failing the probe.
+func Probe(ctx context.Context, workers []string, timeout time.Duration) []WorkerStatus {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	out := make([]WorkerStatus, len(workers))
+	var wg sync.WaitGroup
+	for i, base := range workers {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			out[i] = probeOne(ctx, base, timeout)
+		}(i, base)
+	}
+	wg.Wait()
+	return out
+}
+
+func probeOne(ctx context.Context, base string, timeout time.Duration) WorkerStatus {
+	st := WorkerStatus{URL: base}
+	hctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st.Health); err != nil {
+		st.Err = "undecodable healthz body: " + err.Error()
+		return st
+	}
+	st.Alive = resp.StatusCode == http.StatusOK && st.Health.Ready
+	return st
+}

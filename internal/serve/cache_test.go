@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,103 @@ func TestCacheSpillPersistsAndServesEvicted(t *testing.T) {
 	defer c2.Close()
 	if _, got, ok := c2.Get("b"); !ok || string(got) != string(bodyB) {
 		t.Fatal("restarted cache must serve spilled results byte-identically")
+	}
+}
+
+// TestCacheSpillReloadAfterConcurrentWritersAndTornTail crashes a
+// busy cache mid-append: many goroutines race their Puts into the
+// spill, the file then loses half of its final line (a crash between
+// write and close), and a garbage line is wedged in for good measure.
+// Reopening must serve every completed record byte-identically,
+// truncate the torn tail so later appends never merge into it, and
+// keep accepting new records that survive yet another restart.
+func TestCacheSpillReloadAfterConcurrentWritersAndTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.jsonl")
+	// A one-entry LRU forces every Get on the reopened cache through the
+	// spill file rather than memory.
+	c, err := NewCache(1, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	body := func(w, i int) string {
+		return fmt.Sprintf("{\n  \"writer\": %d,\n  \"seq\": %d\n}\n", w, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Put(fmt.Sprintf("fp-%d-%d", w, i), "attack", []byte(body(w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Spilled != writers*perWriter || st.SpillErrors != 0 {
+		t.Fatalf("stats %+v, want %d spilled cleanly", st, writers*perWriter)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: a half-written final record and, before it, a
+	// complete line of non-record garbage.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json at all\n{\"fingerprint\":\"fp-torn\",\"kind\":\"att"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(1, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			fp := fmt.Sprintf("fp-%d-%d", w, i)
+			kind, got, ok := c2.Get(fp)
+			if !ok || kind != "attack" || string(got) != body(w, i) {
+				t.Fatalf("reload of %s: ok=%v kind=%q body=%q", fp, ok, kind, got)
+			}
+		}
+	}
+	if _, _, ok := c2.Get("fp-torn"); ok {
+		t.Fatal("the torn trailing record must not survive reload")
+	}
+	sizeAfter, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizeAfter.Size() >= sizeBefore.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", sizeBefore.Size(), sizeAfter.Size())
+	}
+
+	// New appends land after the truncation point and survive another
+	// restart next to every original record.
+	c2.Put("fp-after", "attack", []byte("{\"v\":3}\n"))
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewCache(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, got, ok := c3.Get("fp-after"); !ok || string(got) != "{\"v\":3}\n" {
+		t.Fatalf("post-truncation append lost: ok=%v body=%q", ok, got)
+	}
+	if _, got, ok := c3.Get(fmt.Sprintf("fp-%d-%d", writers-1, perWriter-1)); !ok || string(got) != body(writers-1, perWriter-1) {
+		t.Fatalf("original record lost after second restart: ok=%v body=%q", ok, got)
 	}
 }
 

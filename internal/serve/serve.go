@@ -19,13 +19,22 @@
 //
 //	POST   /v1/attack            fig3 | fig4 | fullkey | rankevo (attack.Request + ablation)
 //	POST   /v1/leakscan          Table 2 scan (leakscan.Request + ablation)
+//	POST   /v1/scenario          one resolved campaign scenario (campaign.ScenarioRequest)
 //	POST   /v1/campaign          async campaign job (campaign.Spec body)
 //	GET    /v1/jobs/{id}         job progress
 //	GET    /v1/jobs/{id}/events  job progress as SSE
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/results/{fp}      any cached result by fingerprint
+//	PUT    /v1/results/{fp}      peer cache fill (cluster result replication)
 //	GET    /v1/stats             cache/queue/pool counters
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness + readiness detail
+//
+// The scenario endpoint plus the results GET/PUT pair make a scad
+// process a cluster worker: a coordinator (internal/cluster,
+// cmd/scadctl) partitions a campaign's scenario list across N workers,
+// reads through their caches on the scenario fingerprint before
+// dispatch, and replicates finished bodies to peers, with byte-stable
+// responses as the correctness oracle.
 package serve
 
 import (
@@ -33,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"time"
@@ -131,16 +141,59 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/attack", s.handleAttack)
 	mux.HandleFunc("POST /v1/leakscan", s.handleLeakscan)
+	mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResults)
+	mux.HandleFunc("PUT /v1/results/{fingerprint}", s.handleResultsPut)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// Health is the /healthz body: liveness plus the readiness detail a
+// cluster coordinator (or the smoke script) gates on. Ready flips to
+// false the moment Close begins, so a draining worker stops attracting
+// dispatches before its socket disappears; Saturated reports that a
+// synchronous request issued right now would be refused with 429 —
+// advisory load detail, not a reason to mark a worker dead.
+type Health struct {
+	Status       string `json:"status"`
+	Ready        bool   `json:"ready"`
+	Saturated    bool   `json:"saturated"`
+	JobsActive   int    `json:"jobs_active"`
+	CacheEntries int    `json:"cache_entries"`
+	Spilled      int    `json:"spilled"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// health snapshots the readiness view.
+func (s *Server) health() Health {
+	ready := s.base.Err() == nil
+	st := s.cache.Stats()
+	_, active := s.jobs.counts()
+	h := Health{
+		Status:       "ok",
+		Ready:        ready,
+		Saturated:    s.queue.saturated(),
+		JobsActive:   active,
+		CacheEntries: st.Entries,
+		Spilled:      st.Spilled,
+	}
+	if !ready {
+		h.Status = "shutting down"
+	}
+	return h
 }
 
 // runEnv assembles the execution environment for one computation: the
@@ -320,6 +373,62 @@ func (s *Server) handleLeakscan(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, "leakscan", fp, func(ctx context.Context) (any, error) {
 		return req.Request.Run(s.runEnv(ctx, ab))
 	})
+}
+
+// handleScenario executes one fully resolved campaign scenario — the
+// cluster worker's unit of dispatch. The request is self-validating
+// (campaign.ScenarioRequest.Resolve recomputes the canonical ID and
+// derives the seed), and the response flows through the same
+// cache/singleflight/queue path as every other synchronous result, so
+// a coordinator retrying a torn response finds the finished body as a
+// cache hit instead of recomputing it.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var req campaign.ScenarioRequest
+	if err := decodeStrict(r, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	sc, key, err := req.Resolve()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	fp := req.Fingerprint()
+	s.respond(w, r, "scenario", fp, func(ctx context.Context) (any, error) {
+		return campaign.ExecuteContext(ctx, sc, key, s.opt.Workers, s.opt.Lanes, s.gate)
+	})
+}
+
+// handleResultsPut is the peer cache-fill path: a cluster coordinator
+// replicates a finished body to the other workers so a re-partitioned
+// scenario (or a retried torn response) is served from cache instead of
+// recomputed. The body must be a result envelope whose embedded
+// fingerprint matches the path — within a trusted cluster that suffices,
+// because bodies are pure functions of their fingerprints, so the worst
+// a well-formed fill can do is store exactly the bytes the worker would
+// have computed itself.
+func (s *Server) handleResultsPut(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		badRequest(w, fmt.Errorf("serve: reading cache fill: %w", err))
+		return
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		badRequest(w, fmt.Errorf("serve: cache fill is not a result envelope: %w", err))
+		return
+	}
+	if env.Fingerprint != fp {
+		badRequest(w, fmt.Errorf("serve: cache fill fingerprint %.12s… does not match path %.12s…", env.Fingerprint, fp))
+		return
+	}
+	if env.Kind == "" {
+		badRequest(w, fmt.Errorf("serve: cache fill lacks a result kind"))
+		return
+	}
+	s.cache.Put(fp, env.Kind, body)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {

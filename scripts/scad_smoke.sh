@@ -18,12 +18,22 @@ WORK=$(mktemp -d)
 SCAD_PID=$!
 trap 'kill $SCAD_PID 2>/dev/null || true; wait $SCAD_PID 2>/dev/null || true' EXIT
 
-for _ in $(seq 1 100); do
-  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-curl -sf "http://$ADDR/healthz" >/dev/null || {
-  echo "scad never became healthy"; cat "$WORK/scad.log"; exit 1; }
+# Gate on the /healthz readiness detail, not merely an open socket:
+# the service reports "ready": true only once it can actually take
+# work, and flips it off again while draining. The JSON spelling is
+# pinned by TestHealthzReportsReadinessDetail.
+wait_ready() {
+  local base=$1 deadline=$((SECONDS + 30))
+  while [ "$SECONDS" -lt "$deadline" ]; do
+    if curl -sf "$base/healthz" 2>/dev/null | grep -q '"ready": true'; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+wait_ready "http://$ADDR" || {
+  echo "scad never became ready"; cat "$WORK/scad.log"; exit 1; }
 
 REQ='{"figure":"fig3","traces":2000,"rounds":2,"seed":42}'
 curl -sf -D "$WORK/h1" -o "$WORK/r1.json" -X POST -d "$REQ" "http://$ADDR/v1/attack"
