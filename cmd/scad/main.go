@@ -15,7 +15,12 @@
 //
 //	scad [-addr :8715] [-workers W] [-lanes L] [-max-jobs N] [-queue N]
 //	     [-cache N] [-spill results.jsonl] [-gate W] [-keep-jobs N]
-//	     [-pprof addr]
+//	     [-data DIR] [-pprof addr]
+//
+// -data DIR additionally enables real-trace ingestion: resumable
+// part-wise uploads (POST /v1/traces) assembled under DIR/uploads,
+// committed into crash-safe chunked trace stores under DIR/sets, and
+// analyzed out-of-core (POST /v1/analyze).
 //
 // Example session:
 //
@@ -55,6 +60,7 @@ func main() {
 	spill := flag.String("spill", "", "JSONL spill file persisting results across restarts (empty: memory only)")
 	gate := flag.Int("gate", 0, "total chunk-synthesis concurrency across all computations (0: one per core, negative: ungated)")
 	keepJobs := flag.Int("keep-jobs", 0, "finished campaign jobs kept for polling (0: 64)")
+	dataDir := flag.String("data", "", "enable trace ingestion: uploads and committed stores live under this directory (empty: disabled)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listen address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 
@@ -90,6 +96,7 @@ func main() {
 		SpillPath:     *spill,
 		GateWidth:     *gate,
 		KeepJobs:      *keepJobs,
+		DataDir:       *dataDir,
 	})
 	if err != nil {
 		fail(err.Error())

@@ -1,0 +1,333 @@
+package main
+
+// Real-trace ingestion subcommands: upload a serialized trace set to a
+// scad worker part by part (resumable, idempotent), commit it into the
+// worker's chunked trace store, run out-of-core analyses over it, and
+// inspect a local store's health. These speak the /v1/traces and
+// /v1/analyze endpoints a scad started with -data exposes.
+//
+// Exit codes follow the store's honesty contract: 0 means clean, 1 means
+// a hard error (unreachable worker, refused commit, malformed input) and
+// 3 means the operation succeeded but the data is degraded — quarantined
+// or truncated chunks were reported — so scripts can distinguish "wrong"
+// from "honest but incomplete".
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/tracestore"
+)
+
+// exitDegraded signals a successful run over degraded (quarantined or
+// truncated) data.
+const exitDegraded = 3
+
+// httpJSON performs one request and decodes the JSON response body,
+// returning the status code alongside so callers can branch on 409/404.
+func httpJSON(client *http.Client, method, url string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("parsing %s %s response: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// uploadPart mirrors the serve declaration wire format.
+type uploadPart struct {
+	Offset int64  `json:"offset"`
+	Size   int64  `json:"size"`
+	CRC32C string `json:"crc32c"`
+}
+
+type uploadDecl struct {
+	Size        int64        `json:"size"`
+	ChunkTraces int          `json:"chunk_traces,omitempty"`
+	Parts       []uploadPart `json:"parts"`
+}
+
+type storeInfo struct {
+	Digest  string `json:"digest"`
+	Traces  int    `json:"traces"`
+	Samples int    `json:"samples"`
+	AuxLen  int    `json:"aux_len"`
+	Chunks  int    `json:"chunks"`
+}
+
+type uploadStatus struct {
+	ID        string     `json:"id"`
+	Size      int64      `json:"size"`
+	Committed bool       `json:"committed"`
+	Missing   []int64    `json:"missing,omitempty"`
+	Store     *storeInfo `json:"store,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// declareFile builds the part declaration for a serialized trace set.
+func declareFile(data []byte, partSize int64, chunkTraces int) uploadDecl {
+	d := uploadDecl{Size: int64(len(data)), ChunkTraces: chunkTraces}
+	for off := int64(0); off < d.Size; off += partSize {
+		end := off + partSize
+		if end > d.Size {
+			end = d.Size
+		}
+		d.Parts = append(d.Parts, uploadPart{
+			Offset: off, Size: end - off, CRC32C: tracestore.CRCHex(data[off:end]),
+		})
+	}
+	return d
+}
+
+func cmdUpload(args []string) {
+	fs := flag.NewFlagSet("scadctl upload", flag.ExitOnError)
+	server := fs.String("server", "", "scad worker base URL (must run with -data)")
+	file := fs.String("file", "", "serialized trace-set file to upload (cmd/tracegen wire format)")
+	partSize := fs.Int64("part", 1<<20, "upload part size in bytes")
+	chunk := fs.Int("chunk", 0, "traces per store chunk at commit (0: server default)")
+	commit := fs.Bool("commit", true, "commit the upload once every part verified (=false to stop before commit)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+	fs.Parse(args)
+
+	if *server == "" || *file == "" {
+		fail("upload: pass -server URL and -file FILE")
+	}
+	if *partSize < 1 {
+		fail("upload: -part must be >= 1")
+	}
+	base := workerList(*server)
+	if len(base) != 1 {
+		fail("upload: pass exactly one -server URL")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fail(err.Error())
+	}
+	if len(data) == 0 {
+		fail("upload: " + *file + " is empty")
+	}
+	client := &http.Client{Timeout: *timeout}
+	decl := declareFile(data, *partSize, *chunk)
+	body, err := json.Marshal(decl)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	var st uploadStatus
+	code, err := httpJSON(client, http.MethodPost, base[0]+"/v1/traces", body, &st)
+	if err != nil {
+		fail(err.Error())
+	}
+	if code != http.StatusOK {
+		fail(fmt.Sprintf("upload: declare returned %d: %s", code, st.Error))
+	}
+	fmt.Printf("upload %s: %d bytes in %d parts, %d to send\n",
+		st.ID, decl.Size, len(decl.Parts), len(st.Missing))
+
+	// Send only the parts the server reports missing — re-running the
+	// same upload after an interruption transfers just the holes.
+	for _, off := range st.Missing {
+		var part *uploadPart
+		for i := range decl.Parts {
+			if decl.Parts[i].Offset == off {
+				part = &decl.Parts[i]
+				break
+			}
+		}
+		if part == nil {
+			fail(fmt.Sprintf("upload: server wants offset %d we never declared", off))
+		}
+		url := fmt.Sprintf("%s/v1/traces/%s/parts/%d", base[0], st.ID, off)
+		var perr uploadStatus
+		code, err := httpJSON(client, http.MethodPut, url, data[part.Offset:part.Offset+part.Size], &perr)
+		if err != nil {
+			fail(err.Error())
+		}
+		if code != http.StatusNoContent {
+			fail(fmt.Sprintf("upload: part %d returned %d: %s", off, code, perr.Error))
+		}
+	}
+	if len(st.Missing) > 0 {
+		fmt.Printf("sent %d parts\n", len(st.Missing))
+	}
+	if !*commit {
+		fmt.Printf("not committed (re-run with -commit, or: scadctl commit -server %s -id %s)\n", base[0], st.ID)
+		return
+	}
+	commitUpload(client, base[0], st.ID)
+}
+
+func cmdCommit(args []string) {
+	fs := flag.NewFlagSet("scadctl commit", flag.ExitOnError)
+	server := fs.String("server", "", "scad worker base URL")
+	id := fs.String("id", "", "upload id returned by scadctl upload")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+	fs.Parse(args)
+
+	if *server == "" || *id == "" {
+		fail("commit: pass -server URL and -id ID")
+	}
+	base := workerList(*server)
+	if len(base) != 1 {
+		fail("commit: pass exactly one -server URL")
+	}
+	commitUpload(&http.Client{Timeout: *timeout}, base[0], *id)
+}
+
+// commitUpload asks the worker to seal the upload into a store. A 409
+// (parts missing or damaged on the server) prints the holes and exits 1:
+// the commit was refused, nothing was ingested.
+func commitUpload(client *http.Client, base, id string) {
+	var st uploadStatus
+	code, err := httpJSON(client, http.MethodPost, base+"/v1/traces/"+id+"/commit", nil, &st)
+	if err != nil {
+		fail(err.Error())
+	}
+	switch code {
+	case http.StatusOK:
+		if st.Store == nil {
+			fail("commit: server reported success without store info")
+		}
+		fmt.Printf("committed %s: %d traces x %d samples in %d chunks, digest %.12s…\n",
+			id, st.Store.Traces, st.Store.Samples, st.Store.Chunks, st.Store.Digest)
+	case http.StatusConflict:
+		fmt.Fprintf(os.Stderr, "scadctl: commit refused: %d parts missing or damaged on server: %v\n",
+			len(st.Missing), st.Missing)
+		os.Exit(1)
+	default:
+		fail(fmt.Sprintf("commit: server returned %d: %s", code, st.Error))
+	}
+}
+
+// analyzeEnvelope is the serve result envelope with the analysis result
+// left raw: the body is printed verbatim (it is byte-identical across
+// repeats by the cache contract) and only the honesty fields are parsed.
+type analyzeEnvelope struct {
+	Kind        string          `json:"kind"`
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// analyzeHonesty is the subset of both analysis results that reports
+// degradation.
+type analyzeHonesty struct {
+	Complete bool             `json:"complete"`
+	Stats    tracestore.Stats `json:"stats"`
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("scadctl analyze", flag.ExitOnError)
+	server := fs.String("server", "", "scad worker base URL")
+	set := fs.String("set", "", "committed upload id to analyze")
+	kind := fs.String("kind", "cpa", "analysis kind: cpa or tvla")
+	keyByte := fs.Int("key-byte", 0, "attacked key byte (cpa)")
+	key := fs.String("key", "", "known AES-128 key as hex; reports the true byte's rank (cpa)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "request timeout")
+	fs.Parse(args)
+
+	if *server == "" || *set == "" {
+		fail("analyze: pass -server URL and -set ID")
+	}
+	base := workerList(*server)
+	if len(base) != 1 {
+		fail("analyze: pass exactly one -server URL")
+	}
+	req := map[string]any{"set": *set, "kind": *kind}
+	if *keyByte != 0 {
+		req["key_byte"] = *keyByte
+	}
+	if *key != "" {
+		req["key"] = *key
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fail(err.Error())
+	}
+	var env analyzeEnvelope
+	code, err := httpJSON(&http.Client{Timeout: *timeout}, http.MethodPost, base[0]+"/v1/analyze", body, &env)
+	if err != nil {
+		fail(err.Error())
+	}
+	if code != http.StatusOK {
+		fail(fmt.Sprintf("analyze: server returned %d: %s", code, env.Error))
+	}
+	var out bytes.Buffer
+	if err := json.Indent(&out, env.Result, "", "  "); err != nil {
+		fail(err.Error())
+	}
+	out.WriteByte('\n')
+	os.Stdout.Write(out.Bytes())
+
+	var h analyzeHonesty
+	if err := json.Unmarshal(env.Result, &h); err != nil {
+		fail(err.Error())
+	}
+	if !h.Complete || h.Stats.QuarantinedChunks > 0 || h.Stats.TruncatedChunks > 0 {
+		fmt.Fprintf(os.Stderr,
+			"scadctl: analysis ran degraded: %d/%d chunks quarantined, %d truncated — result covers survivors only\n",
+			h.Stats.QuarantinedChunks, h.Stats.Chunks+h.Stats.QuarantinedChunks, h.Stats.TruncatedChunks)
+		os.Exit(exitDegraded)
+	}
+}
+
+func cmdStore(args []string) {
+	fs := flag.NewFlagSet("scadctl store", flag.ExitOnError)
+	dir := fs.String("dir", "", "local trace-store directory to open and verify")
+	asJSON := fs.Bool("json", false, "print the verification stats as JSON")
+	fs.Parse(args)
+
+	if *dir == "" {
+		fail("store: pass -dir DIR")
+	}
+	s, err := tracestore.Open(*dir)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer s.Close()
+	stats, err := s.Verify()
+	if err != nil {
+		fail(err.Error())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fail(err.Error())
+		}
+	} else {
+		fmt.Println(s.String())
+		fmt.Printf("digest %s\n", s.Digest())
+	}
+	if !stats.Complete() {
+		fmt.Fprintf(os.Stderr, "scadctl: store degraded: %d chunks (%d traces) quarantined, %d chunks (%d traces) truncated\n",
+			stats.QuarantinedChunks, stats.QuarantinedTraces, stats.TruncatedChunks, stats.TruncatedTraces)
+		os.Exit(exitDegraded)
+	}
+}

@@ -5,12 +5,21 @@
 // shards into results byte-identical to a single-process
 // cmd/campaign run — same results.json, results.csv and report.md.
 //
+// It also drives real-trace ingestion against a scad started with
+// -data: resumable part-wise uploads into the worker's chunked trace
+// store, commits, and out-of-core analyses (see ingest.go; degraded
+// results exit 3, refused commits exit 1).
+//
 // Usage:
 //
 //	scadctl run -spec FILE -workers URL[,URL...] [-out DIR] [-resume]
 //	        [-timeout D] [-attempts N] [-no-peer-fill] [-quiet]
 //	scadctl status  -workers URL[,URL...]   # one-line cluster summary
 //	scadctl workers -workers URL[,URL...]   # per-worker health table
+//	scadctl upload  -server URL -file traces.bin [-part N] [-chunk N] [-commit=false]
+//	scadctl commit  -server URL -id ID
+//	scadctl analyze -server URL -set ID [-kind cpa|tvla] [-key-byte N] [-key HEX]
+//	scadctl store   -dir DIR [-json]        # verify a local trace store
 //
 // Example against three local workers:
 //
@@ -43,7 +52,7 @@ func fail(msg string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scadctl {run|status|workers} [flags]; scadctl <cmd> -h for details")
+	fmt.Fprintln(os.Stderr, "usage: scadctl {run|status|workers|upload|commit|analyze|store} [flags]; scadctl <cmd> -h for details")
 	os.Exit(2)
 }
 
@@ -75,6 +84,14 @@ func main() {
 		cmdStatus(os.Args[2:], false)
 	case "workers":
 		cmdStatus(os.Args[2:], true)
+	case "upload":
+		cmdUpload(os.Args[2:])
+	case "commit":
+		cmdCommit(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "store":
+		cmdStore(os.Args[2:])
 	default:
 		usage()
 	}

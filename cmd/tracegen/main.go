@@ -1,16 +1,24 @@
 // Command tracegen acquires a set of AES power traces through the
 // simulated measurement chain and writes them — with their plaintexts as
 // auxiliary records — to a binary trace-set file that other tools (or
-// external SCA software) can consume.
+// external SCA software) can consume, and/or directly into a chunked
+// on-disk trace store (-store) ready for out-of-core analysis.
 //
-// Synthesis fans out across all cores (-workers) while the file is
+// Synthesis fans out across all cores (-workers) while the outputs are
 // written strictly in trace order with bounded memory: finished traces
 // stream to disk as their turn comes up, so -n is limited by disk, not
 // RAM. The output is byte-identical for any worker count.
 //
+// The -o file appears atomically: traces stream to a temp file that is
+// fsynced and renamed over the target only after every byte (and the
+// close) succeeded, so a crashed or failed run can never leave a
+// plausible-looking truncated set behind. The -store directory uses the
+// trace store's own crash discipline (chunk-wise commits, sealed
+// manifest).
+//
 // Usage:
 //
-//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-replay auto|replay|simulate] [-o traces.bin]
+//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-replay auto|replay|simulate] [-o traces.bin] [-store DIR] [-store-chunk N]
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 func fail(msg string) {
@@ -44,7 +53,9 @@ func main() {
 	rounds := flag.Int("rounds", 1, "simulated AES rounds")
 	avg := flag.Int("avg", 4, "per-acquisition averaging")
 	noisy := flag.Bool("noise", false, "acquire under the loaded-Linux environment")
-	out := flag.String("o", "traces.bin", "output file")
+	out := flag.String("o", "traces.bin", "output trace-set file (\"\" to skip)")
+	storeDir := flag.String("store", "", "also write a chunked trace store into this directory")
+	storeChunk := flag.Int("store-chunk", 0, "traces per store chunk (0: default)")
 	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
 	flag.Parse()
 
@@ -59,6 +70,10 @@ func main() {
 		fail(fmt.Sprintf("-rounds must be in 1..%d, got %d", aes.Rounds, *rounds))
 	case *avg < 1:
 		fail(fmt.Sprintf("-avg must be >= 1, got %d", *avg))
+	case *out == "" && *storeDir == "":
+		fail("nothing to write: give -o, -store or both")
+	case *storeChunk < 0:
+		fail(fmt.Sprintf("-store-chunk must be >= 0, got %d", *storeChunk))
 	}
 
 	key, err := attack.ParseKey(*keyHex)
@@ -87,14 +102,45 @@ func main() {
 	}
 	samples := len(cal.Timeline) * model.SamplesPerCycle
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	// The -o file streams through a temp path and lands by rename only
+	// after flush, fsync and close all succeeded — a crash or a full
+	// disk leaves the previous file (or nothing), never a torn set.
+	var (
+		f   *os.File
+		bw  *bufio.Writer
+		sw  *trace.SetWriter
+		tmp string
+	)
+	if *out != "" {
+		tmp = *out + ".tmp"
+		f, err = os.Create(tmp)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer os.Remove(tmp) // no-op after the final rename
+		bw = bufio.NewWriter(f)
+		sw, err = trace.NewSetWriter(bw, *n, samples)
 	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	sw, err := trace.NewSetWriter(bw, *n, samples)
+	var stw *tracestore.Writer
+	if err == nil && *storeDir != "" {
+		stw, err = tracestore.Create(*storeDir, tracestore.Options{
+			Samples: samples, AuxLen: aes.BlockSize, ChunkTraces: *storeChunk,
+		})
+		if err == nil {
+			defer stw.Close() // after Commit: no-op; on error: recoverable prefix
+		}
+	}
+	emit := func(i int, tr trace.Trace, aux []byte) error {
+		if sw != nil {
+			if err := sw.Append(tr, aux); err != nil {
+				return err
+			}
+		}
+		if stw != nil {
+			return stw.Append(tr, aux)
+		}
+		return nil
+	}
 
 	// -n 0 is a valid request for a header-only (empty) set. The batch
 	// path shares the scalar producer's per-trace rng draw order, so the
@@ -138,23 +184,39 @@ func main() {
 			},
 			Scalar: scalar,
 		}
-		err = engine.StreamBatched(engine.Config{Workers: ef.Workers}, *n, ef.Seed, bs,
-			func(i int, tr trace.Trace, aux []byte) error {
-				return sw.Append(tr, aux)
-			})
+		err = engine.StreamBatched(engine.Config{Workers: ef.Workers}, *n, ef.Seed, bs, emit)
 	}
-	if err == nil {
+	if err == nil && sw != nil {
 		err = sw.Close()
 	}
-	if err == nil {
+	if err == nil && bw != nil {
 		err = bw.Flush()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if err == nil && f != nil {
+		// Durability before visibility: fsync, then a checked close (a
+		// buffered-write failure can surface only here), then the rename
+		// that makes the set exist.
+		err = f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, *out)
+		}
 	}
-	fmt.Printf("wrote %d traces x %d samples (%d bytes) to %s\n",
-		*n, samples, sw.Written(), *out)
+	if err == nil && stw != nil {
+		err = stw.Commit()
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	if sw != nil {
+		fmt.Printf("wrote %d traces x %d samples (%d bytes) to %s\n",
+			*n, samples, sw.Written(), *out)
+	}
+	if stw != nil {
+		fmt.Printf("committed %d traces x %d samples to store %s\n", *n, samples, *storeDir)
+	}
 	fmt.Printf("clock %g MHz, %d samples/cycle; aux record = 16-byte plaintext\n",
 		attack.ClockMHz, model.SamplesPerCycle)
 }

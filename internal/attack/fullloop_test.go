@@ -1,0 +1,189 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/aes"
+	"repro/internal/engine"
+	"repro/internal/osnoise"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/sca"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// captureSet acquires n traces through the real measurement chain — the
+// same synthesis, batching and rng discipline as cmd/tracegen — and
+// returns them three ways: in memory, as plaintext aux records, and as
+// the serialized trace-set wire format.
+func captureSet(t *testing.T, n, workers, lanes int, key [aes.KeySize]byte) ([]trace.Trace, [][]byte, []byte) {
+	t.Helper()
+	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), key, aes.ProgramOptions{Rounds: 1, PadNops: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := engine.NewSynthesizer(engine.ModeAuto, pipeline.DefaultConfig(), tgt.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.DefaultModel()
+	env := osnoise.Quiet()
+	const avg = 2
+
+	cal, _, err := tgt.Run([aes.BlockSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := len(cal.Timeline) * model.SamplesPerCycle
+
+	var buf bytes.Buffer
+	sw, err := trace.NewSetWriter(&buf, n, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []trace.Trace
+	var aux [][]byte
+	emit := func(i int, tr trace.Trace, a []byte) error {
+		traces = append(traces, tr)
+		aux = append(aux, append([]byte(nil), a...))
+		return sw.Append(tr, a)
+	}
+	scalar := func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
+		var pt [aes.BlockSize]byte
+		rng.Read(pt[:])
+		var tr trace.Trace
+		err := synth.Run(
+			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+			func(tl pipeline.Timeline, core *pipeline.Core) error {
+				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					return err
+				}
+				tr = env.Acquire(tl, &model, rng, avg)
+				return nil
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		return tr, pt[:], nil
+	}
+	bs := engine.BatchStream{
+		Synth: synth,
+		Model: &model,
+		Lanes: lanes,
+		Prepare: func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error) {
+			var pt [aes.BlockSize]byte
+			rng.Read(pt[:])
+			tgt.InitCore(core, pt)
+			return pt[:], nil
+		},
+		Acquire: func(i int, rng *rand.Rand, cycles []float64, core *pipeline.Core, a []byte) (trace.Trace, error) {
+			var pt [aes.BlockSize]byte
+			copy(pt[:], a)
+			if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+				return nil, err
+			}
+			return env.AcquireCycles(cycles, &model, rng, avg), nil
+		},
+		Scalar: scalar,
+	}
+	if err := engine.StreamBatched(engine.Config{Workers: workers}, n, 11, bs, emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return traces, aux, buf.Bytes()
+}
+
+// TestFullLoopStoreCPAMatchesInMemory pins the whole real-trace loop:
+// traces acquired through the measurement chain, serialized in the
+// trace-set wire format, ingested into a chunked on-disk store and
+// analyzed out-of-core must give exactly the in-memory CPA answer —
+// bit-identical correlations — for every worker and lane count, and the
+// store's content digest must not depend on how the capture was
+// scheduled. The CI test matrix runs this under both
+// REPRO_FORCE_PORTABLE legs, so the equality also holds across the
+// SIMD and portable kernels.
+func TestFullLoopStoreCPAMatchesInMemory(t *testing.T) {
+	const n = 48
+	key, err := ParseKey("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	combos := []struct{ workers, lanes int }{
+		{1, 1}, // serial scalar baseline
+		{3, 8},
+		{2, 16},
+	}
+	var wantDigest string
+	var wantJSON []byte
+	for _, c := range combos {
+		traces, aux, raw := captureSet(t, n, c.workers, c.lanes, key)
+
+		dir := filepath.Join(t.TempDir(), "store")
+		if err := tracestore.Ingest(dir, bytes.NewReader(raw), 7); err != nil {
+			t.Fatalf("workers=%d lanes=%d: ingest: %v", c.workers, c.lanes, err)
+		}
+		s, err := tracestore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := RunStoreCPA(s, StoreCPAOptions{Key: key[:]})
+		if err != nil {
+			t.Fatalf("workers=%d lanes=%d: %v", c.workers, c.lanes, err)
+		}
+
+		// In-memory reference: the same traces added one by one.
+		ref := sca.MustNewClassCPA(s.Samples(), Fig3ClassTable())
+		for i, tr := range traces {
+			if err := ref.Add(int(aux[i][0]), tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		att := ref.Result()
+		best, second := att.Margin()
+		if math.Float64bits(res.BestCorr) != math.Float64bits(best) ||
+			math.Float64bits(res.SecondCorr) != math.Float64bits(second) ||
+			math.Float64bits(res.Confidence) != math.Float64bits(att.DistinguishConfidence()) {
+			t.Errorf("workers=%d lanes=%d: out-of-core correlations differ from in-memory: %v/%v vs %v/%v",
+				c.workers, c.lanes, res.BestCorr, res.SecondCorr, best, second)
+		}
+		if int(res.Recovered) != att.Ranking[0] || res.PeakSample != att.PeakSamples[att.Ranking[0]] {
+			t.Errorf("workers=%d lanes=%d: ranking diverged: %#02x@%d vs %#02x@%d",
+				c.workers, c.lanes, res.Recovered, res.PeakSample, att.Ranking[0], att.PeakSamples[att.Ranking[0]])
+		}
+		if !res.Complete || res.Traces != n {
+			t.Errorf("workers=%d lanes=%d: pass not complete: %+v", c.workers, c.lanes, res.Stats)
+		}
+		if !res.Success() {
+			t.Errorf("workers=%d lanes=%d: true key byte not rank 0 (rank %d)", c.workers, c.lanes, res.Rank)
+		}
+
+		// Scheduling invariance: every combo must produce the same store
+		// bytes (content digest) and the same analysis result bytes.
+		gotJSON, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantDigest == "" {
+			wantDigest, wantJSON = s.Digest(), gotJSON
+			continue
+		}
+		if got := s.Digest(); got != wantDigest {
+			t.Errorf("workers=%d lanes=%d: store digest %.12s differs from baseline %.12s",
+				c.workers, c.lanes, got, wantDigest)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("workers=%d lanes=%d: analysis result bytes differ from baseline:\n%s\n%s",
+				c.workers, c.lanes, gotJSON, wantJSON)
+		}
+	}
+}

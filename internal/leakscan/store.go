@@ -1,0 +1,59 @@
+package leakscan
+
+import (
+	"fmt"
+
+	"repro/internal/sca"
+	"repro/internal/tracestore"
+)
+
+// StoreTVLAResult is an out-of-core fixed-vs-random t-test outcome. On
+// top of the usual TVLA summary it carries the health of the streaming
+// pass: a damaged store still yields statistics over the readable
+// traces, with Complete false and the skip counts itemized.
+type StoreTVLAResult struct {
+	MaxT     float64 `json:"max_t"`
+	Sample   int     `json:"sample"`
+	Detected bool    `json:"detected"`
+	// Groups counts the traces each group actually accumulated.
+	Groups   [2]int           `json:"groups"`
+	Stats    tracestore.Stats `json:"stats"`
+	Complete bool             `json:"complete"`
+}
+
+// RunStoreTVLA performs a fixed-vs-random Welch t-test over an on-disk
+// trace store, streaming chunk by chunk in bounded memory. Group
+// membership follows the capture convention RunTVLA establishes: the
+// trace's absolute (store-wide) index i puts it in group i&1 — even
+// indices replayed the fixed input, odd indices a fresh random one. The
+// absolute index comes from each chunk's First field, so a quarantined
+// chunk shifts no survivor into the wrong group.
+func RunStoreTVLA(s *tracestore.Store) (*StoreTVLAResult, error) {
+	w := sca.NewWelch(s.Samples())
+	var groups [2]int
+	stats, err := s.EachChunk(func(cd *tracestore.ChunkData) error {
+		for j, tr := range cd.Traces {
+			g := (cd.First + j) & 1
+			if err := w.Add(g, tr); err != nil {
+				return err
+			}
+			groups[g]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if groups[0] < 2 || groups[1] < 2 {
+		return nil, fmt.Errorf("leakscan: store delivered %d/%d readable traces per group, need at least 2 each",
+			groups[0], groups[1])
+	}
+	maxT, idx := sca.MaxAbs(w.T())
+	return &StoreTVLAResult{
+		MaxT: maxT, Sample: idx,
+		Detected: maxT > TVLAThreshold,
+		Groups:   groups,
+		Stats:    stats,
+		Complete: stats.Complete(),
+	}, nil
+}

@@ -1,0 +1,135 @@
+package leakscan
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sca"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// synthTVLASet fabricates a fixed-vs-random capture: even indices carry
+// a deterministic bump (the "fixed" class), odd indices do not.
+func synthTVLASet(n, samples int, seed int64) []trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	traces := make([]trace.Trace, n)
+	for i := range traces {
+		tr := make(trace.Trace, samples)
+		for s := range tr {
+			tr[s] = rng.NormFloat64()
+		}
+		if i&1 == 0 {
+			tr[samples/3] += 3
+		}
+		traces[i] = tr
+	}
+	return traces
+}
+
+func buildTVLAStore(t *testing.T, traces []trace.Trace, chunk int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := tracestore.Create(dir, tracestore.Options{Samples: len(traces[0]), ChunkTraces: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if err := w.Append(tr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunStoreTVLAMatchesInMemory(t *testing.T) {
+	traces := synthTVLASet(160, 30, 21)
+	ref := sca.NewWelch(30)
+	for i, tr := range traces {
+		if err := ref.Add(i&1, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refMax, refIdx := sca.MaxAbs(ref.T())
+
+	for _, chunk := range []int{1, 5, 32, 160} {
+		dir := buildTVLAStore(t, traces, chunk)
+		s, err := tracestore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunStoreTVLA(s)
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Complete || got.Groups != [2]int{80, 80} {
+			t.Fatalf("chunk %d: %+v", chunk, got)
+		}
+		if math.Float64bits(got.MaxT) != math.Float64bits(refMax) || got.Sample != refIdx {
+			t.Fatalf("chunk %d: t statistic not bit-identical to the in-memory pass", chunk)
+		}
+		if !got.Detected {
+			t.Fatalf("chunk %d: planted difference not detected (max |t| = %v)", chunk, got.MaxT)
+		}
+	}
+}
+
+func TestRunStoreTVLAQuarantineKeepsGrouping(t *testing.T) {
+	traces := synthTVLASet(90, 16, 8)
+	dir := buildTVLAStore(t, traces, 30) // 3 chunks; 30 is even, groups stay aligned
+
+	// Survivors-only reference: drop traces 30..59, keep absolute parity.
+	ref := sca.NewWelch(16)
+	for i, tr := range traces {
+		if i >= 30 && i < 60 {
+			continue
+		}
+		if err := ref.Add(i&1, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refMax, _ := sca.MaxAbs(ref.T())
+
+	raw, err := os.ReadFile(filepath.Join(dir, tracestore.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := tracestore.ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, tracestore.DataName), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xee}, man.Chunks[1].Offset+tracestore.HeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := RunStoreTVLA(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complete || got.Stats.QuarantinedChunks != 1 {
+		t.Fatalf("quarantine not reported: %+v", got)
+	}
+	if got.Groups != [2]int{30, 30} {
+		t.Fatalf("groups %v after dropping an even-aligned chunk, want 30/30", got.Groups)
+	}
+	if math.Float64bits(got.MaxT) != math.Float64bits(refMax) {
+		t.Fatal("degraded t statistic does not match the survivors-only reference")
+	}
+}

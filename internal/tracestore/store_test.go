@@ -1,0 +1,439 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeStore builds a store of n traces x samples with 4-byte aux
+// records and deterministic contents, returning the trace rows it wrote.
+func writeStore(t *testing.T, dir string, n, samples, chunk int) ([][]float64, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	w, err := Create(dir, Options{Samples: samples, AuxLen: 4, ChunkTraces: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([][]float64, n)
+	aux := make([][]byte, n)
+	for i := range traces {
+		tr := make(trace.Trace, samples)
+		for s := range tr {
+			tr[s] = rng.NormFloat64()
+		}
+		a := []byte{byte(i), byte(i >> 8), 0xAB, 0xCD}
+		if err := w.Append(tr, a); err != nil {
+			t.Fatal(err)
+		}
+		traces[i], aux[i] = tr, a
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return traces, aux
+}
+
+// readAll streams the whole store into rows.
+func readAll(t *testing.T, s *Store) ([][]float64, [][]byte, Stats) {
+	t.Helper()
+	var traces [][]float64
+	var aux [][]byte
+	stats, err := s.EachChunk(func(cd *ChunkData) error {
+		traces = append(traces, cd.Traces...)
+		aux = append(aux, cd.Aux...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces, aux, stats
+}
+
+func TestRoundTripBitwise(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 8, 17} {
+		dir := filepath.Join(t.TempDir(), "s")
+		want, wantAux := writeStore(t, dir, n, 33, 8)
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if !s.Sealed() || s.Traces() != n || s.Samples() != 33 || s.AuxLen() != 4 {
+			t.Fatalf("n=%d: store reopened as %s", n, s)
+		}
+		got, gotAux, stats := readAll(t, s)
+		if !stats.Complete() || stats.Traces != n {
+			t.Fatalf("n=%d: stats %+v", n, stats)
+		}
+		for i := range want {
+			if !bytes.Equal(gotAux[i], wantAux[i]) {
+				t.Fatalf("n=%d: aux %d corrupted", n, i)
+			}
+			for sIdx := range want[i] {
+				if math.Float64bits(got[i][sIdx]) != math.Float64bits(want[i][sIdx]) {
+					t.Fatalf("n=%d: trace %d sample %d not bit-identical", n, i, sIdx)
+				}
+			}
+		}
+	}
+}
+
+func TestUncommittedWriterLeavesRecoverablePrefix(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Samples: 5, AuxLen: 0, ChunkTraces: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // 2 full chunks + 2 pending traces
+		if err := w.Append(make(trace.Trace, 5), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil { // crash stand-in: no Commit
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Sealed() {
+		t.Fatal("uncommitted store must reopen unsealed")
+	}
+	if s.Traces() != 8 || s.Chunks() != 2 {
+		t.Fatalf("recovered %d traces in %d chunks, want 8 in 2", s.Traces(), s.Chunks())
+	}
+	if _, _, stats := readAll(t, s); !stats.Complete() || stats.Traces != 8 {
+		t.Fatalf("recovered prefix not fully readable: %+v", stats)
+	}
+}
+
+func TestNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("open of empty dir: %v, want ErrNoManifest", err)
+	}
+	// A leftover manifest temp file alone is a crashed commit that never
+	// happened — still no store.
+	if err := os.WriteFile(filepath.Join(dir, ManifestTemp), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("open with only a temp manifest: %v, want ErrNoManifest", err)
+	}
+}
+
+func TestTornFinalChunkTruncated(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 20, 16, 8) // chunks of 8, 8, 4
+	data := filepath.Join(dir, DataName)
+	st, err := os.Stat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(data, st.Size()-9); err != nil { // tear into the final chunk
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Traces() != 16 || s.Chunks() != 2 || s.TruncatedChunks() != 1 || s.TruncatedTraces() != 4 {
+		t.Fatalf("after tear: traces=%d chunks=%d truncated=%d/%d",
+			s.Traces(), s.Chunks(), s.TruncatedChunks(), s.TruncatedTraces())
+	}
+	_, _, stats := readAll(t, s)
+	if stats.Complete() {
+		t.Fatal("a pass over a truncated store must not report itself complete")
+	}
+	if stats.Traces != 16 || stats.TruncatedTraces != 4 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestBitFlipQuarantinesOneChunk(t *testing.T) {
+	dir := t.TempDir()
+	want, _ := writeStore(t, dir, 24, 16, 8) // 3 chunks
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle chunk.
+	mid := man.Chunks[1]
+	f, err := os.OpenFile(filepath.Join(dir, DataName), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := mid.Offset + HeaderSize + 11
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := f.WriteAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, _, stats := readAll(t, s)
+	if stats.QuarantinedChunks != 1 || stats.QuarantinedTraces != 8 || stats.Traces != 16 {
+		t.Fatalf("stats %+v, want exactly the middle chunk quarantined", stats)
+	}
+	if stats.Complete() {
+		t.Fatal("a pass that skipped a chunk must not report itself complete")
+	}
+	// The surviving chunks deliver bit-identical data — corruption never
+	// bleeds into neighbors.
+	surviving := append(append([][]float64{}, want[:8]...), want[16:]...)
+	for i := range surviving {
+		for sIdx := range surviving[i] {
+			if math.Float64bits(got[i][sIdx]) != math.Float64bits(surviving[i][sIdx]) {
+				t.Fatalf("surviving trace %d altered at sample %d", i, sIdx)
+			}
+		}
+	}
+	if qc, qt := s.Quarantined(); qc != 1 || qt != 8 {
+		t.Fatalf("Quarantined() = %d chunks/%d traces", qc, qt)
+	}
+	// Re-reading the quarantined chunk keeps failing with ErrChunkCorrupt.
+	if _, err := s.ReadChunk(1); !errors.Is(err, ErrChunkCorrupt) {
+		t.Fatalf("re-read of quarantined chunk: %v", err)
+	}
+}
+
+func TestHeaderCorruptionQuarantinedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 16, 8, 8) // 2 chunks
+	f, err := os.OpenFile(filepath.Join(dir, DataName), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 2); err != nil { // smash chunk 0's magic
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if qc, qt := s.Quarantined(); qc != 1 || qt != 8 {
+		t.Fatalf("header damage: quarantined %d chunks/%d traces at open", qc, qt)
+	}
+	_, _, stats := readAll(t, s)
+	if stats.Traces != 8 || stats.QuarantinedChunks != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestVerifySweepsPayloads(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 16, 8, 8)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stats, err := s.Verify()
+	if err != nil || !stats.Complete() || stats.Traces != 16 {
+		t.Fatalf("verify of clean store: %+v, %v", stats, err)
+	}
+}
+
+func TestCorruptManifestFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 4, 4, 4)
+	path := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("a corrupt manifest must fail the open, not guess at the store")
+	}
+}
+
+func TestCreateRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 4, 4, 4)
+	if _, err := Create(dir, Options{Samples: 4}); err == nil {
+		t.Fatal("Create over an existing store must refuse")
+	}
+}
+
+func TestAppendRejectsWrongAuxLength(t *testing.T) {
+	w, err := Create(t.TempDir(), Options{Samples: 4, AuxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make(trace.Trace, 4), []byte{1, 2, 3}); err == nil {
+		t.Fatal("aux length mismatch must be refused, not padded")
+	}
+}
+
+func TestIngestMatchesDirectWrites(t *testing.T) {
+	// Serialize a set through SetWriter, ingest the stream, and require
+	// the store to hold bit-identical traces.
+	var buf bytes.Buffer
+	n, samples := 19, 12
+	rng := rand.New(rand.NewSource(3))
+	sw, err := trace.NewSetWriter(&buf, n, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, n)
+	for i := range want {
+		tr := make(trace.Trace, samples)
+		for s := range tr {
+			tr[s] = rng.NormFloat64()
+		}
+		want[i] = tr
+		if err := sw.Append(tr, []byte{byte(i), 0x55}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ingested")
+	if err := Ingest(dir, bytes.NewReader(buf.Bytes()), 8); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Sealed() || s.Traces() != n || s.AuxLen() != 2 {
+		t.Fatalf("ingested store: %s", s)
+	}
+	got, gotAux, stats := readAll(t, s)
+	if !stats.Complete() {
+		t.Fatalf("stats %+v", stats)
+	}
+	for i := range want {
+		if gotAux[i][0] != byte(i) || gotAux[i][1] != 0x55 {
+			t.Fatalf("aux %d corrupted", i)
+		}
+		for sIdx := range want[i] {
+			if math.Float64bits(got[i][sIdx]) != math.Float64bits(want[i][sIdx]) {
+				t.Fatalf("trace %d sample %d not bit-identical after ingest", i, sIdx)
+			}
+		}
+	}
+}
+
+func TestIngestRefusesTornStream(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := trace.NewSetWriter(&buf, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sw.Append(make(trace.Trace, 4), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-5]
+	if err := Ingest(filepath.Join(t.TempDir(), "torn"), bytes.NewReader(torn), 0); err == nil {
+		t.Fatal("ingest of a torn stream must fail, not commit a short set")
+	}
+}
+
+func TestDigestTracksContent(t *testing.T) {
+	dirA, dirB := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	writeStore(t, dirA, 12, 8, 4)
+	writeStore(t, dirB, 12, 8, 4) // same seed => same contents
+	a, err := Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical stores must digest equal")
+	}
+	dirC := filepath.Join(t.TempDir(), "c")
+	writeStore(t, dirC, 12, 8, 6) // same traces, different chunking
+	c, err := Open(dirC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if a.Digest() == c.Digest() {
+		t.Fatal("different chunking must digest apart")
+	}
+}
+
+func TestManifestValidateCatchesLies(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 8, 4, 4)
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Manifest){
+		func(m *Manifest) { m.Magic = "not-a-store" },
+		func(m *Manifest) { m.Version = 99 },
+		func(m *Manifest) { m.Traces++ },
+		func(m *Manifest) { m.Chunks[1].First++ },
+		func(m *Manifest) { m.Chunks[1].Offset++ },
+		func(m *Manifest) { m.Chunks[0].Size-- },
+		func(m *Manifest) { m.Chunks[0].CRC32C = "XYZ" },
+		func(m *Manifest) { m.Samples = 0 },
+	}
+	for i, mutate := range mutations {
+		m := *good
+		m.Chunks = append([]ChunkInfo(nil), good.Chunks...)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestStringMentionsQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 4, 4, 4)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := fmt.Sprint(s); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,168 @@
+// Package tracestore implements the repository's out-of-core trace
+// container: a chunked, sample-major columnar on-disk format that lets
+// CPA and TVLA stream over trace sets far larger than RAM, and gives
+// externally captured ("real") acquisitions a durable home with an
+// explicit failure model.
+//
+// A store is a directory holding two files:
+//
+//	data.bin       fixed-size chunks, each = header + payload
+//	manifest.json  atomically committed index of the chunks
+//
+// Every chunk carries a self-describing header (magic, version, trace
+// range, sample range, payload length, CRC32C of the payload, CRC32C of
+// the header itself) and a sample-major payload: the chunk's auxiliary
+// records first (trace-major, fixed length), then for each sample index
+// the float64 values of every trace in the chunk. Sample-major layout
+// keeps per-sample statistics (TVLA columns, per-sample sums) a
+// sequential scan while a whole chunk — the unit of I/O — still decodes
+// to trace rows for the streaming accumulators.
+//
+// The manifest records the set dimensions and one entry per chunk
+// (range, offset, size, payload CRC32C). It is only ever replaced
+// atomically — written to a temp file, fsynced, renamed over the old
+// one — and the data file is fsynced before each manifest commit, so a
+// committed manifest never references bytes that are not durable.
+//
+// Failure model (see Open):
+//
+//   - a torn final chunk — crash between a data append and the next
+//     manifest commit, or a truncated copy — is dropped exactly like the
+//     serve spill truncates its torn tail: the store reopens with the
+//     traces the last committed manifest covers;
+//   - a mid-file corruption (bit rot, torn overwrite) quarantines that
+//     chunk: reads skip it and report it, the rest of the store stays
+//     usable, and no statistic silently includes damaged samples;
+//   - a torn manifest cannot exist: the rename either happened or it
+//     did not, and a leftover temp file is ignored.
+package tracestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// ChunkMagic opens every chunk header ("RTCK" little-endian: Repro
+	// Trace Chunk).
+	ChunkMagic = 0x4b435452
+	// FormatVersion is the chunk and manifest format version.
+	FormatVersion = 1
+	// HeaderSize is the encoded chunk-header length in bytes.
+	HeaderSize = 40
+	// DefaultChunkTraces is the default number of traces per chunk: at
+	// the paper's trace lengths a chunk stays a few megabytes — large
+	// enough to amortize I/O, small enough to bound streaming memory.
+	DefaultChunkTraces = 256
+
+	// ManifestName and DataName are the fixed file names inside a store
+	// directory.
+	ManifestName = "manifest.json"
+	// ManifestTemp is the scratch name a manifest commit renames from;
+	// a leftover one is a crashed commit and is ignored on open.
+	ManifestTemp = ManifestName + ".tmp"
+	DataName     = "data.bin"
+
+	// maxChunkPayload bounds one chunk's payload; beyond it a header is
+	// rejected as corrupt rather than trusted with a huge allocation.
+	maxChunkPayload = 1 << 31
+)
+
+// castagnoli is the CRC32C polynomial table every digest in the format
+// uses (the same polynomial hardware CRC instructions implement).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC returns the CRC32C digest of p.
+func CRC(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// CRCHex returns the CRC32C digest of p as 8 lowercase hex digits — the
+// spelling manifests and upload declarations carry.
+func CRCHex(p []byte) string { return fmt.Sprintf("%08x", CRC(p)) }
+
+// ChunkHeader is the decoded fixed-size header opening every chunk.
+type ChunkHeader struct {
+	// Index is the chunk's position in the store.
+	Index uint32
+	// First is the store-wide index of the chunk's first trace; Count
+	// the number of traces in the chunk.
+	First uint32
+	Count uint32
+	// Samples and AuxLen are the store dimensions, repeated per chunk so
+	// a chunk is self-describing.
+	Samples uint32
+	AuxLen  uint32
+	// PayloadLen is the payload byte length following the header;
+	// PayloadCRC its CRC32C.
+	PayloadLen uint32
+	PayloadCRC uint32
+}
+
+// payloadSize returns the payload length implied by a chunk's trace
+// count and the store dimensions, in uint64 to make overflow impossible.
+func payloadSize(count, samples, auxLen uint64) uint64 {
+	return count*auxLen + 8*count*samples
+}
+
+// encode renders the header: magic, version, the seven fields, then a
+// CRC32C over the preceding 36 bytes.
+func (h ChunkHeader) encode() [HeaderSize]byte {
+	var b [HeaderSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], ChunkMagic)
+	le.PutUint32(b[4:], FormatVersion)
+	le.PutUint32(b[8:], h.Index)
+	le.PutUint32(b[12:], h.First)
+	le.PutUint32(b[16:], h.Count)
+	le.PutUint32(b[20:], h.Samples)
+	le.PutUint32(b[24:], h.AuxLen)
+	le.PutUint32(b[28:], h.PayloadLen)
+	le.PutUint32(b[32:], h.PayloadCRC)
+	le.PutUint32(b[36:], CRC(b[:36]))
+	return b
+}
+
+// ErrCorruptHeader reports a chunk header that fails structural
+// validation; errors.Is matches it through ParseChunkHeader wraps.
+var ErrCorruptHeader = errors.New("tracestore: corrupt chunk header")
+
+// ParseChunkHeader decodes and validates one chunk header. It rejects a
+// wrong magic or version, a header whose trailing CRC32C does not match
+// its bytes, and dimensions whose implied payload disagrees with the
+// declared payload length (or exceeds the format's chunk bound).
+func ParseChunkHeader(b []byte) (ChunkHeader, error) {
+	var h ChunkHeader
+	if len(b) < HeaderSize {
+		return h, fmt.Errorf("%w: %d bytes, want %d", ErrCorruptHeader, len(b), HeaderSize)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(b[0:]); got != ChunkMagic {
+		return h, fmt.Errorf("%w: bad magic %#x", ErrCorruptHeader, got)
+	}
+	if got := le.Uint32(b[4:]); got != FormatVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrCorruptHeader, got)
+	}
+	if got, want := le.Uint32(b[36:]), CRC(b[:36]); got != want {
+		return h, fmt.Errorf("%w: header CRC %08x, computed %08x", ErrCorruptHeader, got, want)
+	}
+	h = ChunkHeader{
+		Index:      le.Uint32(b[8:]),
+		First:      le.Uint32(b[12:]),
+		Count:      le.Uint32(b[16:]),
+		Samples:    le.Uint32(b[20:]),
+		AuxLen:     le.Uint32(b[24:]),
+		PayloadLen: le.Uint32(b[28:]),
+		PayloadCRC: le.Uint32(b[32:]),
+	}
+	want := payloadSize(uint64(h.Count), uint64(h.Samples), uint64(h.AuxLen))
+	switch {
+	case h.Count == 0:
+		return h, fmt.Errorf("%w: empty chunk", ErrCorruptHeader)
+	case want > maxChunkPayload:
+		return h, fmt.Errorf("%w: implied payload %d exceeds chunk bound", ErrCorruptHeader, want)
+	case uint64(h.PayloadLen) != want:
+		return h, fmt.Errorf("%w: payload length %d, dimensions imply %d", ErrCorruptHeader, h.PayloadLen, want)
+	}
+	return h, nil
+}

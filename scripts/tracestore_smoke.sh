@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# tracestore_smoke.sh — corruption-injection smoke of the crash-safe
+# trace store and the resumable ingestion path, end to end on a real
+# socket:
+#
+#   1. tracegen acquires a trace set; scadctl uploads it part by part
+#      (without committing), a byte of the server-side assembled stream
+#      is flipped, and the commit MUST be refused (nonzero exit, the
+#      damaged part listed) — corrupt bytes never become a store.
+#   2. Re-running the upload heals exactly the damaged part, the commit
+#      succeeds, and out-of-core CPA over the ingested store recovers
+#      the planted key; the repeated analyze is a byte-identical cache
+#      hit.
+#   3. A local store takes a mid-payload bit flip: verification must
+#      quarantine exactly that chunk and exit 3 (degraded, not error).
+#   4. A copy of the store loses its data-file tail: the torn final
+#      chunk must be reported truncated, again exit 3.
+#
+# Every failure mode must be detected and reported — never a panic,
+# never silently altered statistics.
+set -euo pipefail
+
+KEY=2b7e151628aed2a6abf7158809cf4f3c
+
+WORK=$(mktemp -d)
+echo "== build"
+go build -o "$WORK/tracegen" ./cmd/tracegen
+go build -o "$WORK/scad" ./cmd/scad
+go build -o "$WORK/scadctl" ./cmd/scadctl
+
+echo "== acquire a trace set"
+"$WORK/tracegen" -n 80 -rounds 1 -o "$WORK/traces.bin" -key "$KEY" >/dev/null
+
+ADDR=127.0.0.1:8719
+"$WORK/scad" -addr "$ADDR" -data "$WORK/data" 2>"$WORK/scad.log" &
+SCAD_PID=$!
+trap 'kill $SCAD_PID 2>/dev/null || true; wait $SCAD_PID 2>/dev/null || true' EXIT
+
+# Same readiness gate as scad_smoke.sh: the /healthz detail, not merely
+# an open socket.
+wait_ready() {
+  local base=$1 deadline=$((SECONDS + 30))
+  while [ "$SECONDS" -lt "$deadline" ]; do
+    if curl -sf "$base/healthz" 2>/dev/null | grep -q '"ready": true'; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+wait_ready "http://$ADDR" || {
+  echo "scad never became ready"; cat "$WORK/scad.log"; exit 1; }
+
+echo "== upload without committing, then damage the server-side stream"
+"$WORK/scadctl" upload -server "http://$ADDR" -file "$WORK/traces.bin" \
+  -part 65536 -chunk 16 -commit=false | tee "$WORK/upload1.log"
+ID=$(awk '/^upload /{sub(":", "", $2); print $2; exit}' "$WORK/upload1.log")
+[ -n "$ID" ] || { echo "could not parse upload id"; exit 1; }
+
+BIN="$WORK/data/uploads/$ID.bin"
+[ -f "$BIN" ] || { echo "assembled stream $BIN missing"; exit 1; }
+python3 - "$BIN" <<'PYEOF'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    f.seek(70000)            # mid-part, far from the header
+    b = f.read(1)
+    f.seek(70000)
+    f.write(bytes([b[0] ^ 0x40]))
+PYEOF
+
+echo "== commit of the damaged upload must be refused"
+set +e
+"$WORK/scadctl" commit -server "http://$ADDR" -id "$ID" 2>"$WORK/refused.log"
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || { echo "commit of a damaged upload SUCCEEDED"; exit 1; }
+grep -q 'commit refused' "$WORK/refused.log" || {
+  echo "refusal did not name the damage:"; cat "$WORK/refused.log"; exit 1; }
+echo "refused as it should be: $(cat "$WORK/refused.log")"
+
+echo "== heal (re-upload sends only the damaged part) and commit"
+"$WORK/scadctl" upload -server "http://$ADDR" -file "$WORK/traces.bin" \
+  -part 65536 -chunk 16 | tee "$WORK/upload2.log"
+grep -q ', 1 to send$' "$WORK/upload2.log" || {
+  echo "healing re-upload did not transfer exactly the 1 damaged part"; exit 1; }
+grep -q '^committed ' "$WORK/upload2.log" || {
+  echo "healed upload did not commit"; exit 1; }
+
+echo "== out-of-core CPA over the ingested store recovers the key"
+"$WORK/scadctl" analyze -server "http://$ADDR" -set "$ID" -kind cpa \
+  -key "$KEY" | tee "$WORK/cpa.json"
+python3 - "$WORK/cpa.json" <<'PYEOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["complete"], "analysis over an intact store reported incomplete"
+assert r["rank"] == 0, f"true key byte not rank 0: rank {r['rank']}"
+assert r["stats"]["quarantined_chunks"] == 0
+PYEOF
+
+# The repeat must be served from cache, byte-identical.
+"$WORK/scadctl" analyze -server "http://$ADDR" -set "$ID" -kind cpa \
+  -key "$KEY" > "$WORK/cpa2.json"
+cmp "$WORK/cpa.json" "$WORK/cpa2.json" || {
+  echo "repeated analyze bodies differ"; exit 1; }
+"$WORK/scadctl" analyze -server "http://$ADDR" -set "$ID" -kind tvla >/dev/null
+echo "cpa rank 0 over the store, repeat byte-identical, tvla ran"
+
+echo "== local store: mid-payload bit flip must quarantine one chunk"
+"$WORK/tracegen" -n 32 -rounds 1 -o "" -store "$WORK/store" -store-chunk 8 -key "$KEY" >/dev/null
+"$WORK/scadctl" store -dir "$WORK/store"   # clean store verifies, exit 0
+
+cp -r "$WORK/store" "$WORK/store-torn"
+python3 - "$WORK/store/data.bin" <<'PYEOF'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    f.seek(0, 2)
+    size = f.tell()
+    off = size // 2          # middle of the file: inside some chunk payload
+    f.seek(off)
+    b = f.read(1)
+    f.seek(off)
+    f.write(bytes([b[0] ^ 0x01]))
+PYEOF
+set +e
+"$WORK/scadctl" store -dir "$WORK/store" 2>"$WORK/flip.log"
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || { echo "bit-flipped store: want exit 3, got $RC"; cat "$WORK/flip.log"; exit 1; }
+grep -q '1 chunks (8 traces) quarantined' "$WORK/flip.log" || {
+  echo "quarantine count wrong:"; cat "$WORK/flip.log"; exit 1; }
+echo "bit flip: exactly one chunk quarantined, exit 3"
+
+echo "== local store: torn data-file tail must be reported truncated"
+python3 - "$WORK/store-torn/data.bin" <<'PYEOF'
+import sys, os
+path = sys.argv[1]
+os.truncate(path, os.path.getsize(path) - 9)
+PYEOF
+set +e
+"$WORK/scadctl" store -dir "$WORK/store-torn" 2>"$WORK/torn.log"
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || { echo "torn store: want exit 3, got $RC"; cat "$WORK/torn.log"; exit 1; }
+grep -q '1 chunks (8 traces) truncated' "$WORK/torn.log" || {
+  echo "truncation count wrong:"; cat "$WORK/torn.log"; exit 1; }
+echo "torn tail: final chunk reported truncated, exit 3"
+
+echo "tracestore smoke: all corruption injected, all detected, none served"
