@@ -1,11 +1,7 @@
-// Command aescpa reproduces §5 of the paper: correlation power analysis
-// against the simulated AES-128 implementation — the bare-metal attack
-// with the HW-of-SubBytes-output model (Figure 3) and the loaded-Linux
-// attack with the HD-between-consecutive-SubBytes-stores model
-// (Figure 4).
-//
-// Trace synthesis and CPA accumulation stream across all cores by
-// default (-workers); results are identical for any worker count.
+// Command aescpa is the AES-flavored alias of the target-generic
+// cmd/scacpa: the same flags and output with the target frozen to AES.
+// The historical -fig3/-fig4 spellings keep working as shims for the
+// unified -figure flag.
 //
 // Usage:
 //
@@ -14,178 +10,11 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"math"
 	"os"
-	"strings"
 
-	"repro/internal/aes"
-	"repro/internal/attack"
-	"repro/internal/cliutil"
-	"repro/internal/engine"
+	"repro/internal/scacli"
 )
 
-func fail(msg string) {
-	fmt.Fprintln(os.Stderr, "aescpa:", msg)
-	os.Exit(1)
-}
-
 func main() {
-	var ef cliutil.EngineFlags
-	ef.Register(flag.CommandLine)
-	ef.RegisterReplay(flag.CommandLine)
-	fig3 := flag.Bool("fig3", false, "run the Figure 3 bare-metal attack")
-	fig4 := flag.Bool("fig4", false, "run the Figure 4 loaded-Linux attack")
-	traces := flag.Int("traces", 0, "acquisitions (0: per-figure default)")
-	keyByte := flag.Int("keybyte", -1, "attacked key byte (-1: per-figure default)")
-	rounds := flag.Int("rounds", 0, "simulated cipher rounds (0: default)")
-	avg := flag.Int("avg", 0, "per-acquisition averaging (0: default)")
-	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
-	flag.Parse()
-
-	if err := ef.Finish(); err != nil {
-		fail(err.Error())
-	}
-	mode := ef.Mode
-	switch {
-	case *traces < 0:
-		fail(fmt.Sprintf("-traces must be >= 0, got %d", *traces))
-	case *rounds < 0 || *rounds > aes.Rounds:
-		fail(fmt.Sprintf("-rounds must be in 0..%d, got %d", aes.Rounds, *rounds))
-	case *avg < 0:
-		fail(fmt.Sprintf("-avg must be >= 0, got %d", *avg))
-	case *keyByte < -1 || *keyByte >= aes.BlockSize:
-		fail(fmt.Sprintf("-keybyte must be in 0..%d (or -1 for the default), got %d", aes.BlockSize-1, *keyByte))
-	}
-
-	key, err := attack.ParseKey(*keyHex)
-	if err != nil {
-		fail(err.Error())
-	}
-	if !*fig3 && !*fig4 {
-		*fig3, *fig4 = true, true
-	}
-	if *fig4 && *keyByte == 0 {
-		fail("-keybyte 0 is not attackable with the Figure 4 model (it needs the preceding store; use 1..15)")
-	}
-
-	if *fig3 {
-		opt := attack.DefaultFig3Options()
-		if *traces > 0 {
-			opt.Traces = *traces
-		}
-		if *keyByte >= 0 {
-			opt.KeyByte = *keyByte
-		}
-		if *rounds > 0 {
-			opt.Rounds = *rounds
-		}
-		if *avg > 0 {
-			opt.Averages = *avg
-		}
-		opt.Workers = ef.Workers
-		opt.Lanes = ef.Lanes
-		opt.Synth = mode
-		res, err := attack.RunFigure3(key, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "aescpa:", err)
-			os.Exit(1)
-		}
-		fmt.Println("=== Figure 3: CPA vs AES on the bare metal, model HW(SubBytes out) ===")
-		fmt.Println("synthesis:", synthDesc(mode, res.Replayed, res.FallbackReason))
-		fmt.Printf("key byte %d: true %#02x, recovered %#02x (rank %d) over %d traces; confidence %.4f\n",
-			res.KeyByte, res.TrueKey, res.Recovered, res.Rank, res.Traces, res.Confidence)
-		fmt.Println("\nprimitive regions and their peak correlation (correct key):")
-		for _, r := range res.Regions {
-			fmt.Printf("  %s\n", r)
-		}
-		fmt.Println("\ncorrelation vs time (correct key), downsampled:")
-		fmt.Print(asciiPlot(res.CorrTrace, res.SamplePeriodUs, 72))
-	}
-
-	if *fig4 {
-		opt := attack.DefaultFig4Options()
-		if *traces > 0 {
-			opt.Traces = *traces
-		}
-		if *keyByte > 0 {
-			opt.KeyByte = *keyByte
-		}
-		if *rounds > 0 {
-			opt.Rounds = *rounds
-		}
-		if *avg > 0 {
-			opt.Averages = *avg
-		}
-		opt.Workers = ef.Workers
-		opt.Lanes = ef.Lanes
-		opt.Synth = mode
-		res, err := attack.RunFigure4(key, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "aescpa:", err)
-			os.Exit(1)
-		}
-		fmt.Println("\n=== Figure 4: CPA vs AES on loaded Linux, model HD(consecutive SubBytes stores) ===")
-		fmt.Println("synthesis:", synthDesc(mode, res.Replayed, res.FallbackReason))
-		fmt.Printf("key byte %d: true %#02x, recovered %#02x (rank %d) over %d averaged-%d traces\n",
-			res.KeyByte, res.TrueKey, res.Recovered, res.Rank, res.Traces, opt.Averages)
-		fmt.Printf("best |r| %.4f vs runner-up %.4f; distinguishing confidence %.4f (paper: > 0.99)\n",
-			res.BestCorr, res.SecondCorr, res.Confidence)
-	}
-}
-
-// synthDesc describes how the traces were synthesized. Only auto mode
-// runs the verification window; forced replay trusts the schedule.
-func synthDesc(mode engine.Mode, replayed bool, reason string) string {
-	switch {
-	case replayed && mode == engine.ModeReplay:
-		return "compiled replay (forced, schedule invariance not verified)"
-	case replayed:
-		return "compiled replay (bit-verified against full simulation)"
-	case reason != "":
-		return "full simulation (replay fell back: " + reason + ")"
-	}
-	return "full simulation"
-}
-
-// asciiPlot renders a |corr|-vs-time sparkline over width columns.
-func asciiPlot(corr []float64, usPerSample float64, width int) string {
-	if len(corr) == 0 {
-		return ""
-	}
-	bins := make([]float64, width)
-	per := (len(corr) + width - 1) / width
-	maxAbs := 0.0
-	for i, v := range corr {
-		b := i / per
-		if b >= width {
-			b = width - 1
-		}
-		if math.Abs(v) > bins[b] {
-			bins[b] = math.Abs(v)
-		}
-		if math.Abs(v) > maxAbs {
-			maxAbs = math.Abs(v)
-		}
-	}
-	if maxAbs == 0 {
-		maxAbs = 1
-	}
-	const rows = 8
-	var sb strings.Builder
-	for r := rows; r >= 1; r-- {
-		fmt.Fprintf(&sb, "%5.2f |", maxAbs*float64(r)/rows)
-		for _, v := range bins {
-			if v/maxAbs*rows >= float64(r)-0.5 {
-				sb.WriteByte('#')
-			} else {
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteByte('\n')
-	}
-	fmt.Fprintf(&sb, "      +%s\n", strings.Repeat("-", width))
-	fmt.Fprintf(&sb, "      0%*s%.1f us\n", width-6, "", float64(len(corr))*usPerSample)
-	return sb.String()
+	os.Exit(scacli.Main("aescpa", os.Args[1:], os.Stdout, os.Stderr))
 }

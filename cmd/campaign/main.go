@@ -20,7 +20,7 @@
 //
 // Usage:
 //
-//	campaign -spec FILE [-out DIR] [-workers W] [-shards S] [-resume] [-quiet]
+//	campaign -spec FILE [-out DIR] [-workers W] [-shards S] [-target T] [-resume] [-quiet]
 //	campaign -results FILE -report            # render Markdown to stdout
 //	campaign -results FILE -update-doc FILE   # splice generated sections
 //	campaign -init-spec                       # print an example spec
@@ -66,6 +66,9 @@ const exampleSpec = `{
 func main() {
 	var ef cliutil.EngineFlags
 	ef.RegisterWorkersUsage(flag.CommandLine, "per-scenario engine workers (0: spec value, else one per core)")
+	var tf cliutil.TargetFlags
+	tf.RegisterTargetUsage(flag.CommandLine,
+		`run only the named cipher target's scenarios ("": the whole spec); surviving scenario IDs and seeds are unchanged`)
 	specPath := flag.String("spec", "", "campaign spec (JSON) to execute")
 	resultsPath := flag.String("results", "", "existing results JSON to render or splice instead of running")
 	outDir := flag.String("out", "out", "output directory for results.json, results.csv, report.md and the checkpoint")
@@ -118,6 +121,11 @@ func main() {
 	spec, err := campaign.LoadSpec(*specPath)
 	if err != nil {
 		fail(err.Error())
+	}
+	if tf.Target != "" {
+		if err := spec.FilterTarget(tf.Target); err != nil {
+			fail(err.Error())
+		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err.Error())

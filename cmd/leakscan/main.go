@@ -8,12 +8,13 @@
 //
 // Usage:
 //
-//	leakscan [-traces N] [-row K] [-order 1|2] [-tvla] [-workers W] [-replay auto|replay|simulate] [-noalign] [-nonopreset] [-scalar]
+//	leakscan [-figure table2|tvla] [-traces N] [-row K] [-order 1|2] [-workers W] [-replay auto|replay|simulate] [-noalign] [-nonopreset] [-scalar]
 //
 // -order 2 scans centered products of sample pairs inside each
 // expression window (second-order CPA; cells are unscored since Table 2
-// is first-order ground truth). -tvla runs the non-specific
-// fixed-vs-random Welch t-test instead of the model-based scan.
+// is first-order ground truth). -figure tvla runs the non-specific
+// fixed-vs-random Welch t-test instead of the model-based scan; the
+// historical -tvla spelling keeps working as a shim.
 package main
 
 import (
@@ -30,10 +31,13 @@ func main() {
 	var ef cliutil.EngineFlags
 	ef.Register(flag.CommandLine)
 	ef.RegisterReplay(flag.CommandLine)
+	var tf cliutil.TargetFlags
+	tf.RegisterFigure(flag.CommandLine,
+		`workload: table2 (model-based CPA scan) or tvla (fixed-vs-random Welch t-test) ("": table2)`)
 	traces := flag.Int("traces", opt.Traces, "acquisitions per benchmark (paper: 100k on hardware)")
 	row := flag.Int("row", 0, "run a single Table 2 row (1..7); 0 runs all")
 	order := flag.Int("order", 1, "CPA combining order: 1 or 2 (centered products)")
-	tvla := flag.Bool("tvla", false, "run the fixed-vs-random Welch t-test instead of the CPA scan")
+	tvla := flag.Bool("tvla", false, "deprecated: use -figure tvla")
 	noAlign := flag.Bool("noalign", false, "ablation: remove the LSU align buffer")
 	noNop := flag.Bool("nonopreset", false, "ablation: nops do not reset the WB bus")
 	scalar := flag.Bool("scalar", false, "ablation: single-issue core")
@@ -41,6 +45,14 @@ func main() {
 
 	if err := ef.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(1)
+	}
+	switch tf.Figure {
+	case "", "table2":
+	case "tvla":
+		*tvla = true
+	default:
+		fmt.Fprintf(os.Stderr, "leakscan: -figure must be table2 or tvla, got %q\n", tf.Figure)
 		os.Exit(1)
 	}
 	if *traces < 8 {

@@ -11,14 +11,18 @@
 //
 // Usage:
 //
-//	maskeval [-gadget naive|separated|dualissue|sbox] [-ctr none|mask|mask+shuffle|...]
+//	maskeval [-figure naive|separated|dualissue|sbox] [-ctr none|mask|mask+shuffle|...]
 //	         [-order 1|2] [-key 0x2b] [-traces N] [-seed S] [-scalar] [-workers W]
+//
+// -figure selects the evaluated gadget schedule; the historical
+// -gadget spelling keeps working as a shim.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/masking"
@@ -34,7 +38,10 @@ func main() {
 	def := masking.DefaultKeyedOptions()
 	var ef cliutil.EngineFlags
 	ef.Register(flag.CommandLine)
-	gadget := flag.String("gadget", def.Schedule, "gadget schedule (naive, separated, dualissue, sbox)")
+	var tf cliutil.TargetFlags
+	tf.RegisterFigure(flag.CommandLine,
+		fmt.Sprintf("evaluated gadget schedule: %s (\"\": %s)", strings.Join(masking.Schedules(), ", "), def.Schedule))
+	gadget := flag.String("gadget", def.Schedule, "deprecated: use -figure")
 	ctrFlag := flag.String("ctr", def.Ctr.String(), `countermeasures: "none" or "+"-joined of mask|shuffle|jitter`)
 	order := flag.Int("order", def.Order, "CPA combining order: 1 or 2 (centered products)")
 	keyFlag := flag.Uint("key", 0x2B, "secret key byte under attack")
@@ -57,6 +64,9 @@ func main() {
 
 	opt := def
 	opt.Schedule = *gadget
+	if tf.Figure != "" {
+		opt.Schedule = tf.Figure
+	}
 	opt.Ctr = ctr
 	opt.Order = *order
 	opt.Key = byte(*keyFlag)

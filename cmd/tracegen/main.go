@@ -1,5 +1,6 @@
-// Command tracegen acquires a set of AES power traces through the
-// simulated measurement chain and writes them — with their plaintexts as
+// Command tracegen acquires a set of power traces for any registered
+// cipher target (-target; default AES) through the simulated
+// measurement chain and writes them — with their plaintexts as
 // auxiliary records — to a binary trace-set file that other tools (or
 // external SCA software) can consume, and/or directly into a chunked
 // on-disk trace store (-store) ready for out-of-core analysis.
@@ -18,7 +19,7 @@
 //
 // Usage:
 //
-//	tracegen [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-replay auto|replay|simulate] [-o traces.bin] [-store DIR] [-store-chunk N]
+//	tracegen [-target T] [-n N] [-rounds R] [-avg A] [-noise] [-workers W] [-replay auto|replay|simulate] [-o traces.bin] [-store DIR] [-store-chunk N]
 package main
 
 import (
@@ -28,13 +29,13 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/aes"
 	"repro/internal/attack"
 	"repro/internal/cliutil"
 	"repro/internal/engine"
 	"repro/internal/osnoise"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/target"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 )
@@ -49,25 +50,31 @@ func main() {
 	ef.Register(flag.CommandLine)
 	ef.RegisterSeed(flag.CommandLine, 1)
 	ef.RegisterReplay(flag.CommandLine)
+	var tf cliutil.TargetFlags
+	tf.RegisterTarget(flag.CommandLine)
 	n := flag.Int("n", 1000, "number of traces")
-	rounds := flag.Int("rounds", 1, "simulated AES rounds")
+	rounds := flag.Int("rounds", 1, "simulated cipher rounds")
 	avg := flag.Int("avg", 4, "per-acquisition averaging")
 	noisy := flag.Bool("noise", false, "acquire under the loaded-Linux environment")
 	out := flag.String("o", "traces.bin", "output trace-set file (\"\" to skip)")
 	storeDir := flag.String("store", "", "also write a chunked trace store into this directory")
 	storeChunk := flag.Int("store-chunk", 0, "traces per store chunk (0: default)")
-	keyHex := flag.String("key", "", "AES-128 key as 32 hex digits (default: FIPS SP800-38A key)")
+	keyHex := flag.String("key", "", "attacked key in hex (default: the target's default key)")
 	flag.Parse()
 
 	if err := ef.Finish(); err != nil {
+		fail(err.Error())
+	}
+	info, err := tf.FinishTarget()
+	if err != nil {
 		fail(err.Error())
 	}
 	mode := ef.Mode
 	switch {
 	case *n < 0:
 		fail(fmt.Sprintf("-n must be >= 0, got %d", *n))
-	case *rounds < 1 || *rounds > aes.Rounds:
-		fail(fmt.Sprintf("-rounds must be in 1..%d, got %d", aes.Rounds, *rounds))
+	case *rounds < 1 || *rounds > info.MaxRounds:
+		fail(fmt.Sprintf("-rounds must be in 1..%d for %s, got %d", info.MaxRounds, info.Name, *rounds))
 	case *avg < 1:
 		fail(fmt.Sprintf("-avg must be >= 1, got %d", *avg))
 	case *out == "" && *storeDir == "":
@@ -76,16 +83,21 @@ func main() {
 		fail(fmt.Sprintf("-store-chunk must be >= 0, got %d", *storeChunk))
 	}
 
-	key, err := attack.ParseKey(*keyHex)
+	key, err := info.ParseKey(*keyHex)
 	if err != nil {
 		fail(err.Error())
 	}
 
-	tgt, err := aes.NewTarget(pipeline.DefaultConfig(), key, aes.ProgramOptions{Rounds: *rounds, PadNops: 8})
+	tgt, err := target.Get(tf.Target)
 	if err != nil {
 		fail(err.Error())
 	}
-	synth, err := engine.NewSynthesizer(mode, pipeline.DefaultConfig(), tgt.Program())
+	cfg := pipeline.DefaultConfig()
+	inst, err := tgt.New(cfg, key, *rounds, 8)
+	if err != nil {
+		fail(err.Error())
+	}
+	synth, err := engine.NewSynthesizer(mode, cfg, inst.Program())
 	if err != nil {
 		fail(err.Error())
 	}
@@ -95,10 +107,9 @@ func main() {
 		env = osnoise.LoadedLinux()
 	}
 
-	cal, _, err := tgt.Run([16]byte{})
+	cal, err := target.Run(inst, cfg, make([]byte, info.BlockSize))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fail(err.Error())
 	}
 	samples := len(cal.Timeline) * model.SamplesPerCycle
 
@@ -124,7 +135,7 @@ func main() {
 	var stw *tracestore.Writer
 	if err == nil && *storeDir != "" {
 		stw, err = tracestore.Create(*storeDir, tracestore.Options{
-			Samples: samples, AuxLen: aes.BlockSize, ChunkTraces: *storeChunk,
+			Samples: samples, AuxLen: info.BlockSize, ChunkTraces: *storeChunk,
 		})
 		if err == nil {
 			defer stw.Close() // after Commit: no-op; on error: recoverable prefix
@@ -147,13 +158,13 @@ func main() {
 	// file is byte-identical for every -lanes and -workers value.
 	if err == nil && *n > 0 {
 		scalar := func(i int, rng *rand.Rand) (trace.Trace, []byte, error) {
-			var pt [16]byte
-			rng.Read(pt[:])
+			pt := make([]byte, info.BlockSize)
+			rng.Read(pt)
 			var tr trace.Trace
 			err := synth.Run(
-				func(core *pipeline.Core) { tgt.InitCore(core, pt) },
+				func(core *pipeline.Core) { inst.InitCore(core, pt) },
 				func(tl pipeline.Timeline, core *pipeline.Core) error {
-					if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+					if err := inst.VerifyOutput(core.Mem(), pt); err != nil {
 						return err
 					}
 					tr = env.Acquire(tl, &model, rng, *avg)
@@ -162,22 +173,20 @@ func main() {
 			if err != nil {
 				return nil, nil, err
 			}
-			return tr, pt[:], nil
+			return tr, pt, nil
 		}
 		bs := engine.BatchStream{
 			Synth: synth,
 			Model: &model,
 			Lanes: ef.Lanes,
 			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core) ([]byte, error) {
-				var pt [16]byte
-				rng.Read(pt[:])
-				tgt.InitCore(core, pt)
-				return pt[:], nil
+				pt := make([]byte, info.BlockSize)
+				rng.Read(pt)
+				inst.InitCore(core, pt)
+				return pt, nil
 			},
 			Acquire: func(i int, rng *rand.Rand, cycles []float64, core *pipeline.Core, aux []byte) (trace.Trace, error) {
-				var pt [16]byte
-				copy(pt[:], aux)
-				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
+				if err := inst.VerifyOutput(core.Mem(), aux); err != nil {
 					return nil, err
 				}
 				return env.AcquireCycles(cycles, &model, rng, *avg), nil
@@ -217,6 +226,6 @@ func main() {
 	if stw != nil {
 		fmt.Printf("committed %d traces x %d samples to store %s\n", *n, samples, *storeDir)
 	}
-	fmt.Printf("clock %g MHz, %d samples/cycle; aux record = 16-byte plaintext\n",
-		attack.ClockMHz, model.SamplesPerCycle)
+	fmt.Printf("clock %g MHz, %d samples/cycle; aux record = %d-byte plaintext\n",
+		attack.ClockMHz, model.SamplesPerCycle, info.BlockSize)
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/sca"
+	"repro/internal/target"
 )
 
 // ClockMHz is the target clock of the paper's setup: the Allwinner A20
@@ -97,6 +98,9 @@ func DefaultFig3Options() Fig3Options {
 
 // Fig3Result is the outcome of the bare-metal CPA.
 type Fig3Result struct {
+	// Target is the attacked cipher's registry name ("aes" for the
+	// paper's own workload).
+	Target string
 	// KeyByte is the attacked byte index; TrueKey its true value;
 	// Recovered the top-ranked hypothesis.
 	KeyByte   int
@@ -131,177 +135,12 @@ type Fig3Result struct {
 func (r *Fig3Result) Success() bool { return r.Recovered == r.TrueKey }
 
 // RunFigure3 performs the §5 bare-metal attack: CPA with the
-// non-microarchitecture-aware model HW(SubBytes output byte). Trace
-// synthesis fans out across opt.Workers cores; the streaming-CPA
-// accumulators keep memory bounded regardless of opt.Traces.
+// non-microarchitecture-aware model HW(SubBytes output byte). It is
+// the AES special case of RunCPA — trace synthesis fans out across
+// opt.Workers cores; the streaming-CPA accumulators keep memory
+// bounded regardless of opt.Traces.
 func RunFigure3(key [aes.KeySize]byte, opt Fig3Options) (*Fig3Result, error) {
-	if opt.Traces < 8 {
-		return nil, fmt.Errorf("attack: need at least 8 traces, got %d", opt.Traces)
-	}
-	if opt.KeyByte < 0 || opt.KeyByte >= aes.BlockSize {
-		return nil, fmt.Errorf("attack: key byte %d out of range", opt.KeyByte)
-	}
-	if err := opt.Model.Validate(); err != nil {
-		return nil, err
-	}
-	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
-	if err != nil {
-		return nil, err
-	}
-	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
-	if err != nil {
-		return nil, err
-	}
-
-	// Calibration run fixes the trace length and the region windows
-	// (timing is input-independent).
-	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
-	if err != nil {
-		return nil, err
-	}
-	spc := opt.Model.SamplesPerCycle
-	nSamples := len(calRes.Timeline) * spc
-	usPerSample := 1.0 / (ClockMHz * float64(spc))
-
-	var regions []RegionWindow
-	for _, reg := range tgt.Layout().Regions {
-		first, last, ok := aes.IssueCycleRange(calRes, reg.Start, reg.End)
-		if !ok {
-			continue
-		}
-		regions = append(regions, RegionWindow{
-			Name: reg.Name, Round: reg.Round,
-			FirstSample: int(first) * spc, LastSample: int(last)*spc + spc,
-			StartUs: float64(first) * float64(spc) * usPerSample,
-			EndUs:   float64(last+1) * float64(spc) * usPerSample,
-		})
-	}
-
-	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed},
-		fig3BatchGen(tgt, synth, opt))
-	if err != nil {
-		return nil, err
-	}
-	cpa := banks[0]
-
-	att := cpa.Result()
-	trueKey := key[opt.KeyByte]
-	out := &Fig3Result{
-		KeyByte:        opt.KeyByte,
-		TrueKey:        trueKey,
-		Recovered:      byte(att.Ranking[0]),
-		Rank:           att.RankOf(int(trueKey)),
-		CorrTrace:      cpa.CorrTrace(int(trueKey)),
-		SamplePeriodUs: usPerSample,
-		Confidence:     att.DistinguishConfidence(),
-		Traces:         opt.Traces,
-		Replayed:       opt.Synth != engine.ModeSimulate && !synth.FellBack(),
-		Batched:        synth.BatchRuns() > 0,
-		FallbackReason: synth.FallbackReason(),
-	}
-	for i := range regions {
-		reg := &regions[i]
-		best, bestS := 0.0, reg.FirstSample
-		for s := reg.FirstSample; s < reg.LastSample && s < nSamples; s++ {
-			if r := out.CorrTrace[s]; abs(r) > abs(best) {
-				best, bestS = r, s
-			}
-		}
-		reg.PeakCorr = best
-		reg.PeakSampleUs = float64(bestS) * usPerSample
-	}
-	out.Regions = regions
-	return out, nil
-}
-
-// fig3ClassTable is the Figure 3 model as a class table: the model
-// input is the attacked plaintext byte p, and class p predicts
-// HW(SubBytes(p ^ k)) for every hypothesis k. Computed once per
-// process — the table is immutable and shared.
-var fig3ClassTable = func() [][]float64 {
-	t := make([][]float64, 256)
-	for p := range t {
-		t[p] = make([]float64, 256)
-		for k := range t[p] {
-			t[p][k] = float64(sca.HW8(aes.SubBytesOut(byte(p), byte(k))))
-		}
-	}
-	return t
-}()
-
-// fig3Banks returns n conditional-sum banks of the Figure 3 model —
-// one per attacked key byte, all sharing the class table.
-func fig3Banks(n int) []engine.Bank {
-	banks := make([]engine.Bank, n)
-	for b := range banks {
-		banks[b] = engine.Bank{Hyps: 256, Classes: fig3ClassTable}
-	}
-	return banks
-}
-
-// fig3Generate synthesizes one bare-metal acquisition and reports the
-// attacked plaintext byte as the trace's model-input class (the
-// HW(SubBytes out) predictions live in the bank's class table). Each
-// trace's plaintext and noise come from its private rng, so the
-// acquisition is identical no matter which worker runs it. The timeline
-// comes from the synthesizer — compiled replay on the hot path — and
-// every run's output is still checked against the functional reference.
-func fig3Generate(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.Generate {
-	return func(i int, rng *rand.Rand, s *engine.Sample) error {
-		var pt [aes.BlockSize]byte
-		rng.Read(pt[:])
-		err := synth.Run(
-			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
-			func(tl pipeline.Timeline, core *pipeline.Core) error {
-				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
-					return err
-				}
-				s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
-				return nil
-			})
-		if err != nil {
-			return err
-		}
-		s.Class[0] = int(pt[opt.KeyByte])
-		return nil
-	}
-}
-
-// fig3BatchGen is fig3Generate split for the lane-parallel path: the
-// plaintext draw, core initialization and class report happen in
-// Prepare (the plaintext rides in s.Aux); the functional check runs per
-// lane after the batch replay, and the engine's fused batch expansion
-// (Averages) turns the whole lane block into traces in one pass —
-// bit-identical to the scalar generator, since each trace's stream
-// draws the plaintext then the noise exactly as before.
-func fig3BatchGen(tgt *aes.Target, synth *engine.Synthesizer, opt Fig3Options) engine.BatchGen {
-	avg := opt.Averages
-	if avg < 1 {
-		avg = 1 // the scalar expansion clamps identically
-	}
-	return engine.BatchGen{
-		Synth:    synth,
-		Model:    &opt.Model,
-		Lanes:    opt.Lanes,
-		Averages: avg,
-		Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
-			var pt [aes.BlockSize]byte
-			rng.Read(pt[:])
-			s.Aux = append(s.Aux[:0], pt[:]...)
-			tgt.InitCore(core, pt)
-			s.Class[0] = int(pt[opt.KeyByte])
-			return nil
-		},
-		Verify: func(i int, core *pipeline.Core, s *engine.Sample) error {
-			var pt [aes.BlockSize]byte
-			copy(pt[:], s.Aux)
-			_, err := tgt.VerifyOutput(core.Mem(), pt)
-			return err
-		},
-		Scalar: fig3Generate(tgt, synth, opt),
-	}
+	return RunCPA(target.Default, key[:], opt)
 }
 
 func abs(x float64) float64 {

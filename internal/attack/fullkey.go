@@ -1,14 +1,9 @@
 package attack
 
 import (
-	"fmt"
-	"math/rand"
-	"slices"
-
 	"repro/internal/aes"
-	"repro/internal/engine"
-	"repro/internal/pipeline"
 	"repro/internal/sca"
+	"repro/internal/target"
 )
 
 // FullKeyResult is the outcome of attacking all sixteen first-round key
@@ -46,130 +41,22 @@ func (r *FullKeyResult) GuessingEntropy() float64 {
 // RecoverFullKey runs sixteen parallel CPA instances — one per key byte,
 // each with the Figure 3 model — over one shared stream of acquisitions,
 // recovering the complete first-round key. This is the practical endgame
-// of the paper's §5 attack. Each synthesized trace feeds all sixteen
-// accumulator banks, so the trace set is never materialized.
+// of the paper's §5 attack, and the AES special case of RecoverKey.
 func RecoverFullKey(key [aes.KeySize]byte, opt Fig3Options) (*FullKeyResult, error) {
-	if opt.Traces < 8 {
-		return nil, fmt.Errorf("attack: need at least 8 traces, got %d", opt.Traces)
-	}
-	if err := opt.Model.Validate(); err != nil {
-		return nil, err
-	}
-	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
+	rec, err := RecoverKey(target.Default, key[:], opt)
 	if err != nil {
 		return nil, err
 	}
-	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
-	if err != nil {
-		return nil, err
-	}
-
-	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
-	if err != nil {
-		return nil, err
-	}
-	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
-
-	scalar := func(i int, rng *rand.Rand, s *engine.Sample) error {
-		var pt [aes.BlockSize]byte
-		rng.Read(pt[:])
-		err := synth.Run(
-			func(core *pipeline.Core) { tgt.InitCore(core, pt) },
-			func(tl pipeline.Timeline, core *pipeline.Core) error {
-				if _, err := tgt.VerifyOutput(core.Mem(), pt); err != nil {
-					return err
-				}
-				s.Trace, s.Scratch = opt.Model.SynthesizeAveragedInto(s.Trace, s.Scratch, tl, rng, opt.Averages)
-				return nil
-			})
-		if err != nil {
-			return err
-		}
-		for b := 0; b < aes.BlockSize; b++ {
-			s.Class[b] = int(pt[b])
-		}
-		return nil
-	}
-	banks, err := engine.RunBatched(
-		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
-		engine.Spec{Traces: opt.Traces, Samples: nSamples, Banks: fig3Banks(aes.BlockSize), Seed: opt.Seed},
-		engine.BatchGen{
-			Synth:    synth,
-			Model:    &opt.Model,
-			Lanes:    opt.Lanes,
-			Averages: max(opt.Averages, 1), // the scalar expansion clamps identically
-			Prepare: func(i int, rng *rand.Rand, core *pipeline.Core, s *engine.Sample) error {
-				var pt [aes.BlockSize]byte
-				rng.Read(pt[:])
-				s.Aux = append(s.Aux[:0], pt[:]...)
-				tgt.InitCore(core, pt)
-				for b := 0; b < aes.BlockSize; b++ {
-					s.Class[b] = int(pt[b])
-				}
-				return nil
-			},
-			Verify: func(i int, core *pipeline.Core, s *engine.Sample) error {
-				var pt [aes.BlockSize]byte
-				copy(pt[:], s.Aux)
-				_, err := tgt.VerifyOutput(core.Mem(), pt)
-				return err
-			},
-			Scalar: scalar,
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	out := &FullKeyResult{Key: key, Traces: opt.Traces}
-	for b := 0; b < aes.BlockSize; b++ {
-		att := banks[b].Result()
-		out.Recovered[b] = byte(att.Ranking[0])
-		out.Ranks[b] = att.RankOf(int(key[b]))
-	}
+	out := &FullKeyResult{Traces: rec.Traces}
+	copy(out.Key[:], rec.Key)
+	copy(out.Recovered[:], rec.Recovered)
+	copy(out.Ranks[:], rec.Ranks)
 	return out, nil
 }
 
-// RankEvolution attacks one key byte at increasing trace counts and
+// RankEvolution attacks one AES key byte at increasing trace counts and
 // returns the rank curve — the attack-efficiency plot complementing
-// Figure 3. The counts become checkpoints of a single streaming run, so
-// the trace stream is synthesized exactly once.
+// Figure 3. It is the AES special case of RankEvolutionFor.
 func RankEvolution(key [aes.KeySize]byte, opt Fig3Options, counts []int) (*sca.RankCurve, error) {
-	if len(counts) == 0 {
-		return nil, fmt.Errorf("attack: no trace counts")
-	}
-	sorted := append([]int(nil), counts...)
-	slices.Sort(sorted)
-	sorted = slices.Compact(sorted)
-	max := sorted[len(sorted)-1]
-	tgt, err := aes.NewTarget(opt.Core, key, aes.ProgramOptions{Rounds: opt.Rounds, PadNops: 8})
-	if err != nil {
-		return nil, err
-	}
-	synth, err := engine.NewSynthesizer(opt.Synth, opt.Core, tgt.Program())
-	if err != nil {
-		return nil, err
-	}
-	calRes, _, err := tgt.Run([aes.BlockSize]byte{})
-	if err != nil {
-		return nil, err
-	}
-	nSamples := len(calRes.Timeline) * opt.Model.SamplesPerCycle
-
-	curve := &sca.RankCurve{}
-	_, err = engine.RunBatched(
-		engine.Config{Workers: opt.Workers, Ctx: opt.Ctx, Gate: opt.Gate},
-		engine.Spec{
-			Traces: max, Samples: nSamples, Banks: fig3Banks(1), Seed: opt.Seed,
-			Checkpoints: sorted,
-			OnCheckpoint: func(n int, banks []sca.Accumulator) {
-				att := banks[0].Result()
-				curve.TraceCounts = append(curve.TraceCounts, n)
-				curve.Ranks = append(curve.Ranks, att.RankOf(int(key[opt.KeyByte])))
-			},
-		},
-		fig3BatchGen(tgt, synth, opt))
-	if err != nil {
-		return nil, err
-	}
-	return curve, nil
+	return RankEvolutionFor(target.Default, key[:], opt, counts)
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/engine"
+	"repro/internal/target"
 )
 
 // DefaultKey is the AES-128 key attacked when a request names none: the
@@ -50,6 +51,12 @@ const (
 type Request struct {
 	// Figure selects the workload: fig3, fig4, fullkey or rankevo.
 	Figure string `json:"figure"`
+	// Target is the attacked cipher's registry name. Normalization
+	// canonicalizes the AES default to the absent spelling — "aes",
+	// "" and a pre-registry request all digest identically — and any
+	// other name to the registry spelling. Fig4's model is AES-specific;
+	// the other figures accept every registered target.
+	Target string `json:"target,omitempty"`
 	// Traces is the acquisition count (0: per-figure default; must stay
 	// 0 for rankevo, which derives it from Counts).
 	Traces int `json:"traces,omitempty"`
@@ -84,6 +91,16 @@ type Request struct {
 // sorted. Two requests that normalize equal compute bit-identical
 // results; the normalized form is what services digest for caching.
 func (r *Request) Normalize() error {
+	name := target.Resolve(r.Target)
+	tgt, err := target.Get(name)
+	if err != nil {
+		return err
+	}
+	info := tgt.Info()
+	r.Target = target.Canon(name)
+	if r.Target != "" && r.Figure == FigureFig4 {
+		return fmt.Errorf("attack: figure fig4's model is AES-specific; target %s supports fig3, fullkey and rankevo", name)
+	}
 	switch r.Figure {
 	case FigureFig3, FigureFullKey, FigureRankEvo:
 		def := DefaultFig3Options()
@@ -94,7 +111,13 @@ func (r *Request) Normalize() error {
 			r.Averages = def.Averages
 		}
 		if r.Rounds == 0 {
-			r.Rounds = def.Rounds
+			// The AES default round count is the Fig3Options default; a
+			// non-AES target truncates at its own registry depth.
+			if r.Target == "" {
+				r.Rounds = def.Rounds
+			} else {
+				r.Rounds = info.DefaultRounds
+			}
 		}
 	case FigureFig4:
 		def := DefaultFig4Options()
@@ -116,11 +139,19 @@ func (r *Request) Normalize() error {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
-	key, err := ParseKey(r.Key)
-	if err != nil {
-		return err
+	if r.Target == "" {
+		key, err := ParseKey(r.Key)
+		if err != nil {
+			return err
+		}
+		r.Key = hex.EncodeToString(key[:])
+	} else {
+		k, err := info.ParseKey(r.Key)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		r.Key = hex.EncodeToString(k)
 	}
-	r.Key = hex.EncodeToString(key[:])
 	if r.Synth == "" {
 		r.Synth = engine.ModeAuto.String()
 	}
@@ -152,9 +183,9 @@ func (r *Request) Normalize() error {
 		return fmt.Errorf("attack: need at least 8 traces, got %d", r.Traces)
 	case r.Averages < 1:
 		return fmt.Errorf("attack: averages must be >= 1, got %d", r.Averages)
-	case r.Rounds < 1 || r.Rounds > aes.Rounds:
-		return fmt.Errorf("attack: rounds must be in 1..%d, got %d", aes.Rounds, r.Rounds)
-	case r.KeyByte < 0 || r.KeyByte >= aes.BlockSize:
+	case r.Rounds < 1 || r.Rounds > info.MaxRounds:
+		return fmt.Errorf("attack: rounds must be in 1..%d, got %d", info.MaxRounds, r.Rounds)
+	case r.KeyByte < 0 || r.KeyByte >= info.AttackBytes:
 		return fmt.Errorf("attack: key byte %d out of range", r.KeyByte)
 	case r.Figure == FigureFig4 && r.KeyByte == 0:
 		return fmt.Errorf("attack: key byte 0 is not attackable with the Figure 4 model (it needs the preceding store)")
@@ -214,7 +245,10 @@ type RankEvoJSON struct {
 // environment's Core/Model), never of scheduling — responses to equal
 // requests are byte-identical.
 type Response struct {
-	Figure   string `json:"figure"`
+	Figure string `json:"figure"`
+	// Target echoes the request's canonical target spelling — absent for
+	// the AES default, so pre-registry responses are byte-unchanged.
+	Target   string `json:"target,omitempty"`
 	Traces   int    `json:"traces"`
 	Averages int    `json:"averages"`
 	Seed     int64  `json:"seed"`
@@ -258,12 +292,15 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 	if err := r.Normalize(); err != nil {
 		return nil, err
 	}
-	key, err := ParseKey(r.Key)
+	// The normalized key is always spelled out in full lowercase hex.
+	rawKey, err := hex.DecodeString(r.Key)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("attack: key must be hex: %w", err)
 	}
+	name := target.Resolve(r.Target)
 	out := &Response{
 		Figure:   r.Figure,
+		Target:   r.Target,
 		Traces:   r.Traces,
 		Averages: r.Averages,
 		Seed:     r.Seed,
@@ -271,7 +308,7 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 	}
 	switch r.Figure {
 	case FigureFig3:
-		res, err := RunFigure3(key, r.fig3Options(env))
+		res, err := RunCPA(name, rawKey, r.fig3Options(env))
 		if err != nil {
 			return nil, err
 		}
@@ -309,6 +346,8 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 		opt.Ctx = env.Ctx
 		opt.Gate = env.Gate
 		opt.Synth, _ = engine.ParseMode(r.Synth)
+		var key [aes.KeySize]byte
+		copy(key[:], rawKey)
 		res, err := RunFigure4(key, opt)
 		if err != nil {
 			return nil, err
@@ -325,20 +364,20 @@ func (r *Request) Run(env engine.RunEnv) (*Response, error) {
 			Confidence: res.Confidence,
 		}
 	case FigureFullKey:
-		res, err := RecoverFullKey(key, r.fig3Options(env))
+		res, err := RecoverKey(name, rawKey, r.fig3Options(env))
 		if err != nil {
 			return nil, err
 		}
 		out.FullKey = &FullKeyJSON{
-			Key:             hex.EncodeToString(res.Key[:]),
-			Recovered:       hex.EncodeToString(res.Recovered[:]),
+			Key:             hex.EncodeToString(res.Key),
+			Recovered:       hex.EncodeToString(res.Recovered),
 			BytesRecovered:  res.BytesRecovered(),
-			Ranks:           append([]int(nil), res.Ranks[:]...),
+			Ranks:           append([]int(nil), res.Ranks...),
 			GuessingEntropy: res.GuessingEntropy(),
 			Success:         res.Success(),
 		}
 	case FigureRankEvo:
-		curve, err := RankEvolution(key, r.fig3Options(env), r.Counts)
+		curve, err := RankEvolutionFor(name, rawKey, r.fig3Options(env), r.Counts)
 		if err != nil {
 			return nil, err
 		}

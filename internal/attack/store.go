@@ -12,7 +12,7 @@ import (
 // entry [p][k] is HW(SubBytes(p ^ k)), hypothesis k's predicted leakage
 // when the attacked plaintext byte is p. The table is immutable —
 // callers must not modify it.
-func Fig3ClassTable() [][]float64 { return fig3ClassTable }
+func Fig3ClassTable() [][]float64 { return aes.SubBytesClassTable() }
 
 // StoreCPAOptions configures an out-of-core CPA over a trace store.
 type StoreCPAOptions struct {
@@ -73,7 +73,7 @@ func RunStoreCPA(s *tracestore.Store, opt StoreCPAOptions) (*StoreCPAResult, err
 		return nil, fmt.Errorf("attack: store aux records are %d bytes; CPA needs the %d-byte plaintext",
 			s.AuxLen(), aes.BlockSize)
 	}
-	cpa := sca.MustNewClassCPA(s.Samples(), fig3ClassTable)
+	cpa := sca.MustNewClassCPA(s.Samples(), aes.SubBytesClassTable())
 	var classes []int
 	stats, err := s.EachChunk(func(cd *tracestore.ChunkData) error {
 		classes = classes[:0]

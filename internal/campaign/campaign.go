@@ -9,7 +9,11 @@
 // space), the workload itself (Table 1 CPI matrix, Figure 2 inference,
 // the seven Table 2 leakage benchmarks, the Figure 3/4 AES attacks,
 // full-key recovery, rank evolution), and the acquisition parameters
-// (trace count, averaging, noise sigma, trace-synthesis mode). Run
+// (trace count, averaging, noise sigma, trace-synthesis mode). The
+// fig3-model attack kinds additionally sweep a cipher-target axis over
+// the internal/target registry (AES, PRESENT, Speck64/128, ChaCha20),
+// spelled absent for the AES default so pre-registry scenario IDs and
+// seeds are unchanged. Run
 // executes the enumeration over the existing engine worker pool,
 // checkpointing each finished scenario; Results serialize to canonical
 // JSON/CSV and render to Markdown.
@@ -36,6 +40,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/leakscan"
 	"repro/internal/masking"
+	"repro/internal/target"
 )
 
 // Kind names one workload family a scenario can execute.
@@ -120,6 +125,13 @@ type Workload struct {
 	// "simulate"); empty means ["auto"]. Ignored by table1/figure2,
 	// which measure cycle counts, not traces.
 	Synth []string `json:"synth,omitempty"`
+	// Targets lists cipher registry names to sweep for the fig3-model
+	// attack kinds (fig3/fullkey/rankevo); empty means the AES paper
+	// target. "aes" canonicalizes to the absent spelling, so listing it
+	// explicitly reproduces the pre-registry scenario byte-for-byte.
+	// Non-AES targets attack the cipher's registry default key — the
+	// spec-level Key field is AES-only.
+	Targets []string `json:"targets,omitempty"`
 	// Averages is the per-acquisition averaging factor (0: workload
 	// default — 16 for table2/fig4, 4 for fig3-family).
 	Averages int `json:"averages,omitempty"`
@@ -294,6 +306,31 @@ func (s *Spec) Validate() error {
 		}
 		if w.Kind == KindTVLA && w.Confidence != 0 {
 			return fmt.Errorf("campaign: workload %d (tvla): the t-test uses the fixed |t| > %g threshold; remove confidence", wi, leakscan.TVLAThreshold)
+		}
+		switch w.Kind {
+		case KindFig3, KindFullKey, KindRankEvo:
+			seenTgt := map[string]bool{}
+			for _, tn := range w.Targets {
+				tgt, err := target.Get(target.Resolve(tn))
+				if err != nil {
+					return fmt.Errorf("campaign: workload %d (%s): %w", wi, w.Kind, err)
+				}
+				info := tgt.Info()
+				if seenTgt[info.Name] {
+					return fmt.Errorf("campaign: workload %d (%s): target %q listed twice", wi, w.Kind, info.Name)
+				}
+				seenTgt[info.Name] = true
+				if w.Rounds > info.MaxRounds {
+					return fmt.Errorf("campaign: workload %d (%s): rounds %d exceeds %s's %d", wi, w.Kind, w.Rounds, info.Name, info.MaxRounds)
+				}
+				if w.KeyByte >= info.AttackBytes {
+					return fmt.Errorf("campaign: workload %d (%s): key byte %d outside %s's [0,%d)", wi, w.Kind, w.KeyByte, info.Name, info.AttackBytes)
+				}
+			}
+		default:
+			if len(w.Targets) > 0 {
+				return fmt.Errorf("campaign: workload %d (%s): targets apply to fig3/fullkey/rankevo only", wi, w.Kind)
+			}
 		}
 		if w.Kind == KindMaskCPA {
 			gadgets, ctrs, orders := w.maskAxes()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/leakscan"
 	"repro/internal/masking"
+	"repro/internal/target"
 )
 
 // Execute runs one scenario to completion and returns its structured
@@ -34,6 +35,7 @@ func ExecuteContext(ctx context.Context, sc *Scenario, key [aes.KeySize]byte, wo
 		ID:       sc.ID,
 		Kind:     sc.Kind,
 		Ablation: sc.Ablation.Name,
+		Target:   sc.Target,
 		Seed:     sc.Seed,
 	}
 	ex := execEnv{ctx: ctx, workers: workers, lanes: lanes, gate: gate}
@@ -231,9 +233,34 @@ func (sc *Scenario) fig3Options(ex execEnv) attack.Fig3Options {
 	return opt
 }
 
+// attackCipher resolves the fig3-family scenario's cipher target: the
+// campaign key for the AES default, the registry default key otherwise
+// (Spec.Key is AES-only by contract). For a non-AES target it also
+// substitutes the cipher's own default round count when the scenario
+// does not pin one, since opt's default is the AES depth.
+func (sc *Scenario) attackCipher(key [aes.KeySize]byte, opt *attack.Fig3Options) (string, []byte, error) {
+	name := target.Resolve(sc.Target)
+	if name == target.Default {
+		return name, key[:], nil
+	}
+	tgt, err := target.Get(name)
+	if err != nil {
+		return "", nil, err
+	}
+	info := tgt.Info()
+	if sc.Rounds == 0 {
+		opt.Rounds = info.DefaultRounds
+	}
+	return name, info.DefaultKey, nil
+}
+
 func execFig3(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
 	opt := sc.fig3Options(ex)
-	res, err := attack.RunFigure3(key, opt)
+	name, tkey, err := sc.attackCipher(key, &opt)
+	if err != nil {
+		return err
+	}
+	res, err := attack.RunCPA(name, tkey, opt)
 	if err != nil {
 		return err
 	}
@@ -308,16 +335,20 @@ func execFig4(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execE
 
 func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
 	opt := sc.fig3Options(ex)
-	res, err := attack.RecoverFullKey(key, opt)
+	name, tkey, err := sc.attackCipher(key, &opt)
+	if err != nil {
+		return err
+	}
+	res, err := attack.RecoverKey(name, tkey, opt)
 	if err != nil {
 		return err
 	}
 	out.FullKey = &FullKeyResult{
 		Traces:          res.Traces,
-		Key:             hex.EncodeToString(res.Key[:]),
-		Recovered:       hex.EncodeToString(res.Recovered[:]),
+		Key:             hex.EncodeToString(res.Key),
+		Recovered:       hex.EncodeToString(res.Recovered),
 		BytesRecovered:  res.BytesRecovered(),
-		Ranks:           append([]int(nil), res.Ranks[:]...),
+		Ranks:           append([]int(nil), res.Ranks...),
 		GuessingEntropy: res.GuessingEntropy(),
 		Success:         res.Success(),
 	}
@@ -327,7 +358,11 @@ func execFullKey(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex ex
 
 func execRankEvo(sc *Scenario, out *ScenarioResult, key [aes.KeySize]byte, ex execEnv) error {
 	opt := sc.fig3Options(ex)
-	curve, err := attack.RankEvolution(key, opt, sc.Counts)
+	name, tkey, err := sc.attackCipher(key, &opt)
+	if err != nil {
+		return err
+	}
+	curve, err := attack.RankEvolutionFor(name, tkey, opt, sc.Counts)
 	if err != nil {
 		return err
 	}
@@ -437,8 +472,16 @@ func execTVLA(sc *Scenario, out *ScenarioResult, ex execEnv) error {
 
 // Headline summarizes a result in one line — the headline metric of its
 // kind — shared by progress logs, the summary report table and
-// cmd/campaign's recap.
+// cmd/campaign's recap. Non-AES attack targets are named; the AES
+// default keeps its pre-registry spelling.
 func (sr *ScenarioResult) Headline() string {
+	if sr.Target != "" {
+		return sr.Target + " " + sr.headline()
+	}
+	return sr.headline()
+}
+
+func (sr *ScenarioResult) headline() string {
 	switch {
 	case sr.Table1 != nil:
 		return fmt.Sprintf("Table 1 agreement %d/%d", sr.Table1.Match, sr.Table1.Total)
@@ -451,7 +494,7 @@ func (sr *ScenarioResult) Headline() string {
 	case sr.Fig4 != nil:
 		return fmt.Sprintf("Fig 4 key byte %d rank %d (conf %.4f)", sr.Fig4.KeyByte, sr.Fig4.Rank, sr.Fig4.Confidence)
 	case sr.FullKey != nil:
-		return fmt.Sprintf("full key %d/16 bytes", sr.FullKey.BytesRecovered)
+		return fmt.Sprintf("full key %d/%d bytes", sr.FullKey.BytesRecovered, len(sr.FullKey.Ranks))
 	case sr.RankEvo != nil:
 		if sr.RankEvo.FirstSuccess < 0 {
 			return "rank evolution: key never recovered"

@@ -191,7 +191,10 @@ type ScenarioResult struct {
 	ID       string `json:"id"`
 	Kind     Kind   `json:"kind"`
 	Ablation string `json:"ablation"`
-	Seed     int64  `json:"seed"`
+	// Target is the attacked cipher in canonical spelling — absent for
+	// the AES default, so every pre-registry result is byte-unchanged.
+	Target string `json:"target,omitempty"`
+	Seed   int64  `json:"seed"`
 	// Traces/Averages/NoiseSigma/Synth record the resolved acquisition
 	// point after defaults were applied (all zero for the cycle-count
 	// kinds, which have no acquisition axes).

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/masking"
+	"repro/internal/target"
 )
 
 // Scenario is one fully resolved experiment: a workload kind under one
@@ -37,6 +38,11 @@ type Scenario struct {
 	NoiseSigma float64
 	// Synth is the trace-synthesis mode.
 	Synth engine.Mode
+	// Target is the attacked cipher in canonical spelling: the empty
+	// string for the AES default (kept absent so pre-registry scenario
+	// IDs, seeds and checkpoints are unchanged), the registry name
+	// otherwise. Fig3/fullkey/rankevo only.
+	Target string
 	// KeyByte, Rounds, Reps, Rows, Counts, Confidence carry the
 	// remaining workload knobs (see Workload).
 	KeyByte    int
@@ -74,7 +80,7 @@ type maskPoint struct {
 // scenarioID renders the canonical identifier from the axes that
 // distinguish the scenario. Axis order and spellings are frozen: IDs
 // feed checkpoint matching and seed derivation.
-func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth engine.Mode, mp maskPoint) string {
+func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth engine.Mode, mp maskPoint, tgt string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s/ablation=%s", k, ab)
 	if k != KindTable1 && k != KindFigure2 {
@@ -113,6 +119,11 @@ func scenarioID(k Kind, ab string, w *Workload, traces int, sigma float64, synth
 			fmt.Fprintf(&sb, "/conf=%s", strconv.FormatFloat(w.Confidence, 'g', -1, 64))
 		}
 	case KindFig3, KindFig4, KindFullKey, KindRankEvo:
+		// The AES default is spelled absent, so every pre-registry ID —
+		// and therefore every derived seed — is byte-unchanged.
+		if tgt != "" {
+			fmt.Fprintf(&sb, "/target=%s", tgt)
+		}
 		if w.KeyByte > 0 {
 			fmt.Fprintf(&sb, "/keybyte=%d", w.KeyByte)
 		}
@@ -170,6 +181,18 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 		// every other kind. Countermeasure spellings canonicalize here so
 		// the ID (and thus the derived seed) never depends on how the
 		// spec spelled the combination.
+		// The target axis applies to the fig3-model attack kinds and
+		// collapses to the single AES default elsewhere. Spellings
+		// canonicalize here ("aes" and absent are the same point), so the
+		// ID — and thus the derived seed — never depends on how the spec
+		// spelled the default cipher.
+		targets := []string{""}
+		if len(w.Targets) > 0 {
+			targets = targets[:0]
+			for _, tn := range w.Targets {
+				targets = append(targets, target.Canon(target.Resolve(tn)))
+			}
+		}
 		points := []maskPoint{{}}
 		if w.Kind == KindMaskCPA {
 			points = points[:0]
@@ -195,31 +218,34 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 							return nil, fmt.Errorf("campaign: workload %d (%s): %w", wi, w.Kind, err)
 						}
 						for _, mp := range points {
-							id := scenarioID(w.Kind, ab.Name, &wc, n, sg, mode, mp)
-							if seen[id] {
-								return nil, fmt.Errorf("campaign: duplicate scenario %q", id)
+							for _, tg := range targets {
+								id := scenarioID(w.Kind, ab.Name, &wc, n, sg, mode, mp, tg)
+								if seen[id] {
+									return nil, fmt.Errorf("campaign: duplicate scenario %q", id)
+								}
+								seen[id] = true
+								out = append(out, Scenario{
+									ID:         id,
+									Index:      len(out),
+									Kind:       w.Kind,
+									Ablation:   ab,
+									Traces:     n,
+									Averages:   w.Averages,
+									NoiseSigma: sg,
+									Synth:      mode,
+									Target:     tg,
+									KeyByte:    w.KeyByte,
+									Rounds:     w.Rounds,
+									Reps:       w.Reps,
+									Rows:       rows,
+									Counts:     counts,
+									Confidence: w.Confidence,
+									Gadget:     mp.gadget,
+									Ctr:        mp.ctr,
+									Order:      mp.order,
+									Seed:       engine.DeriveSeed(s.Seed, id),
+								})
 							}
-							seen[id] = true
-							out = append(out, Scenario{
-								ID:         id,
-								Index:      len(out),
-								Kind:       w.Kind,
-								Ablation:   ab,
-								Traces:     n,
-								Averages:   w.Averages,
-								NoiseSigma: sg,
-								Synth:      mode,
-								KeyByte:    w.KeyByte,
-								Rounds:     w.Rounds,
-								Reps:       w.Reps,
-								Rows:       rows,
-								Counts:     counts,
-								Confidence: w.Confidence,
-								Gadget:     mp.gadget,
-								Ctr:        mp.ctr,
-								Order:      mp.order,
-								Seed:       engine.DeriveSeed(s.Seed, id),
-							})
 						}
 					}
 				}
@@ -230,6 +256,44 @@ func (s *Spec) Enumerate() ([]Scenario, error) {
 		return nil, fmt.Errorf("campaign: spec enumerates no scenarios")
 	}
 	return out, nil
+}
+
+// FilterTarget restricts the spec to one cipher target's scenarios:
+// each workload that enumerates the named target keeps exactly that
+// point of its targets axis, and workloads that never run it are
+// dropped. Workloads without a targets axis run under the AES default,
+// so they survive a filter for "aes" only. The surviving scenarios
+// keep their IDs and derived seeds bit-for-bit — filtering selects
+// scenarios, it never re-keys them.
+func (s *Spec) FilterTarget(name string) error {
+	if _, err := target.Get(name); err != nil {
+		return err
+	}
+	want := target.Canon(target.Resolve(name))
+	var kept []Workload
+	for _, w := range s.Workloads {
+		tgts := w.Targets
+		if len(tgts) == 0 {
+			tgts = []string{""}
+		}
+		for _, tn := range tgts {
+			if target.Canon(target.Resolve(tn)) == want {
+				wc := w
+				if want == "" {
+					wc.Targets = nil
+				} else {
+					wc.Targets = []string{want}
+				}
+				kept = append(kept, wc)
+				break
+			}
+		}
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("campaign: no workload runs target %s", target.Resolve(name))
+	}
+	s.Workloads = kept
+	return nil
 }
 
 // CanonicalDigest returns the hex SHA-256 of v's canonical JSON

@@ -8,6 +8,7 @@ import (
 	"repro/internal/aes"
 	"repro/internal/attack"
 	"repro/internal/engine"
+	"repro/internal/target"
 )
 
 // ScenarioRequest is the wire form of one fully resolved scenario — the
@@ -45,6 +46,11 @@ type ScenarioRequest struct {
 	Averages   int     `json:"averages,omitempty"`
 	NoiseSigma float64 `json:"noise_sigma"`
 	Synth      string  `json:"synth"`
+	// Target is the attacked cipher in canonical spelling: absent for
+	// the AES default (never "aes" — Resolve refuses the non-canonical
+	// form so one scenario cannot exist under two digests), the registry
+	// name otherwise.
+	Target     string  `json:"target,omitempty"`
 	KeyByte    int     `json:"key_byte,omitempty"`
 	Rounds     int     `json:"rounds,omitempty"`
 	Reps       int     `json:"reps,omitempty"`
@@ -72,6 +78,7 @@ func (sc *Scenario) WireRequest(campaignName string, campaignSeed int64, key str
 		Averages:     sc.Averages,
 		NoiseSigma:   sc.NoiseSigma,
 		Synth:        sc.Synth.String(),
+		Target:       sc.Target,
 		KeyByte:      sc.KeyByte,
 		Rounds:       sc.Rounds,
 		Reps:         sc.Reps,
@@ -118,6 +125,14 @@ func (r *ScenarioRequest) Resolve() (*Scenario, [aes.KeySize]byte, error) {
 	if !slices.IsSorted(r.Rows) || !slices.IsSorted(r.Counts) {
 		return nil, key, fmt.Errorf("campaign: scenario request: rows and counts must be sorted")
 	}
+	if r.Target != "" {
+		if canon := target.Canon(target.Resolve(r.Target)); canon != r.Target {
+			return nil, key, fmt.Errorf("campaign: scenario request: target %q is not canonical (want %q)", r.Target, canon)
+		}
+		if _, err := target.Get(r.Target); err != nil {
+			return nil, key, err
+		}
+	}
 	// Recompute the canonical ID from the axes; a mismatch means the
 	// request was corrupted in flight or assembled against a different
 	// ID-spelling convention, and executing it would derive the wrong
@@ -132,7 +147,7 @@ func (r *ScenarioRequest) Resolve() (*Scenario, [aes.KeySize]byte, error) {
 		Counts:     r.Counts,
 		Confidence: r.Confidence,
 	}
-	id := scenarioID(r.Kind, ab.Name, &w, r.Traces, r.NoiseSigma, mode, maskPoint{gadget: r.Gadget, ctr: r.Ctr, order: r.Order})
+	id := scenarioID(r.Kind, ab.Name, &w, r.Traces, r.NoiseSigma, mode, maskPoint{gadget: r.Gadget, ctr: r.Ctr, order: r.Order}, r.Target)
 	if id != r.ID {
 		return nil, key, fmt.Errorf("campaign: scenario request id %q does not match its axes (canonical %q)", r.ID, id)
 	}
@@ -144,6 +159,7 @@ func (r *ScenarioRequest) Resolve() (*Scenario, [aes.KeySize]byte, error) {
 		Averages:   r.Averages,
 		NoiseSigma: r.NoiseSigma,
 		Synth:      mode,
+		Target:     r.Target,
 		KeyByte:    r.KeyByte,
 		Rounds:     r.Rounds,
 		Reps:       r.Reps,

@@ -1,0 +1,64 @@
+package chacha
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/target"
+)
+
+// TestQuarterRoundVector pins QR to the published RFC 7539 §2.1.1 test
+// vector.
+func TestQuarterRoundVector(t *testing.T) {
+	a, b, c, d := QR(0x11111111, 0x01020304, 0x9b8d6f43, 0x01234567)
+	want := [4]uint32{0xea2a92f4, 0xcb1cf8ce, 0x4581472e, 0x5881c4bb}
+	if got := [4]uint32{a, b, c, d}; got != want {
+		t.Fatalf("QR vector: got %08x, want %08x", got, want)
+	}
+}
+
+// TestPipelineMatchesReference executes the generated program across
+// sweep counts and requires bit-exact agreement of all 16 state words
+// with the reference.
+func TestPipelineMatchesReference(t *testing.T) {
+	tgt, err := target.Get("chacha20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, rounds := range []int{1, 2, Rounds} {
+		inst, err := tgt.New(pipeline.DefaultConfig(), DefaultAttackKey[:], rounds, 4)
+		if err != nil {
+			t.Fatalf("rounds %d: %v", rounds, err)
+		}
+		for i := 0; i < 4; i++ {
+			pt := make([]byte, BlockSize)
+			rng.Read(pt)
+			if _, err := target.Run(inst, pipeline.DefaultConfig(), pt); err != nil {
+				t.Fatalf("rounds %d input %x: %v", rounds, pt, err)
+			}
+		}
+	}
+}
+
+// TestTrueKeyBytes pins the attacked effective key: with Kc =
+// Constants[c] + key[c], byte 4c+j is Kc[j] ^ Kc[(j+2)%4] — the pair
+// of Kc bytes the ROL 16 folds onto one lane of the attacked store
+// transition.
+func TestTrueKeyBytes(t *testing.T) {
+	tgt, _ := target.Get("chacha20")
+	inst, err := tgt.New(pipeline.DefaultConfig(), DefaultAttackKey[:], 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewRef(DefaultAttackKey)
+	for b := 0; b < 16; b++ {
+		kc := Constants[b/4] + ref.key[b/4]
+		j := b % 4
+		want := byte(kc>>uint(8*j)) ^ byte(kc>>uint(8*((j+2)%4)))
+		if got := inst.TrueKeyByte(b); got != want {
+			t.Errorf("byte %d: got %#02x, want %#02x", b, got, want)
+		}
+	}
+}

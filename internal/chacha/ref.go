@@ -1,0 +1,89 @@
+// Package chacha implements the ChaCha20 quarter-round (Bernstein 2008,
+// RFC 7539) as a registered cipher target: column-round sweeps over a
+// 16-word state built from the "expand 16-byte k" constants, a 128-bit
+// key and an attacker-controlled bottom row. The attacked intermediate
+// is the first quarter-round's d ^= (a + b) — the constants are public
+// and the bottom row is the chosen input, so each byte of a + key[i]
+// acts as a fixed effective-key byte under the HW(v^k) model. Like
+// Speck this is pure ARX, but wider: four interleaved quarter-round
+// dataflows keep both issue slots of the dual-issue pipeline busy.
+package chacha
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the attacker-controlled input length in bytes: the four
+// words of the state's bottom row (counter + nonce in the stream
+// cipher, chosen plaintext here).
+const BlockSize = 16
+
+// KeySize is the key length in bytes (the original 128-bit variant,
+// whose key fills rows 1 and 2 of the state twice).
+const KeySize = 16
+
+// Rounds is the maximum number of column-round sweeps the generated
+// program runs; the full ChaCha20 has 10 column/diagonal double rounds,
+// but the attack only needs the first sweeps.
+const Rounds = 8
+
+// Constants is the "expand 16-byte k" row 0 of the state.
+var Constants = [4]uint32{0x61707865, 0x3120646e, 0x79622d36, 0x6b206574}
+
+// QR is the ChaCha quarter-round.
+func QR(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+// Ref is the bit-exact reference: n column-round sweeps over the state
+// (constants row, key row, key row, input row).
+type Ref struct {
+	key [4]uint32
+}
+
+// NewRef returns the reference for key (16 bytes, little-endian words).
+func NewRef(key [KeySize]byte) *Ref {
+	var r Ref
+	for i := range r.key {
+		r.key[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	return &r
+}
+
+// InitState builds the 16-word state for input pt (16 bytes filling the
+// bottom row as little-endian words).
+func (r *Ref) InitState(pt [BlockSize]byte) [16]uint32 {
+	var s [16]uint32
+	copy(s[0:4], Constants[:])
+	copy(s[4:8], r.key[:])
+	copy(s[8:12], r.key[:])
+	for i := 0; i < 4; i++ {
+		s[12+i] = binary.LittleEndian.Uint32(pt[4*i:])
+	}
+	return s
+}
+
+// Permute runs n column-round sweeps (QR down each of the four
+// columns) and returns the resulting state.
+func (r *Ref) Permute(pt [BlockSize]byte, n int) ([16]uint32, error) {
+	if n < 1 || n > Rounds {
+		return [16]uint32{}, fmt.Errorf("chacha: rounds must be in [1,%d], got %d", Rounds, n)
+	}
+	s := r.InitState(pt)
+	for round := 0; round < n; round++ {
+		for i := 0; i < 4; i++ {
+			s[i], s[4+i], s[8+i], s[12+i] = QR(s[i], s[4+i], s[8+i], s[12+i])
+		}
+	}
+	return s, nil
+}

@@ -8,9 +8,11 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/replay"
+	"repro/internal/target"
 )
 
 // EngineFlags bundles the shared engine flags. Register the subsets a
@@ -54,6 +56,45 @@ func (f *EngineFlags) RegisterSeed(fs *flag.FlagSet, def int64) {
 func (f *EngineFlags) RegisterReplay(fs *flag.FlagSet) {
 	fs.StringVar(&f.replay, "replay", "auto",
 		"trace synthesis: auto (compiled replay with verification), replay (force), simulate (full simulation)")
+}
+
+// TargetFlags bundles the shared workload-selection flags: -target
+// names the attacked cipher from the registry (the tools that sweep or
+// synthesize cipher workloads), -figure the reproduced workload (each
+// tool documents its own value set). Tools register the subset that
+// applies and keep their historical spellings as deprecation shims.
+type TargetFlags struct {
+	// Target is the -target value; "" selects the AES default.
+	Target string
+	// Figure is the -figure value; "" selects the tool's default.
+	Figure string
+}
+
+// RegisterTarget adds -target, listing the registered cipher names.
+func (f *TargetFlags) RegisterTarget(fs *flag.FlagSet) {
+	f.RegisterTargetUsage(fs,
+		"attacked cipher target: "+strings.Join(target.Names(), ", ")+` ("": aes)`)
+}
+
+// RegisterTargetUsage is RegisterTarget with tool-specific help text,
+// for tools where -target filters rather than selects (cmd/campaign).
+func (f *TargetFlags) RegisterTargetUsage(fs *flag.FlagSet, usage string) {
+	fs.StringVar(&f.Target, "target", "", usage)
+}
+
+// RegisterFigure adds -figure with tool-specific help text.
+func (f *TargetFlags) RegisterFigure(fs *flag.FlagSet, usage string) {
+	fs.StringVar(&f.Figure, "figure", "", usage)
+}
+
+// FinishTarget validates -target against the registry and returns the
+// resolved target's metadata. Call it once flag parsing has run.
+func (f *TargetFlags) FinishTarget() (target.Info, error) {
+	tgt, err := target.Get(f.Target)
+	if err != nil {
+		return target.Info{}, err
+	}
+	return tgt.Info(), nil
 }
 
 // Finish validates the registered flags after parsing and resolves

@@ -5,6 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+
+	// Register the cipher targets FinishTarget resolves against.
+	_ "repro/internal/aes"
+	_ "repro/internal/speck"
 )
 
 func parseWith(t *testing.T, args []string, register func(*EngineFlags, *flag.FlagSet)) (*EngineFlags, error) {
@@ -67,5 +71,53 @@ func TestFinishWithoutReplayKeepsAuto(t *testing.T) {
 	})
 	if err != nil || f.Mode != engine.ModeAuto {
 		t.Fatalf("mode %v err %v", f.Mode, err)
+	}
+}
+
+func TestTargetFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var tf TargetFlags
+	tf.RegisterTarget(fs)
+	tf.RegisterFigure(fs, "workload")
+	if err := fs.Parse([]string{"-target", "speck64", "-figure", "fullkey"}); err != nil {
+		t.Fatal(err)
+	}
+	if tf.Target != "speck64" || tf.Figure != "fullkey" {
+		t.Fatalf("parsed wrong: %+v", tf)
+	}
+	info, err := tf.FinishTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "speck64" {
+		t.Fatalf("resolved %q, want speck64", info.Name)
+	}
+}
+
+func TestTargetFlagsDefaultIsAES(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var tf TargetFlags
+	tf.RegisterTarget(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tf.FinishTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "aes" {
+		t.Fatalf("empty -target resolved %q, want aes", info.Name)
+	}
+}
+
+func TestTargetFlagsUnknownTarget(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var tf TargetFlags
+	tf.RegisterTarget(fs)
+	if err := fs.Parse([]string{"-target", "des"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.FinishTarget(); err == nil {
+		t.Fatal("unknown target must be rejected")
 	}
 }

@@ -298,6 +298,72 @@ func (c *ClassCPA) Peak(k int) (corr float64, sample int) {
 	return best, idx
 }
 
+// PeakIn returns hypothesis k's peak correlation within the sample
+// window [lo,hi). Out-of-range bounds clamp to the trace; when signed
+// is set the peak is the maximum signed correlation rather than the
+// maximum magnitude.
+func (c *ClassCPA) PeakIn(k, lo, hi int, signed bool) (corr float64, sample int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo || hi > c.samples {
+		hi = c.samples
+	}
+	best, idx, have := 0.0, lo, false
+	for s := lo; s < hi; s++ {
+		r := c.Corr(k, s)
+		better := math.Abs(r) > math.Abs(best)
+		if signed {
+			better = r > best
+		}
+		if !have || better {
+			best, idx, have = r, s, true
+		}
+	}
+	return best, idx
+}
+
+// ResultIn computes the attack summary restricted to the sample window
+// [lo,hi), ranking hypotheses by signed correlation when signed is set.
+// Windowing confines the peak search to where the attacked operation
+// actually executes, suppressing deterministic ghost peaks from other
+// cipher operations; signed ranking resolves the exact complement
+// ambiguity of XOR-Hamming-weight models, where hypothesis k^0xff
+// predicts the precise negation of hypothesis k and |r| alone cannot
+// separate the two. Result is the (whole-trace, magnitude) special
+// case.
+func (c *ClassCPA) ResultIn(lo, hi int, signed bool) *Attack {
+	a := &Attack{
+		Peaks:       make([]float64, c.nHyp),
+		PeakSamples: make([]int, c.nHyp),
+		Ranking:     make([]int, c.nHyp),
+		Traces:      c.count,
+	}
+	for k := 0; k < c.nHyp; k++ {
+		r, s := c.PeakIn(k, lo, hi, signed)
+		a.Peaks[k] = r
+		a.PeakSamples[k] = s
+		a.Ranking[k] = k
+	}
+	key := func(r float64) float64 {
+		if signed {
+			return r
+		}
+		return math.Abs(r)
+	}
+	for i := 1; i < len(a.Ranking); i++ {
+		for j := i; j > 0; j-- {
+			x, y := a.Ranking[j-1], a.Ranking[j]
+			if key(a.Peaks[y]) > key(a.Peaks[x]) {
+				a.Ranking[j-1], a.Ranking[j] = y, x
+			} else {
+				break
+			}
+		}
+	}
+	return a
+}
+
 // Result computes the attack summary, exactly as CPA.Result does over
 // the derived sums.
 func (c *ClassCPA) Result() *Attack {

@@ -1,0 +1,95 @@
+// Package speck implements Speck64/128 (Beaulieu et al., the NSA
+// lightweight cipher family) as a registered cipher target: a bit-exact
+// Go reference, a code-generated ARX round for the simulated pipeline,
+// and an HW(v^k) ClassCPA model over the first round's modular-addition
+// output. Unlike the table-lookup targets, the round function is pure
+// ALU — rotate, add, XOR — so the leak lives in the writeback and
+// store ports rather than the load path, a shape the paper's AES
+// workload never exercises.
+package speck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the cipher block length in bytes (two 32-bit words).
+const BlockSize = 8
+
+// KeySize is the Speck64/128 key length in bytes (four 32-bit words).
+const KeySize = 16
+
+// Rounds is the full cipher's round count.
+const Rounds = 27
+
+// ExpandKey derives the 27 round keys. The key bytes hold the words
+// k0, l0, l1, l2 in little-endian order (key[0:4] = k0).
+func ExpandKey(key [KeySize]byte) [Rounds]uint32 {
+	k := binary.LittleEndian.Uint32(key[0:4])
+	ls := []uint32{
+		binary.LittleEndian.Uint32(key[4:8]),
+		binary.LittleEndian.Uint32(key[8:12]),
+		binary.LittleEndian.Uint32(key[12:16]),
+	}
+	var rk [Rounds]uint32
+	rk[0] = k
+	for i := 0; i < Rounds-1; i++ {
+		l := (rk[i] + bits.RotateLeft32(ls[i], -8)) ^ uint32(i)
+		ls = append(ls, l)
+		rk[i+1] = bits.RotateLeft32(rk[i], 3) ^ l
+	}
+	return rk
+}
+
+// Round applies one Speck round to the word pair under round key k:
+// x = (ROR(x,8) + y) ^ k; y = ROL(y,3) ^ x.
+func Round(x, y, k uint32) (uint32, uint32) {
+	x = (bits.RotateLeft32(x, -8) + y) ^ k
+	y = bits.RotateLeft32(y, 3) ^ x
+	return x, y
+}
+
+// AddOut is the attacked first-round intermediate before key mixing:
+// ROR(x,8) + y, whose bytes XOR against the round-key bytes — the
+// HW(v^k) ClassCPA model input.
+func AddOut(x, y uint32) uint32 {
+	return bits.RotateLeft32(x, -8) + y
+}
+
+// Ref is the bit-exact reference implementation.
+type Ref struct {
+	rk [Rounds]uint32
+}
+
+// NewRef expands key and returns the reference cipher.
+func NewRef(key [KeySize]byte) *Ref {
+	return &Ref{rk: ExpandKey(key)}
+}
+
+// RoundKeys returns the expanded round keys.
+func (r *Ref) RoundKeys() [Rounds]uint32 { return r.rk }
+
+// Encrypt runs the full 27-round cipher. The block bytes hold the word
+// pair (x, y) in little-endian order (pt[0:4] = x).
+func (r *Ref) Encrypt(pt [BlockSize]byte) [BlockSize]byte {
+	out, _ := r.EncryptPartial(pt, Rounds)
+	return out
+}
+
+// EncryptPartial runs n rounds (1 <= n <= 27) — the truncated target
+// used to keep first-round attacks fast.
+func (r *Ref) EncryptPartial(pt [BlockSize]byte, n int) ([BlockSize]byte, error) {
+	if n < 1 || n > Rounds {
+		return [BlockSize]byte{}, fmt.Errorf("speck: rounds must be in [1,%d], got %d", Rounds, n)
+	}
+	x := binary.LittleEndian.Uint32(pt[0:4])
+	y := binary.LittleEndian.Uint32(pt[4:8])
+	for i := 0; i < n; i++ {
+		x, y = Round(x, y, r.rk[i])
+	}
+	var out [BlockSize]byte
+	binary.LittleEndian.PutUint32(out[0:4], x)
+	binary.LittleEndian.PutUint32(out[4:8], y)
+	return out, nil
+}

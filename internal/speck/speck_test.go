@@ -1,0 +1,77 @@
+package speck
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/target"
+)
+
+// TestReferenceVector pins the reference to the published Speck64/128
+// test vector (Beaulieu et al., ePrint 2013/404): key words
+// (l2,l1,l0,k0) = 1b1a1918 13121110 0b0a0908 03020100, plaintext
+// (x,y) = 3b726574 7475432d, ciphertext (x,y) = 8c6fa548 454e028b.
+func TestReferenceVector(t *testing.T) {
+	var pt [BlockSize]byte
+	binary.LittleEndian.PutUint32(pt[0:4], 0x3b726574)
+	binary.LittleEndian.PutUint32(pt[4:8], 0x7475432d)
+	ct := NewRef(DefaultAttackKey).Encrypt(pt)
+	x := binary.LittleEndian.Uint32(ct[0:4])
+	y := binary.LittleEndian.Uint32(ct[4:8])
+	if x != 0x8c6fa548 || y != 0x454e028b {
+		t.Fatalf("got (%08x, %08x), want (8c6fa548, 454e028b)", x, y)
+	}
+}
+
+// TestPipelineMatchesReference executes the generated program across
+// round counts, including the full cipher on the published vector, and
+// requires bit-exact agreement with the reference.
+func TestPipelineMatchesReference(t *testing.T) {
+	tgt, err := target.Get("speck64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, rounds := range []int{1, 2, 5, Rounds} {
+		inst, err := tgt.New(pipeline.DefaultConfig(), DefaultAttackKey[:], rounds, 4)
+		if err != nil {
+			t.Fatalf("rounds %d: %v", rounds, err)
+		}
+		for i := 0; i < 4; i++ {
+			pt := make([]byte, BlockSize)
+			rng.Read(pt)
+			if _, err := target.Run(inst, pipeline.DefaultConfig(), pt); err != nil {
+				t.Fatalf("rounds %d input %x: %v", rounds, pt, err)
+			}
+		}
+	}
+	// Full cipher on the published vector through the pipeline.
+	inst, err := tgt.New(pipeline.DefaultConfig(), DefaultAttackKey[:], Rounds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, BlockSize)
+	binary.LittleEndian.PutUint32(pt[0:4], 0x3b726574)
+	binary.LittleEndian.PutUint32(pt[4:8], 0x7475432d)
+	if _, err := target.Run(inst, pipeline.DefaultConfig(), pt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrueKeyBytes pins the attacked effective key to rk[0] = k0.
+func TestTrueKeyBytes(t *testing.T) {
+	tgt, _ := target.Get("speck64")
+	inst, err := tgt.New(pipeline.DefaultConfig(), DefaultAttackKey[:], 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk0 := ExpandKey(DefaultAttackKey)[0]
+	for b := 0; b < 4; b++ {
+		want := byte(rk0 >> uint(8*b))
+		if got := inst.TrueKeyByte(b); got != want {
+			t.Errorf("byte %d: got %#02x, want %#02x", b, got, want)
+		}
+	}
+}

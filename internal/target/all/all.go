@@ -1,0 +1,12 @@
+// Package all registers every built-in cipher target. Layers that look
+// targets up by name (attack, campaign, the CLIs) blank-import it once;
+// the cipher packages themselves stay importable individually without
+// dragging the rest of the registry in.
+package all
+
+import (
+	_ "repro/internal/aes"
+	_ "repro/internal/chacha"
+	_ "repro/internal/present"
+	_ "repro/internal/speck"
+)

@@ -1,0 +1,139 @@
+package target_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/target"
+	_ "repro/internal/target/all"
+)
+
+// TestRegisteredNames pins the built-in registry contents.
+func TestRegisteredNames(t *testing.T) {
+	want := []string{"aes", "chacha20", "present", "speck64"}
+	got := target.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+}
+
+// TestResolveCanon pins the canonical-spelling round trip: "aes" is
+// spelled absent everywhere a target name is persisted.
+func TestResolveCanon(t *testing.T) {
+	cases := []struct{ in, resolve, canon string }{
+		{"", "aes", ""},
+		{"aes", "aes", ""},
+		{"present", "present", "present"},
+		{"speck64", "speck64", "speck64"},
+	}
+	for _, c := range cases {
+		if got := target.Resolve(c.in); got != c.resolve {
+			t.Errorf("Resolve(%q) = %q, want %q", c.in, got, c.resolve)
+		}
+		if got := target.Canon(target.Resolve(c.in)); got != c.canon {
+			t.Errorf("Canon(Resolve(%q)) = %q, want %q", c.in, got, c.canon)
+		}
+	}
+}
+
+// TestRoundTrip builds every registered target at its default rounds
+// and full rounds, runs random inputs through the simulated pipeline,
+// and relies on target.Run's oracle check for bit-exact agreement with
+// the reference. It also validates the registry metadata invariants the
+// attack layer depends on.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range target.Names() {
+		tgt, err := target.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := tgt.Info()
+		if info.Name != name {
+			t.Fatalf("%s: Info().Name = %q", name, info.Name)
+		}
+		if info.BlockSize <= 0 || info.KeySize <= 0 {
+			t.Fatalf("%s: non-positive dimensions %+v", name, info)
+		}
+		if info.AttackBytes < 1 || info.AttackBytes > 256 {
+			t.Fatalf("%s: AttackBytes %d out of range", name, info.AttackBytes)
+		}
+		if info.DefaultRounds < 1 || info.DefaultRounds > info.MaxRounds {
+			t.Fatalf("%s: DefaultRounds %d outside [1,%d]", name, info.DefaultRounds, info.MaxRounds)
+		}
+		if len(info.DefaultKey) != info.KeySize {
+			t.Fatalf("%s: default key is %d bytes, KeySize %d", name, len(info.DefaultKey), info.KeySize)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for _, rounds := range []int{info.DefaultRounds, info.MaxRounds} {
+			inst, err := tgt.New(pipeline.DefaultConfig(), info.DefaultKey, rounds, 4)
+			if err != nil {
+				t.Fatalf("%s rounds %d: %v", name, rounds, err)
+			}
+			if len(inst.Regions()) == 0 {
+				t.Fatalf("%s rounds %d: no regions", name, rounds)
+			}
+			for i := 0; i < 3; i++ {
+				pt := make([]byte, info.BlockSize)
+				rng.Read(pt)
+				if _, err := target.Run(inst, pipeline.DefaultConfig(), pt); err != nil {
+					t.Fatalf("%s rounds %d input %x: %v", name, rounds, pt, err)
+				}
+				for b := 0; b < info.AttackBytes; b++ {
+					cls := inst.Class(b, pt)
+					if cls < 0 || cls > 255 {
+						t.Fatalf("%s byte %d: class %d out of range", name, b, cls)
+					}
+					tab := inst.ClassTable(b)
+					if len(tab) != 256 || len(tab[0]) != 256 {
+						t.Fatalf("%s byte %d: class table is %dx%d", name, b, len(tab), len(tab[0]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGetUnknown requires the error to list the registered names.
+func TestGetUnknown(t *testing.T) {
+	_, err := target.Get("des")
+	if err == nil {
+		t.Fatal("Get(des) succeeded")
+	}
+	for _, name := range target.Names() {
+		if !contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKeyParsing pins the shared key-parsing rule.
+func TestKeyParsing(t *testing.T) {
+	tgt, _ := target.Get("present")
+	info := tgt.Info()
+	if k, err := info.ParseKey(""); err != nil || len(k) != info.KeySize {
+		t.Fatalf("empty key: %x, %v", k, err)
+	}
+	if _, err := info.ParseKey("00112233445566778899"); err != nil {
+		t.Fatalf("valid key refused: %v", err)
+	}
+	for _, bad := range []string{"00", "zz112233445566778899", "001122334455667788"} {
+		if _, err := info.ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey(%q) succeeded", bad)
+		}
+	}
+}
